@@ -1,0 +1,56 @@
+"""A3 — application benchmark: unbiased F_G estimation from the pool.
+
+The telescoping identity behind Framework 1.3 doubles as an estimator
+(``repro.apps.FGEstimator``): one reservoir pool gives simultaneously
+unbiased estimates of ``F_G`` for every measure.  Sweep the unit count
+and verify the ``1/√units`` error decay and the cross-measure sharing.
+"""
+
+import numpy as np
+
+from conftest import loglog_slope, write_table
+from repro.apps import FGEstimator
+from repro.core import HuberMeasure, LpMeasure
+from repro.sketches.lp_norm import exact_fp
+from repro.streams import zipf_stream
+
+STREAM = zipf_stream(n=64, m=2500, alpha=1.2, seed=3)
+TRUTH_F2 = exact_fp(STREAM.frequencies(), 2.0)
+
+
+def _rel_rmse(units: int, reps: int = 30) -> float:
+    errs = []
+    for seed in range(reps):
+        est = FGEstimator(units=units, seed=seed)
+        est.extend(STREAM)
+        errs.append((est.estimate(LpMeasure(2.0)) - TRUTH_F2) / TRUTH_F2)
+    return float(np.sqrt(np.mean(np.square(errs))))
+
+
+def _run_experiment():
+    lines = []
+    units_list = [16, 64, 256]
+    rmses = []
+    for units in units_list:
+        rmse = _rel_rmse(units)
+        rmses.append(rmse)
+        lines.append(f"units={units:<5d} relative RMSE of F2 estimate={rmse:.4f}")
+    slope = loglog_slope([float(u) for u in units_list], rmses)
+    lines.append(f"log-log slope {slope:.3f} (theory -0.5)")
+    # Simultaneity: F1 is exact from any pool (all increments are 1).
+    est = FGEstimator(units=16, seed=99)
+    est.extend(STREAM)
+    many = est.estimate_many([LpMeasure(1.0), HuberMeasure(1.0)])
+    lines.append(
+        f"same 16-unit pool: F1 estimate={many['L1']:.0f} "
+        f"(exact {len(STREAM)}), Huber estimate={many['Huber(τ=1)']:.0f}"
+    )
+    return lines, slope, many
+
+
+def test_a03_fg_estimation(benchmark):
+    lines, slope, many = benchmark.pedantic(_run_experiment, rounds=1,
+                                            iterations=1)
+    write_table("A03", "F_G estimation from reservoir state", lines)
+    assert -0.85 < slope < -0.2  # 1/sqrt(units) decay, wide tolerance
+    assert many["L1"] == len(STREAM)  # exact for F1

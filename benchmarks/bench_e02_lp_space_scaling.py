@@ -1,0 +1,118 @@
+"""E2 — Theorem 3.4: Lp instance-count scaling ``n^{1−1/p}`` and the
+Misra-Gries normalizer's soundness.
+
+Claim: on the flat (worst-case) stream, the per-instance acceptance
+probability ``F_p/(ζ(Z)·m)`` — with ``Z`` the *measured* Misra-Gries
+normalizer — decays as ``n^{1/p−1}``, so the instances needed for
+constant success grow with log-log slope ``1−1/p``; and ``Z`` always
+satisfies ``‖f‖∞ ≤ Z ≤ ‖f‖∞ + m/n^{1−1/p}``.
+
+Skewed streams accept far more often (heavy items push ``F_p`` toward
+``ζm``), which is why Theorem 3.4 is a *lower* bound on acceptance; the
+flat stream is where it is tight.
+"""
+
+import math
+
+import numpy as np
+
+from conftest import loglog_slope, write_table
+from repro.core import TrulyPerfectLpSampler, lp_instance_bound
+from repro.sketches import MisraGries
+from repro.sketches.lp_norm import exact_fp
+from repro.streams import stream_from_frequencies, zipf_stream
+
+
+def _flat_stream(n: int):
+    return stream_from_frequencies(
+        np.full(n, 6, dtype=np.int64), order="random", seed=n
+    )
+
+
+def _algorithm_acceptance(p: float, n: int) -> float:
+    """The algorithm's exact acceptance probability on the flat stream.
+
+    Only ``Z`` is data-dependent; running the real Misra-Gries and
+    plugging its certified bound into ``F_p/(ζ(Z)·m)`` gives the
+    acceptance probability without Monte-Carlo noise.
+    """
+    stream = _flat_stream(n)
+    sampler = TrulyPerfectLpSampler(p=p, n=n, instances=1, seed=0)
+    sampler.extend(stream)
+    zeta = sampler.normalizer()
+    fp = exact_fp(stream.frequencies(), p)
+    return fp / (zeta * len(stream))
+
+
+def _monte_carlo_acceptance(p: float, n: int, trials: int = 400) -> float:
+    stream = _flat_stream(n)
+    hits = 0
+    for seed in range(trials):
+        s = TrulyPerfectLpSampler(p=p, n=n, instances=1, seed=seed)
+        if s.run(stream).is_item:
+            hits += 1
+    return hits / trials
+
+
+def _run_experiment():
+    lines = []
+    slopes = {}
+    ns = [32, 128, 512, 2048]
+    for p in (1.5, 2.0):
+        needed = []
+        for n in ns:
+            acc = _algorithm_acceptance(p, n)
+            needed.append(1.0 / acc)
+            lines.append(
+                f"p={p:<4} n={n:<6d} acceptance={acc:9.5f} "
+                f"instances-for-const-success={needed[-1]:9.1f} "
+                f"theorem-bound={lp_instance_bound(p, n, 0.5):5d}"
+            )
+        slopes[p] = loglog_slope([float(x) for x in ns], needed)
+        lines.append(
+            f"p={p}: measured log-log slope {slopes[p]:.3f} "
+            f"(theory 1-1/p = {1 - 1/p:.3f})"
+        )
+    # Monte-Carlo spot check: the analytic acceptance matches reality.
+    mc = _monte_carlo_acceptance(2.0, 128)
+    an = _algorithm_acceptance(2.0, 128)
+    lines.append(
+        f"spot check p=2 n=128: monte-carlo accept={mc:.4f} analytic={an:.4f}"
+    )
+    return lines, slopes, mc, an
+
+
+def test_e02_scaling_table(benchmark):
+    lines, slopes, mc, an = benchmark.pedantic(_run_experiment, rounds=1,
+                                               iterations=1)
+    write_table("E02", "Lp sampler instance scaling vs n (Theorem 3.4)", lines)
+    for p, slope in slopes.items():
+        benchmark.extra_info[f"slope_p{p}"] = slope
+        assert abs(slope - (1 - 1 / p)) < 0.15, (
+            f"p={p}: slope {slope:.3f} far from {1 - 1/p:.3f}"
+        )
+    assert abs(mc - an) < 0.05
+
+
+def test_e02_mg_normalizer_sound(benchmark):
+    """Z is certified on every prefix of every tested stream."""
+
+    def check():
+        violations = 0
+        for seed in range(10):
+            stream = zipf_stream(n=256, m=4000, alpha=1.3, seed=seed)
+            capacity = max(1, math.ceil(256 ** 0.5))
+            mg = MisraGries(capacity)
+            freq = np.zeros(256, dtype=np.int64)
+            for t, item in enumerate(stream, 1):
+                mg.update(item)
+                freq[item] += 1
+                if t % 500 == 0:
+                    z = mg.linf_upper_bound()
+                    linf = int(freq.max())
+                    if not (linf <= z <= linf + t / (capacity + 1) + 1e-9):
+                        violations += 1
+        return violations
+
+    violations = benchmark(check)
+    assert violations == 0

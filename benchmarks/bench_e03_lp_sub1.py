@@ -1,0 +1,51 @@
+"""E3 — Theorem 3.5: for ``p ∈ (0, 1]`` the instance count scales as
+``m^{1−p}`` (ζ = 1, acceptance ≥ F_p/m ≥ m^{p−1}).
+
+Claim: measured per-instance acceptance ≈ F_p/m, so the instances needed
+for constant success scale with slope ``1−p`` in ``m``.
+"""
+
+from conftest import loglog_slope, write_table
+from repro.core import TrulyPerfectLpSampler, lp_instance_bound
+from repro.sketches.lp_norm import exact_fp
+from repro.streams import uniform_stream
+
+
+def _acceptance(p: float, m: int, trials: int = 300) -> tuple[float, float]:
+    stream = uniform_stream(64, m, seed=m)
+    hits = 0
+    for seed in range(trials):
+        s = TrulyPerfectLpSampler(p=p, n=64, m_hint=m, instances=1, seed=seed)
+        if s.run(stream).is_item:
+            hits += 1
+    predicted = exact_fp(stream.frequencies(), p) / m
+    return hits / trials, predicted
+
+
+def _run_experiment():
+    lines = []
+    slopes = {}
+    ms = [250, 1000, 4000]
+    for p in (0.25, 0.5, 0.75):
+        needed = []
+        for m in ms:
+            rate, predicted = _acceptance(p, m)
+            needed.append(1.0 / max(rate, 1e-4))
+            lines.append(
+                f"p={p:<5} m={m:<6d} accept={rate:7.4f} "
+                f"predicted(F_p/m)={predicted:7.4f} "
+                f"theorem-instances={lp_instance_bound(p, 64, 0.5, m_hint=m):6d}"
+            )
+        slopes[p] = loglog_slope([float(x) for x in ms], needed)
+        lines.append(
+            f"p={p}: measured slope {slopes[p]:.3f} (theory 1-p = {1-p:.3f})"
+        )
+    return lines, slopes
+
+
+def test_e03_sub1_scaling(benchmark):
+    lines, slopes = benchmark.pedantic(_run_experiment, rounds=1, iterations=1)
+    write_table("E03", "Sub-unit Lp instance scaling vs m (Theorem 3.5)", lines)
+    for p, slope in slopes.items():
+        benchmark.extra_info[f"slope_p{p}"] = slope
+        assert abs(slope - (1 - p)) < 0.3

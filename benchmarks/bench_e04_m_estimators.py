@@ -1,0 +1,57 @@
+"""E4 — Corollary 3.6: M-estimator samplers need O(1) instances
+(O(log n) bits) and are exactly distributed.
+
+Claim: the default pool size is a constant independent of n and m for
+L1−L2 / Fair / Huber, and each sampler's output matches ``G(f_i)/F_G``.
+"""
+
+from conftest import write_table
+from repro.core import FairMeasure, HuberMeasure, L1L2Measure, TrulyPerfectGSampler
+from repro.stats import evaluate, g_target
+from repro.streams import zipf_stream
+
+MEASURES = [L1L2Measure(), FairMeasure(1.0), HuberMeasure(1.0)]
+
+
+def _run_experiment():
+    lines = []
+    ok = True
+    for m_len in (500, 5000):
+        stream = zipf_stream(n=64, m=m_len, alpha=1.2, seed=m_len)
+        freq = stream.frequencies()
+        for measure in MEASURES:
+            instances = TrulyPerfectGSampler.default_instances(
+                measure, delta=0.05, m_hint=m_len
+            )
+            target = g_target(freq, measure)
+
+            def run(seed, _m=measure):
+                return TrulyPerfectGSampler(_m, seed=seed, m_hint=m_len).run(stream)
+
+            rep = evaluate(run, target, trials=1000)
+            ok &= rep.chi2_pvalue > 1e-4 and rep.fail_rate <= 0.06
+            lines.append(
+                f"m={m_len:<6d} {rep.row(measure.name):s} instances={instances}"
+            )
+    return lines, ok
+
+
+def test_e04_m_estimators(benchmark):
+    lines, ok = benchmark.pedantic(_run_experiment, rounds=1, iterations=1)
+    write_table("E04", "M-estimator samplers: O(1) instances, exact dist", lines)
+    assert ok
+
+
+def test_e04_instances_constant_in_m(benchmark):
+    def compute():
+        return {
+            m.name: [
+                TrulyPerfectGSampler.default_instances(m, 0.05, m_hint=h)
+                for h in (10**2, 10**4, 10**6)
+            ]
+            for m in MEASURES
+        }
+
+    table = benchmark(compute)
+    for name, counts in table.items():
+        assert len(set(counts)) == 1, f"{name} pool size depends on m: {counts}"

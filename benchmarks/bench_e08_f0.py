@@ -1,0 +1,85 @@
+"""E8 — Theorems 5.2 / Corollary 5.3: truly perfect F0 sampling in both
+regimes and on sliding windows.
+
+Claims: (a) uniformity over the support in the sparse (F0 ≤ √n) and dense
+(F0 > √n) regimes; (b) FAIL rate ≤ δ after amplification; (c) the sampler
+reports the exact frequency of the returned index; (d) space scales as
+√n words.
+"""
+
+import numpy as np
+
+from conftest import write_table
+from repro.core import TrulyPerfectF0Sampler
+from repro.sliding_window import SlidingWindowF0Sampler
+from repro.stats import evaluate, f0_target
+from repro.streams import sparse_support_stream, zipf_stream
+
+
+def _run_experiment():
+    lines = []
+    ok = True
+    # Sparse regime.
+    sparse = sparse_support_stream(900, support=12, m=2000, seed=0)
+    target = f0_target(sparse.frequencies())
+
+    def run_sparse(seed):
+        return TrulyPerfectF0Sampler(900, delta=0.05, seed=seed).run(sparse)
+
+    rep = evaluate(run_sparse, target, trials=1500)
+    ok &= rep.chi2_pvalue > 1e-4 and rep.fail_rate == 0.0
+    lines.append(rep.row("sparse regime (F0=12 « √n=30)"))
+
+    # Dense regime.
+    dense = zipf_stream(n=64, m=3000, alpha=0.8, seed=1)
+    target_d = f0_target(dense.frequencies())
+
+    def run_dense(seed):
+        return TrulyPerfectF0Sampler(64, delta=0.05, seed=seed).run(dense)
+
+    rep_d = evaluate(run_dense, target_d, trials=1500)
+    ok &= rep_d.chi2_pvalue > 1e-4 and rep_d.fail_rate <= 0.06
+    lines.append(rep_d.row("dense regime (F0≈64 > √n=8)"))
+
+    # Sliding window.
+    window = 400
+    wtarget = f0_target(dense.window_frequencies(window))
+
+    def run_w(seed):
+        return SlidingWindowF0Sampler(64, window=window, seed=seed).run(dense)
+
+    rep_w = evaluate(run_w, wtarget, trials=1500)
+    ok &= rep_w.chi2_pvalue > 1e-4
+    lines.append(rep_w.row(f"sliding window W={window}"))
+
+    # Frequency reporting.
+    freq = dense.frequencies()
+    mismatches = 0
+    for seed in range(100):
+        res = TrulyPerfectF0Sampler(64, seed=seed).run(dense)
+        if res.is_item and res.metadata.get("frequency") != freq[res.item]:
+            mismatches += 1
+    ok &= mismatches == 0
+    lines.append(f"frequency metadata exact on 100 draws: {mismatches} mismatches")
+    return lines, ok
+
+
+def test_e08_f0_table(benchmark):
+    lines, ok = benchmark.pedantic(_run_experiment, rounds=1, iterations=1)
+    write_table("E08", "Truly perfect F0 sampling (Thm 5.2, Cor 5.3)", lines)
+    assert ok
+
+
+def test_e08_space_scales_sqrt_n(benchmark):
+    def measure_space():
+        words = {}
+        for n in (100, 10_000):
+            s = TrulyPerfectF0Sampler(n, delta=0.05, seed=0)
+            stream = zipf_stream(n=n, m=2000, alpha=0.9, seed=2)
+            s.extend(stream)
+            words[n] = s.space_words
+        return words
+
+    words = benchmark.pedantic(measure_space, rounds=1, iterations=1)
+    ratio = words[10_000] / words[100]
+    assert 4 <= ratio <= 25  # √(10000/100) = 10

@@ -1,0 +1,53 @@
+"""E9 — Theorems 5.4/5.5: Tukey sampling via the F0-sampler route.
+
+Claim: the acceptance-corrected F0 sampler realizes exactly
+``G_Tukey(f_i)/F_G``, for several saturation thresholds τ, in both the
+random-oracle and √n-space variants.
+"""
+
+from conftest import write_table
+from repro.core import TukeyMeasure, TukeySampler
+from repro.stats import evaluate, g_target
+from repro.streams import zipf_stream
+
+STREAM = zipf_stream(n=48, m=2500, alpha=1.1, seed=4)
+FREQ = STREAM.frequencies()
+
+
+def _run_experiment():
+    lines = []
+    ok = True
+    for tau in (3.0, 5.0):
+        target = g_target(FREQ, TukeyMeasure(tau))
+
+        def run_oracle(seed, _t=tau):
+            return TukeySampler(48, tau=_t, oracle=True, seed=seed).run(STREAM)
+
+        rep = evaluate(run_oracle, target, trials=600)
+        ok &= rep.chi2_pvalue > 1e-4 and rep.fail_rate <= 0.06
+        lines.append(rep.row(f"oracle variant, tau={tau:g}"))
+
+    # √n-space variant at one tau.
+    target = g_target(FREQ, TukeyMeasure(5.0))
+
+    def run_sqrt(seed):
+        return TukeySampler(48, tau=5.0, oracle=False, seed=seed).run(STREAM)
+
+    rep = evaluate(run_sqrt, target, trials=600)
+    ok &= rep.chi2_pvalue > 1e-4
+    lines.append(rep.row("sqrt-n variant, tau=5"))
+    return lines, ok
+
+
+def test_e09_tukey(benchmark):
+    lines, ok = benchmark.pedantic(_run_experiment, rounds=1, iterations=1)
+    write_table("E09", "Tukey sampling via F0 acceptance (Thms 5.4/5.5)", lines)
+    assert ok
+
+
+def test_e09_repetitions_scale_with_saturation(benchmark):
+    def compute():
+        return [TukeySampler(48, tau=t, seed=0).repetitions for t in (2.0, 20.0)]
+
+    small, large = benchmark(compute)
+    assert large > 10 * small  # G(τ)/G(1) grows ~ τ²

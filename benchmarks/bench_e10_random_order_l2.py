@@ -1,0 +1,60 @@
+"""E10 — Theorem 1.6 / Algorithm 9: random-order L2 collision sampling.
+
+Claims: output exactly ``f_i²/F2``; FAIL ≤ 1/3; O(log² n) space (buffer
+stays within its cap); skew sweep — the sampler tracks the target across
+flat and heavy-tailed frequency profiles.
+"""
+
+import numpy as np
+
+from conftest import write_table
+from repro.random_order import RandomOrderL2Sampler
+from repro.stats import evaluate, lp_target
+from repro.streams import stream_from_frequencies
+
+PROFILES = {
+    "flat": np.full(12, 6),
+    "geometric": np.array([1, 1, 2, 2, 4, 4, 8, 8, 16, 16, 32, 32]),
+    "one-heavy": np.array([40, 2, 2, 2, 2, 2, 2, 2, 2, 2, 2, 2]),
+}
+
+
+def _run_experiment():
+    lines = []
+    ok = True
+    for name, freq in PROFILES.items():
+        m = int(freq.sum())
+        target = lp_target(freq, 2.0)
+
+        def run(seed, _f=freq, _m=m):
+            stream = stream_from_frequencies(_f, order="random",
+                                             seed=123_000 + seed)
+            return RandomOrderL2Sampler(len(_f), horizon=_m, seed=seed).run(stream)
+
+        rep = evaluate(run, target, trials=4000)
+        ok &= rep.chi2_pvalue > 1e-4 and rep.fail_rate <= 1 / 3 + 0.05
+        lines.append(rep.row(f"profile={name} (m={m})"))
+    return lines, ok
+
+
+def test_e10_random_order_l2(benchmark):
+    lines, ok = benchmark.pedantic(_run_experiment, rounds=1, iterations=1)
+    write_table("E10", "Random-order L2 sampler exactness (Thm 1.6)", lines)
+    assert ok
+
+
+def test_e10_buffer_within_cap(benchmark):
+    def check():
+        freq = PROFILES["one-heavy"]
+        m = int(freq.sum())
+        worst = 0
+        for seed in range(50):
+            stream = stream_from_frequencies(freq, order="random", seed=seed)
+            s = RandomOrderL2Sampler(len(freq), horizon=m, seed=seed)
+            s.extend(stream)
+            worst = max(worst, s.buffer_size)
+        return worst
+
+    worst = benchmark.pedantic(check, rounds=1, iterations=1)
+    cap = RandomOrderL2Sampler(12, horizon=62, seed=0).capacity
+    assert worst <= 2 * cap

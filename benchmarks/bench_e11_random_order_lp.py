@@ -1,0 +1,80 @@
+"""E11 — Theorem 1.7 / Algorithm 10: integer p > 2 random-order sampling
+via p-wise block collisions with the Stirling correction.
+
+Claims: output exactly ``f_i^p/F_p`` for p ∈ {3, 4}; block size follows
+``m^{1−1/(p−1)}``; the binomial fast-path simulation is what makes the
+p-tuple enumeration tractable.
+"""
+
+import numpy as np
+
+from conftest import write_table
+from repro.random_order import RandomOrderLpSampler
+from repro.stats import evaluate, lp_target
+from repro.streams import stream_from_frequencies
+
+FREQ = np.array([8, 12, 20, 32, 48])  # enough blocks for concentration
+M = int(FREQ.sum())
+
+
+def _run_experiment():
+    lines = []
+    ok = True
+    for p in (3, 4):
+        target = lp_target(FREQ, float(p))
+
+        def run(seed, _p=p):
+            stream = stream_from_frequencies(FREQ, order="random",
+                                             seed=321_000 + seed)
+            return RandomOrderLpSampler(_p, horizon=M, seed=seed).run(stream)
+
+        rep = evaluate(run, target, trials=4000)
+        ok &= rep.chi2_pvalue > 1e-4
+        bs = RandomOrderLpSampler(p, horizon=M, seed=0).block_size
+        lines.append(rep.row(f"p={p} (block={bs})"))
+    return lines, ok
+
+
+def test_e11_random_order_lp(benchmark):
+    lines, ok = benchmark.pedantic(_run_experiment, rounds=1, iterations=1)
+    write_table("E11", "Random-order Lp (p>2) exactness (Thm 1.7)", lines)
+    assert ok
+
+
+def test_e11_block_size_scaling(benchmark):
+    def compute():
+        return {
+            (p, m): RandomOrderLpSampler(p, horizon=m, seed=0).block_size
+            for p in (3, 4)
+            for m in (100, 10_000)
+        }
+
+    sizes = benchmark(compute)
+    # B = m^{1-1/(p-1)}: p=3 → m^{1/2}; p=4 → m^{2/3}.
+    assert sizes[(3, 10_000)] / sizes[(3, 100)] == 10
+    assert 18 <= sizes[(4, 10_000)] / sizes[(4, 100)] <= 25
+
+
+def test_e11_update_throughput(benchmark):
+    stream = stream_from_frequencies(np.full(20, 100), order="random", seed=0)
+
+    def replay():
+        s = RandomOrderLpSampler(3, horizon=2000, seed=0)
+        s.extend(stream)
+        return s
+
+    benchmark(replay)
+
+
+def test_e11_reservoir_space_constant(benchmark):
+    """Ablation: the reservoir pick holds O(1) state however many
+    insertion events the blocks generate (the paper's capped buffer
+    grows to its cap and re-thins)."""
+
+    def run():
+        s = RandomOrderLpSampler(4, horizon=4000, seed=0)
+        s.extend([0] * 4000)
+        return s.insertions_seen
+
+    insertions = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert insertions > 10_000  # a flood of events, one word of state

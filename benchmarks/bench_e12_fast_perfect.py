@@ -1,0 +1,80 @@
+"""E12 — Theorem B.9 / Algorithm 8: fast perfect (γ > 0) Lp sampling for
+p < 1 via exponential scaling + weighted Misra-Gries.
+
+Claim: the output TV from the Lp target shrinks as the duplication factor
+(the paper's n^c) grows — the γ ↔ cost trade-off that truly perfect
+samplers escape; the exact-argmax oracle sits at TV ≈ 0 for reference.
+"""
+
+import numpy as np
+
+from conftest import write_table
+from repro.perfect import ExponentialAssignment, FastPerfectLpSampler
+from repro.stats import lp_target, total_variation
+from repro.stats.harness import collect_outcomes, empirical_distribution
+from repro.streams import stream_from_frequencies
+
+FREQ = np.array([1, 2, 4, 8, 16])
+STREAM = stream_from_frequencies(FREQ, order="random", seed=8)
+P = 0.5
+TARGET = lp_target(FREQ, P)
+
+
+def _tv_at_duplication(dup: int, trials: int = 1200) -> tuple[float, float]:
+    def run(seed):
+        return FastPerfectLpSampler(P, len(FREQ), duplication=dup,
+                                    seed=seed).run(STREAM)
+
+    counts, fails, __ = collect_outcomes(run, trials=trials)
+    if sum(counts.values()) == 0:
+        return 1.0, 1.0
+    dist = empirical_distribution(counts, len(FREQ))
+    return total_variation(dist, TARGET), fails / trials
+
+
+def _run_experiment():
+    lines = []
+    tvs = []
+    for dup in (1, 4, 16, 64):
+        tv, fail = _tv_at_duplication(dup)
+        tvs.append(tv)
+        lines.append(f"duplication={dup:<4d} TV={tv:.4f} fail-rate={fail:.3f}")
+    # Oracle reference: exact argmax of the scaled vector.
+    counts = np.zeros(len(FREQ))
+    for seed in range(2000):
+        counts[ExponentialAssignment(P, seed=seed).argmax_exact(FREQ)] += 1
+    oracle_tv = total_variation(counts / 2000, TARGET)
+    lines.append(f"exact-argmax oracle   TV={oracle_tv:.4f} (sampling noise only)")
+    return lines, tvs, oracle_tv
+
+
+def test_e12_fast_perfect(benchmark):
+    lines, tvs, oracle_tv = benchmark.pedantic(_run_experiment, rounds=1,
+                                               iterations=1)
+    write_table("E12", "Perfect p<1 sampler: TV vs duplication (Thm B.9)", lines)
+    benchmark.extra_info["tvs"] = tvs
+    # Shape: error shrinks with duplication over the well-sampled range
+    # (the dup=64 row keeps only ~half its trials after the dominance
+    # test, so its TV mixes bias with Monte-Carlo noise — reported but
+    # not asserted); the exact-argmax oracle sits at the noise level.
+    assert tvs[2] <= tvs[0] + 0.02  # dup 16 vs dup 1
+    assert tvs[2] < 0.1
+    assert oracle_tv < 0.05
+
+
+def test_e12_update_cost_scales_with_duplication(benchmark):
+    """The n^{O(c)} update-time burden Theorem 1.4 removes."""
+    import time
+
+    def timing():
+        out = {}
+        for dup in (1, 8, 32):
+            s = FastPerfectLpSampler(P, 64, duplication=dup, seed=0)
+            t0 = time.perf_counter()
+            for i in range(400):
+                s.update(i % 64)
+            out[dup] = time.perf_counter() - t0
+        return out
+
+    out = benchmark.pedantic(timing, rounds=1, iterations=1)
+    assert out[32] > 4 * out[1]

@@ -1,0 +1,76 @@
+"""E13 — Theorem 1.2: the turnstile lower bound, executed.
+
+Claims: (a) running the sampler→EQUALITY reduction with a b-bit
+fingerprint sampler yields refutation error ≈ 2^{−b} — i.e. achieving
+additive error γ takes ≈ log2(1/γ) bits, matching Ω(min{n, log 1/γ});
+(b) the reduction solves EQUALITY perfectly with the Ω(n)-bit exact
+sampler; (c) the bound formula's two regimes (γ-limited vs n-limited).
+"""
+
+import math
+
+from conftest import write_table
+from repro.lowerbound import (
+    ExactTurnstileSampler,
+    FingerprintSampler,
+    measure_advantage,
+    refutation_bound_bits,
+)
+
+N = 24
+
+
+def _run_experiment():
+    lines = [
+        f"{'bits':>5} {'measured gamma':>15} {'2^-bits':>9} "
+        f"{'advantage':>10} {'Thm 1.2 bound(bits)':>20}"
+    ]
+    gammas = {}
+    for bits in (1, 2, 4, 6, 8, 12):
+        rep = measure_advantage(
+            lambda seed, b=bits: FingerprintSampler(N, bits=b, seed=seed),
+            n=N,
+            trials=600,
+            state_bits=bits,
+        )
+        gamma = rep.refutation_error
+        gammas[bits] = gamma
+        bound = refutation_bound_bits(N, max(gamma, 1 / 600))
+        lines.append(
+            f"{bits:>5d} {gamma:>15.4f} {2.0**-bits:>9.4f} "
+            f"{rep.advantage:>10.4f} {bound:>20.2f}"
+        )
+    exact = measure_advantage(
+        lambda seed: ExactTurnstileSampler(N, seed=seed), n=N, trials=200
+    )
+    lines.append(
+        f"exact (Omega(n) bits): refutation={exact.refutation_error:.4f} "
+        f"advantage={exact.advantage:.4f}"
+    )
+    return lines, gammas, exact
+
+
+def test_e13_lower_bound(benchmark):
+    lines, gammas, exact = benchmark.pedantic(_run_experiment, rounds=1,
+                                              iterations=1)
+    write_table("E13", "Turnstile lower bound via EQUALITY (Thm 1.2)", lines)
+    # gamma tracks 2^{-bits} within sampling noise for small b.
+    assert abs(gammas[1] - 0.5) < 0.1
+    assert abs(gammas[2] - 0.25) < 0.1
+    assert gammas[8] < 0.02
+    # The exact sampler solves equality perfectly.
+    assert exact.refutation_error == 0.0
+    assert exact.advantage == 1.0
+
+
+def test_e13_bound_regimes(benchmark):
+    def regimes():
+        # γ-limited regime: bound grows with log(1/γ)...
+        growing = [refutation_bound_bits(10**6, 2.0**-k) for k in (4, 16, 64)]
+        # ...n-limited regime: bound saturates near n/8-ish.
+        capped = [refutation_bound_bits(16, 2.0**-k) for k in (64, 128, 256)]
+        return growing, capped
+
+    growing, capped = benchmark(regimes)
+    assert growing[0] < growing[1] < growing[2]
+    assert max(capped) - min(capped) < 1e-9  # saturated at the n term

@@ -1,0 +1,67 @@
+"""E14 — Theorem 1.5: multi-pass truly perfect Lp sampling on strict
+turnstile streams.
+
+Claims: (a) pass count scales as O(1/γ) while per-pass space scales as
+n^γ-chunks; (b) output distribution is exactly f^p/F_p despite deletions;
+(c) the one-pass impossibility (Theorem 1.2) is circumvented only through
+the extra passes.
+"""
+
+from conftest import write_table
+from repro.core import MultipassL1Sampler, MultipassLpSampler
+from repro.stats import evaluate, lp_target
+from repro.streams import strict_turnstile_stream
+
+TS = strict_turnstile_stream(64, 400, delete_fraction=0.35, max_delta=4, seed=14)
+FINAL = TS.frequencies()
+
+
+def _run_experiment():
+    lines = []
+    ok = True
+    # Pass/space trade-off for the L1 descent.
+    for gamma in (0.25, 0.5, 1.0):
+        s = MultipassL1Sampler(TS, n=64, gamma=gamma, seed=0)
+        s.sample()
+        lines.append(
+            f"gamma={gamma:<5} chunks/pass={s.chunks:<5d} passes={s.passes_used}"
+        )
+    # Exactness of L1 and L2 multipass samplers.
+    for p in (1.0, 2.0):
+        target = lp_target(FINAL, p)
+        if p == 1.0:
+
+            def run(seed):
+                return MultipassL1Sampler(TS, n=64, gamma=0.5, seed=seed).sample()
+
+        else:
+
+            def run(seed):
+                return MultipassLpSampler(
+                    TS, n=64, p=2.0, gamma=0.5, seed=seed
+                ).sample()
+
+        rep = evaluate(run, target, trials=800)
+        ok &= rep.chi2_pvalue > 1e-4
+        lines.append(rep.row(f"multipass L{p:g} (strict turnstile)"))
+    return lines, ok
+
+
+def test_e14_multipass(benchmark):
+    lines, ok = benchmark.pedantic(_run_experiment, rounds=1, iterations=1)
+    write_table("E14", "Multi-pass strict turnstile Lp sampling (Thm 1.5)", lines)
+    assert ok
+
+
+def test_e14_pass_count_inverse_gamma(benchmark):
+    def passes():
+        out = {}
+        for gamma in (0.2, 0.4, 0.8):
+            s = MultipassL1Sampler(TS, n=64, gamma=gamma, seed=1)
+            s.sample()
+            out[gamma] = s.passes_used
+        return out
+
+    out = benchmark(passes)
+    assert out[0.2] >= out[0.4] >= out[0.8]
+    assert out[0.2] >= 2 * out[0.8] - 1

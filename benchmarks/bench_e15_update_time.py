@@ -1,0 +1,91 @@
+"""E15 — O(1) update time (Theorem 3.1) vs the perfect-sampler baseline.
+
+Claims: (a) the truly perfect sampler's per-update cost is flat in the
+universe size and in the error target (there is no error knob at all);
+(b) the precision-sampling baseline's per-update cost grows linearly with
+its duplication factor — the paper's n^{O(c)} update time for additive
+error n^{-c}; (c) pool heap events stay ≈ R·H_m (amortized O(1)).
+"""
+
+import time
+
+import numpy as np
+
+from conftest import loglog_slope, write_table
+from repro.core import LpMeasure, TrulyPerfectGSampler, TrulyPerfectLpSampler
+from repro.perfect import PrecisionSamplingLpSampler
+from repro.streams import zipf_stream
+
+
+def _per_update_cost(make_sampler, stream_items, repeats: int = 3) -> float:
+    best = float("inf")
+    for __ in range(repeats):
+        s = make_sampler()
+        t0 = time.perf_counter()
+        for item in stream_items:
+            s.update(item)
+        best = min(best, (time.perf_counter() - t0) / len(stream_items))
+    return best
+
+
+def _run_experiment():
+    lines = []
+    m = 4000
+    # Ours: cost vs universe size.
+    ours = []
+    for n in (64, 1024, 16384):
+        items = list(zipf_stream(n=n, m=m, alpha=1.1, seed=n))
+        cost = _per_update_cost(
+            lambda n=n: TrulyPerfectLpSampler(p=2.0, n=n, instances=64, seed=0),
+            items,
+        )
+        ours.append(cost)
+        lines.append(f"truly-perfect Lp: n={n:<7d} cost/update={cost*1e6:8.2f} us")
+    # Baseline: cost vs duplication (the error knob).
+    items = list(zipf_stream(n=256, m=1000, alpha=1.1, seed=5))
+    base = []
+    for dup in (1, 4, 16):
+        cost = _per_update_cost(
+            lambda dup=dup: PrecisionSamplingLpSampler(
+                2.0, 256, duplication=dup, width=64, depth=3, seed=0
+            ),
+            items,
+        )
+        base.append(cost)
+        lines.append(
+            f"precision baseline: duplication={dup:<4d} "
+            f"cost/update={cost*1e6:8.2f} us"
+        )
+    flatness = max(ours) / min(ours)
+    growth = base[-1] / base[0]
+    lines.append(
+        f"ours max/min across 256x universe growth: {flatness:.2f}x; "
+        f"baseline growth across 16x duplication: {growth:.2f}x"
+    )
+    return lines, flatness, growth
+
+
+def test_e15_update_time(benchmark):
+    lines, flatness, growth = benchmark.pedantic(_run_experiment, rounds=1,
+                                                 iterations=1)
+    write_table("E15", "Update time: O(1) truly perfect vs baseline", lines)
+    benchmark.extra_info["ours_flatness"] = flatness
+    benchmark.extra_info["baseline_growth"] = growth
+    assert flatness < 3.0, "truly perfect update cost should be ~flat in n"
+    assert growth > 4.0, "baseline cost must grow with its error knob"
+
+
+def test_e15_heap_events_amortized(benchmark):
+    """Total replacements ≈ R·H_m ⇒ per-update work is O(1) amortized."""
+
+    def run():
+        out = {}
+        for m in (1000, 8000):
+            s = TrulyPerfectGSampler(LpMeasure(1.0), instances=64, seed=0)
+            s.extend(zipf_stream(n=64, m=m, alpha=1.0, seed=m))
+            out[m] = s._pool.heap_events / m
+        return out
+
+    per_update = benchmark.pedantic(run, rounds=1, iterations=1)
+    # Longer streams amortize better: events per update must shrink.
+    assert per_update[8000] < per_update[1000]

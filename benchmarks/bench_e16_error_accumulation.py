@@ -1,0 +1,99 @@
+"""E16 — the introduction's motivation: γ-error accumulates across
+successive stream portions; truly perfect samplers don't drift.
+
+Claims: (a) for a γ-biased sampler the joint output distribution over s
+portions drifts like 1 − (1−γ)^s ≈ s·γ; (b) the truly perfect sampler's
+measured per-portion TV stays at the Monte-Carlo floor for every portion,
+so its joint drift bound stays at noise level for any s.
+"""
+
+import numpy as np
+
+from conftest import write_table
+from repro.core import LpMeasure, TrulyPerfectGSampler
+from repro.perfect import BiasedGSampler
+from repro.stats import (
+    bernoulli_accumulation,
+    evaluate,
+    joint_tv_upper,
+    lp_target,
+)
+from repro.streams import zipf_stream
+
+N = 32
+PORTIONS = [1, 8, 32, 128]
+GAMMA = 0.02
+
+
+def _portion_stream(k):
+    return zipf_stream(n=N, m=400, alpha=1.0, seed=900 + k)
+
+
+def _run_experiment():
+    lines = []
+    # Analytic drift of the γ-biased sampler (its per-portion TV is exactly
+    # γ·(1 − target mass of the planted set), measured below).
+    stream = _portion_stream(0)
+    biased = BiasedGSampler(LpMeasure(1.0), N, gamma=GAMMA, bias_items=[0], seed=0)
+    biased.extend(stream)
+    per_portion_tv_biased = float(
+        0.5 * np.abs(biased.output_distribution() - biased.target_distribution()).sum()
+    )
+    # Truly perfect sampler: measured per-portion TV (Monte-Carlo only).
+    target = lp_target(stream.frequencies(), 1.0)
+
+    def run(seed):
+        return TrulyPerfectGSampler(LpMeasure(1.0), seed=seed, m_hint=400).run(stream)
+
+    rep = evaluate(run, target, trials=3000)
+    lines.append(
+        f"per-portion TV: biased(gamma={GAMMA}) = {per_portion_tv_biased:.4f}, "
+        f"truly perfect = {rep.tv:.4f} (noise {rep.tv_noise_floor:.4f})"
+    )
+    lines.append(f"{'portions':>9} {'biased joint TV':>16} {'truly perfect bound':>20}")
+    drifts = []
+    for s in PORTIONS:
+        joint_biased = bernoulli_accumulation(per_portion_tv_biased, s)
+        joint_ours = joint_tv_upper(0.0, s)  # exact distribution ⇒ 0 drift
+        drifts.append(joint_biased)
+        lines.append(f"{s:>9d} {joint_biased:>16.4f} {joint_ours:>20.4f}")
+    return lines, drifts, rep
+
+
+def test_e16_accumulation(benchmark):
+    lines, drifts, rep = benchmark.pedantic(_run_experiment, rounds=1,
+                                            iterations=1)
+    write_table("E16", "Variation-distance accumulation across portions", lines)
+    # Drift grows monotonically and becomes substantial at 128 portions.
+    assert drifts == sorted(drifts)
+    assert drifts[-1] > 0.5
+    # The truly perfect sampler shows no measurable per-portion bias.
+    assert rep.chi2_pvalue > 1e-4
+    assert rep.tv < 3 * rep.tv_noise_floor
+
+
+def test_e16_empirical_multi_portion_bias(benchmark):
+    """Measured (not analytic) drift: count how often the planted item is
+    output across portions; biased rate ≈ target + γ·(1−mass)."""
+
+    def run_experiment():
+        stream = _portion_stream(1)
+        target_mass = lp_target(stream.frequencies(), 1.0)[0]
+        trials = 1500
+        hits_biased = 0
+        hits_perfect = 0
+        for seed in range(trials):
+            b = BiasedGSampler(LpMeasure(1.0), N, gamma=GAMMA, bias_items=[0],
+                               seed=seed)
+            r = b.run(stream)
+            hits_biased += r.is_item and r.item == 0
+            t = TrulyPerfectGSampler(LpMeasure(1.0), seed=seed, m_hint=400)
+            r = t.run(stream)
+            hits_perfect += r.is_item and r.item == 0
+        return target_mass, hits_biased / trials, hits_perfect / trials
+
+    target_mass, rate_biased, rate_perfect = benchmark.pedantic(
+        run_experiment, rounds=1, iterations=1
+    )
+    assert rate_biased > rate_perfect  # the planted bias is real
+    assert abs(rate_perfect - target_mass) < 0.05

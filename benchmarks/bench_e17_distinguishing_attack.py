@@ -1,0 +1,63 @@
+"""E17 — the privacy motivation: distinguishing attacks succeed against
+γ-biased samplers and fail against truly perfect ones.
+
+Claims: the attacker's advantage against the biased sampler grows toward
+1 with the number of observed samples (≈ √N·γ regime), while against the
+truly perfect sampler it stays at coin-flip level regardless of N —
+"perfect security" in the paper's terms.
+"""
+
+from conftest import write_table
+from repro.core import LpMeasure, TrulyPerfectGSampler
+from repro.perfect import BiasedGSampler
+from repro.stats import distinguishing_attack
+from repro.streams import zipf_stream
+
+N = 32
+GAMMA = 0.08
+STREAM = zipf_stream(n=N, m=400, alpha=1.0, seed=17)
+
+
+def _run_unbiased(seed):
+    return TrulyPerfectGSampler(LpMeasure(1.0), seed=seed, m_hint=400).run(STREAM)
+
+
+def _run_biased(seed):
+    return BiasedGSampler(
+        LpMeasure(1.0), N, gamma=GAMMA, bias_items=[0], seed=seed
+    ).run(STREAM)
+
+
+def _run_experiment():
+    lines = [f"{'samples':>8} {'adv vs biased':>14} {'adv vs truly perfect':>22}"]
+    adv_biased = []
+    adv_perfect = []
+    for n_samples in (20, 80, 240):
+        rep_b = distinguishing_attack(
+            _run_unbiased, _run_biased, bias_items=[0],
+            samples_per_batch=n_samples, batches=24, seed=1,
+        )
+        # Control: both "hypotheses" are the truly perfect sampler.
+        rep_p = distinguishing_attack(
+            _run_unbiased, _run_unbiased, bias_items=[0],
+            samples_per_batch=n_samples, batches=24, seed=2,
+        )
+        adv_biased.append(rep_b.advantage)
+        adv_perfect.append(rep_p.advantage)
+        lines.append(
+            f"{n_samples:>8d} {rep_b.advantage:>14.3f} {rep_p.advantage:>22.3f}"
+        )
+    return lines, adv_biased, adv_perfect
+
+
+def test_e17_attack(benchmark):
+    lines, adv_biased, adv_perfect = benchmark.pedantic(
+        _run_experiment, rounds=1, iterations=1
+    )
+    write_table("E17", "Distinguishing attack: biased vs truly perfect", lines)
+    benchmark.extra_info["adv_biased"] = adv_biased
+    benchmark.extra_info["adv_truly_perfect"] = adv_perfect
+    # The attack eventually breaks the biased sampler...
+    assert adv_biased[-1] > 0.6
+    # ...but never gains real traction on the truly perfect one.
+    assert all(abs(a) < 0.45 for a in adv_perfect)

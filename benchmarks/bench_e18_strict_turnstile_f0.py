@@ -1,0 +1,75 @@
+"""E18 — Theorem D.3: one-pass truly perfect F0 sampling on strict
+turnstile streams via deterministic sparse recovery.
+
+Claims: (a) uniform over the *final* support even under heavy deletions;
+(b) the sparse regime (support ≤ 2√n) succeeds deterministically through
+recovery; (c) the dense regime falls back to the random subset with
+bounded FAIL; (d) recovery space is O(√n) field elements.
+"""
+
+from conftest import write_table
+from repro.core import StrictTurnstileF0Sampler
+from repro.stats import evaluate, f0_target
+from repro.streams import TurnstileStream, strict_turnstile_stream
+
+
+def _run_experiment():
+    lines = []
+    ok = True
+    # Sparse regime: heavy churn, small final support.
+    ups = []
+    for i in range(30):
+        ups.append((i, 2))
+    for i in range(24):  # delete most of them
+        ups.append((i, -2))
+    ts_sparse = TurnstileStream(ups, n=900)
+    target = f0_target(ts_sparse.frequencies())
+
+    def run_sparse(seed):
+        s = StrictTurnstileF0Sampler(900, delta=0.05, seed=seed)
+        s.extend(ts_sparse)
+        return s.sample()
+
+    rep = evaluate(run_sparse, target, trials=1000)
+    ok &= rep.chi2_pvalue > 1e-4 and rep.fail_rate == 0.0
+    lines.append(rep.row("sparse regime (6 alive of 900)"))
+
+    # Dense regime: random churn stream with a large surviving support.
+    ts_dense = strict_turnstile_stream(49, 500, delete_fraction=0.3, seed=18)
+    target_d = f0_target(ts_dense.frequencies())
+
+    def run_dense(seed):
+        s = StrictTurnstileF0Sampler(49, delta=0.05, seed=seed)
+        s.extend(ts_dense)
+        return s.sample()
+
+    rep_d = evaluate(run_dense, target_d, trials=1000)
+    ok &= rep_d.chi2_pvalue > 1e-4 and rep_d.fail_rate <= 0.1
+    lines.append(rep_d.row("dense regime (random churn)"))
+    return lines, ok
+
+
+def test_e18_strict_turnstile_f0(benchmark):
+    lines, ok = benchmark.pedantic(_run_experiment, rounds=1, iterations=1)
+    write_table("E18", "Strict turnstile F0 sampling (Thm D.3)", lines)
+    assert ok
+
+
+def test_e18_sparsity_budget_scales(benchmark):
+    def budgets():
+        return [StrictTurnstileF0Sampler(n, seed=0).sparsity_budget
+                for n in (100, 10_000)]
+
+    small, large = benchmark(budgets)
+    assert 8 <= large / small <= 12  # 2√n scaling
+
+
+def test_e18_update_throughput(benchmark):
+    ts = strict_turnstile_stream(49, 300, delete_fraction=0.3, seed=19)
+
+    def replay():
+        s = StrictTurnstileF0Sampler(49, seed=0)
+        s.extend(ts)
+        return s
+
+    benchmark(replay)

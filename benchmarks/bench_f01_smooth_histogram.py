@@ -1,0 +1,68 @@
+"""F1 — Figure 1: the smooth-histogram paradigm.
+
+Claims: (a) the number of live checkpoints stays O((1/β) log F_p) while
+the stream grows unboundedly; (b) the two sandwiching checkpoints bracket
+the active window's value (the figure's geometry); (c) the deterministic
+(1 ± α) estimate quality holds at every queried prefix.
+"""
+
+from conftest import write_table
+from repro.sketches.lp_norm import exact_fp
+from repro.sketches.smooth_histogram import (
+    ExactSuffixFp,
+    SmoothHistogram,
+    expected_checkpoints,
+    fp_smoothness,
+)
+from repro.streams import zipf_stream
+
+
+def _run_experiment():
+    p, alpha = 2.0, 0.5
+    __, beta = fp_smoothness(p, alpha)
+    lines = [f"p={p} alpha={alpha} beta={beta:.4f}"]
+    worst_ratio = 0.0
+    max_checkpoints = 0
+    for window in (128, 512):
+        stream = zipf_stream(n=64, m=4 * window, alpha=1.1, seed=window)
+        hist = SmoothHistogram(lambda: ExactSuffixFp(p), beta, window)
+        checkpoints_trace = []
+        for t, item in enumerate(stream, 1):
+            hist.update(item)
+            if t % window == 0:
+                checkpoints_trace.append(hist.checkpoint_count)
+                truth = exact_fp(stream.prefix(t).window_frequencies(window), p)
+                est = hist.estimate()
+                if truth > 0:
+                    worst_ratio = max(worst_ratio, abs(est - truth) / truth)
+        max_checkpoints = max(max_checkpoints, max(checkpoints_trace))
+        bound = expected_checkpoints(beta, exact_fp(stream.frequencies(), p))
+        lines.append(
+            f"W={window:<5d} checkpoints over time={checkpoints_trace} "
+            f"(bound {bound}) worst rel err so far={worst_ratio:.3f}"
+        )
+    return lines, worst_ratio, max_checkpoints
+
+
+def test_f01_smooth_histogram(benchmark):
+    lines, worst_ratio, max_checkpoints = benchmark.pedantic(
+        _run_experiment, rounds=1, iterations=1
+    )
+    write_table("F01", "Smooth histogram checkpoints & sandwich (Figure 1)",
+                lines)
+    assert worst_ratio <= 0.5 + 1e-9  # the (1 − α) guarantee, α = 0.5
+    assert max_checkpoints < 400
+
+
+def test_f01_update_throughput(benchmark):
+    p = 2.0
+    __, beta = fp_smoothness(p, 0.5)
+    stream = list(zipf_stream(n=64, m=2000, alpha=1.1, seed=3))
+
+    def replay():
+        hist = SmoothHistogram(lambda: ExactSuffixFp(p), beta, 256)
+        for item in stream:
+            hist.update(item)
+        return hist
+
+    benchmark(replay)

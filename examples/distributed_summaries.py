@@ -1,0 +1,75 @@
+"""Distributed database summaries: many shards, one sampler per shard.
+
+The paper's second motivating scenario: a large distributed database runs
+an independent sampler on each shard and publishes the samples as compact
+summaries.  Because each truly perfect sample is *exactly*
+``G(f_i)/F_G``-distributed, the pooled samples form an unbiased picture
+of the global distribution — no per-shard 1/poly(n) error terms to
+accumulate across thousands of machines.
+
+This example shards a Zipf workload, runs per-shard L2 samplers, and
+reconstructs a global heavy-hitter ranking from the published samples
+(plus the metadata the sampler carries for free — Theorem 1.4's
+"sampling-based, so metadata comes along" point).
+
+Run:  python examples/distributed_summaries.py
+"""
+
+from collections import Counter
+
+import numpy as np
+
+from repro import TrulyPerfectLpSampler, zipf_stream
+from repro.stats import lp_target
+
+N = 256
+SHARDS = 40
+SHARD_M = 4_000
+SAMPLES_PER_SHARD = 5
+
+
+def main() -> None:
+    rng = np.random.default_rng(7)
+    global_freq = np.zeros(N, dtype=np.int64)
+    published: Counter = Counter()
+
+    for shard in range(SHARDS):
+        stream = zipf_stream(n=N, m=SHARD_M, alpha=1.3, seed=shard)
+        global_freq += stream.frequencies()
+        # Each shard publishes a handful of independent samples; the
+        # metadata (count since sampling) rides along at no extra cost.
+        for k in range(SAMPLES_PER_SHARD):
+            sampler = TrulyPerfectLpSampler(
+                p=2.0, n=N, delta=0.1, seed=int(rng.integers(2**31))
+            )
+            res = sampler.run(stream)
+            if res.is_item:
+                published[res.item] += 1
+
+    total = sum(published.values())
+    print(
+        f"{SHARDS} shards x {SAMPLES_PER_SHARD} samples -> "
+        f"{total} published samples\n"
+    )
+    target = lp_target(global_freq, 2.0)
+    top_true = np.argsort(target)[::-1][:5]
+    print("rank  item  global L2 mass  sample share")
+    for rank, item in enumerate(top_true, 1):
+        share = published.get(int(item), 0) / total
+        print(
+            f"{rank:>4d}  {int(item):>4d}  {target[item]:>14.4f}  {share:>12.4f}"
+        )
+    top_sampled = [i for i, __ in published.most_common(3)]
+    overlap = len(set(top_sampled) & set(int(i) for i in top_true[:3]))
+    print(
+        f"\ntop-3 overlap between true L2 ranking and published samples: "
+        f"{overlap}/3"
+    )
+    print(
+        "shard samples aggregate into an unbiased global picture because "
+        "each shard's sampler carries zero distributional error."
+    )
+
+
+if __name__ == "__main__":
+    main()

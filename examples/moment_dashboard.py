@@ -1,0 +1,59 @@
+"""A streaming "moments dashboard" from one reservoir pool.
+
+The telescoping identity behind the samplers doubles as an estimator:
+``m·E[G(c) − G(c−1)] = F_G`` exactly.  One pool of reservoir instances
+therefore yields *simultaneously unbiased* estimates of F2, Huber mass,
+L1−L2 mass, ... — plus heavy hitters and duplicate detection from the
+sampling side.  This example runs the whole application layer
+(`repro.apps`) over a retail-like transaction stream.
+
+Run:  python examples/moment_dashboard.py
+"""
+
+import numpy as np
+
+from repro.apps import FGEstimator, find_duplicate, find_heavy_hitters
+from repro.core import HuberMeasure, L1L2Measure, LpMeasure
+from repro.sketches.lp_norm import exact_fp
+from repro.streams import zipf_stream
+
+N_PRODUCTS = 512
+M = 30_000
+
+
+def main() -> None:
+    stream = zipf_stream(n=N_PRODUCTS, m=M, alpha=1.25, seed=11)
+    freq = stream.frequencies()
+
+    # --- one pool, many moments -------------------------------------
+    est = FGEstimator(units=256, seed=0)
+    est.extend(stream)
+    measures = [LpMeasure(1.0), LpMeasure(2.0), HuberMeasure(1.0), L1L2Measure()]
+    estimates = est.estimate_many(measures)
+    print("moment dashboard (one 256-unit pool, all estimates unbiased):")
+    for measure in measures:
+        truth = float(sum(measure(f) for f in freq if f))
+        got = estimates[measure.name]
+        print(
+            f"  F_G for {measure.name:<10s} estimate={got:>14.0f} "
+            f"true={truth:>14.0f} rel.err={abs(got-truth)/truth:>7.2%}"
+        )
+
+    # --- heavy hitters from L2 samples -------------------------------
+    report = find_heavy_hitters(stream, N_PRODUCTS, p=2.0, phi=0.1, seed=1)
+    true_f2 = exact_fp(freq, 2.0)
+    print("\nheavy hitters (phi=0.1 of F2):")
+    for item in report.items[:5]:
+        print(
+            f"  product {item:>4d}: sample share {report.hit_rate(item):.2f}, "
+            f"true L2 mass {freq[item]**2 / true_f2:.2f}"
+        )
+
+    # --- duplicate detection ------------------------------------------
+    dup = find_duplicate(stream, N_PRODUCTS, seed=2)
+    print(f"\na product bought more than once (uniform over support): {dup}")
+    print(f"  (its true frequency: {freq[dup]})")
+
+
+if __name__ == "__main__":
+    main()

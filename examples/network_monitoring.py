@@ -1,0 +1,82 @@
+"""Network monitoring: periodic sampling over successive traffic portions.
+
+The scenario from the paper's introduction: a monitor resets its samplers
+every "minute" and publishes one sample per portion (e.g. a flow ID for
+deep inspection).  With a γ-biased sampler those published samples drift
+measurably over many portions — a compliance/privacy problem; the truly
+perfect sampler's samples are exactly target-distributed forever.
+
+Run:  python examples/network_monitoring.py
+"""
+
+import numpy as np
+
+from repro import LpMeasure, TrulyPerfectLpSampler, zipf_stream
+from repro.perfect import BiasedGSampler
+from repro.stats import bernoulli_accumulation, lp_target
+
+N_FLOWS = 512
+PORTION = 5_000
+PORTIONS = 48
+GAMMA = 0.01  # the additive error of a hypothetical "perfect" sampler
+
+
+def make_portion(k: int):
+    """One 'minute' of traffic: Zipf flow sizes, slight drift over time."""
+    return zipf_stream(
+        n=N_FLOWS, m=PORTION, alpha=1.1 + 0.002 * k, seed=1000 + k
+    )
+
+
+def main() -> None:
+    rng = np.random.default_rng(0)
+    heavy_hits_perfect = 0
+    heavy_hits_biased = 0
+    planted = 0  # the flow the biased sampler favours
+
+    print(f"monitoring {PORTIONS} portions of {PORTION} packets each\n")
+    for k in range(PORTIONS):
+        stream = make_portion(k)
+        freq = stream.frequencies()
+
+        # Truly perfect L2 sampler: favours heavy flows quadratically.
+        sampler = TrulyPerfectLpSampler(
+            p=2.0, n=N_FLOWS, delta=0.05, seed=int(rng.integers(2**31))
+        )
+        res = sampler.run(stream)
+        if res.is_item and res.item == planted:
+            heavy_hits_perfect += 1
+
+        # The γ-biased alternative (models a 1/poly-error perfect sampler).
+        biased = BiasedGSampler(
+            LpMeasure(2.0), N_FLOWS, gamma=GAMMA, bias_items=[planted],
+            seed=int(rng.integers(2**31)),
+        )
+        biased.extend(stream)
+        res_b = biased.sample()
+        if res_b.is_item and res_b.item == planted:
+            heavy_hits_biased += 1
+
+    stream = make_portion(0)
+    target_mass = lp_target(stream.frequencies(), 2.0)[planted]
+    print(f"flow {planted}: true L2 sampling mass ≈ {target_mass:.3f}")
+    print(
+        f"published-sample hit rate over {PORTIONS} portions: "
+        f"truly perfect {heavy_hits_perfect / PORTIONS:.3f}, "
+        f"biased {heavy_hits_biased / PORTIONS:.3f}"
+    )
+    drift = bernoulli_accumulation(GAMMA, PORTIONS)
+    print(
+        f"\njoint-distribution drift after {PORTIONS} portions: "
+        f"truly perfect = 0.0000 (exact), biased ≥ {drift:.4f}"
+    )
+    print(
+        "an auditor comparing the published samples against the true "
+        "traffic distribution can detect the biased monitor; the truly "
+        "perfect monitor is information-theoretically indistinguishable "
+        "from the target distribution."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,66 @@
+"""Privacy audit: can an observer learn anything beyond the samples?
+
+The paper's "perfect security" argument (Section 1): a sampler with
+additive error γ may bias a subset S of the universe, and an observer who
+knows S can test for that bias given enough samples.  A truly perfect
+sampler's output is a deterministic function of the *target distribution
+alone*, so no test can extract anything else.
+
+This example plays both roles: a γ-biased sampler and the truly perfect
+sampler answer the same queries, and an auditor runs the threshold attack
+from ``repro.stats.attack`` at increasing sample budgets.
+
+Run:  python examples/privacy_audit.py
+"""
+
+from repro import LpMeasure, TrulyPerfectGSampler, zipf_stream
+from repro.perfect import BiasedGSampler
+from repro.stats import distinguishing_attack
+
+N = 64
+GAMMA = 0.05
+SECRET_SET = [3]  # the subset the flawed sampler leaks
+STREAM = zipf_stream(n=N, m=2_000, alpha=1.0, seed=5)
+
+
+def run_truly_perfect(seed):
+    return TrulyPerfectGSampler(
+        LpMeasure(1.0), seed=seed, m_hint=len(STREAM)
+    ).run(STREAM)
+
+
+def run_biased(seed):
+    return BiasedGSampler(
+        LpMeasure(1.0), N, gamma=GAMMA, bias_items=SECRET_SET, seed=seed
+    ).run(STREAM)
+
+
+def main() -> None:
+    print(
+        f"auditing two samplers; the flawed one shifts gamma={GAMMA} mass "
+        f"toward items {SECRET_SET}\n"
+    )
+    print(f"{'samples':>8} {'advantage vs biased':>20} {'vs truly perfect':>18}")
+    for budget in (25, 100, 400):
+        attack_biased = distinguishing_attack(
+            run_truly_perfect, run_biased, bias_items=SECRET_SET,
+            samples_per_batch=budget, batches=20, seed=1,
+        )
+        control = distinguishing_attack(
+            run_truly_perfect, run_truly_perfect, bias_items=SECRET_SET,
+            samples_per_batch=budget, batches=20, seed=2,
+        )
+        print(
+            f"{budget:>8d} {attack_biased.advantage:>20.3f} "
+            f"{control.advantage:>18.3f}"
+        )
+    print(
+        "\nthe attack's advantage against the biased sampler approaches 1 "
+        "as the sample budget grows; against the truly perfect sampler it "
+        "hovers at coin-flip level forever — there is literally nothing "
+        "in the output distribution to find."
+    )
+
+
+if __name__ == "__main__":
+    main()

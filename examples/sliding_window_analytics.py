@@ -1,0 +1,86 @@
+"""Sliding-window analytics: trending items over the last W events.
+
+Social-media / event-detection scenario (Section 1's sliding-window
+motivation): only the most recent ``W`` events matter.  A sliding-window
+L2 sampler surfaces currently-trending items; the smooth histogram tracks
+the window's F2 ("how bursty is the moment?"); and the windowed F0
+sampler answers "pick any currently-active topic, uniformly".
+
+Run:  python examples/sliding_window_analytics.py
+"""
+
+import numpy as np
+
+from repro import (
+    SlidingWindowF0Sampler,
+    SlidingWindowLpSampler,
+)
+from repro.sketches.lp_norm import exact_fp
+from repro.sketches.smooth_histogram import (
+    ExactSuffixFp,
+    SmoothHistogram,
+    fp_smoothness,
+)
+from repro.streams import Stream
+
+N_TOPICS = 128
+WINDOW = 2_000
+
+
+def make_bursty_stream(seed: int = 0) -> Stream:
+    """Three phases: background chatter, a burst on topic 7, recovery."""
+    rng = np.random.default_rng(seed)
+    phase1 = rng.integers(0, N_TOPICS, size=3_000)
+    burst = np.where(rng.random(2_000) < 0.6, 7, rng.integers(0, N_TOPICS, 2_000))
+    phase3 = rng.integers(0, N_TOPICS, size=1_000)
+    return Stream(np.concatenate([phase1, burst, phase3]), N_TOPICS)
+
+
+def main() -> None:
+    stream = make_bursty_stream()
+    lp = SlidingWindowLpSampler(2.0, window=WINDOW, instances=150, seed=1)
+    f0 = SlidingWindowF0Sampler(N_TOPICS, window=WINDOW, seed=2)
+    __, beta = fp_smoothness(2.0, 0.5)
+    hist = SmoothHistogram(lambda: ExactSuffixFp(2.0), beta, WINDOW)
+
+    checkpoints = [3_000, 4_500, 6_000]
+    for t, item in enumerate(stream, 1):
+        lp.update(item)
+        f0.update(item)
+        hist.update(item)
+        if t in checkpoints:
+            wfreq = stream.prefix(t).window_frequencies(WINDOW)
+            true_f2 = exact_fp(wfreq, 2.0)
+            res = lp.sample()
+            trending = res.item if res.is_item else "-"
+            any_active = f0.sample().item
+            print(
+                f"t={t:>5d}  window-F2 est={hist.estimate():>12.0f} "
+                f"(true {true_f2:>12.0f})  "
+                f"L2 trending sample: {trending!s:>4s}  "
+                f"uniform active topic: {any_active}"
+            )
+    print(
+        "\nduring the burst (t=4500) the L2 sample concentrates on topic 7 "
+        "because its window mass is quadratically amplified; afterwards "
+        "the window forgets the burst — exactly and provably, since "
+        "expired updates carry zero sampling mass."
+    )
+    # Quantify: burst-phase hit rate of topic 7 across many samplers.
+    prefix = stream.prefix(4_500)
+    hits = 0
+    trials = 40
+    for seed in range(trials):
+        s = SlidingWindowLpSampler(2.0, window=WINDOW, instances=150, seed=seed)
+        res = s.run(prefix)
+        hits += res.is_item and res.item == 7
+    wfreq = prefix.window_frequencies(WINDOW)
+    mass = wfreq[7] ** 2 / exact_fp(wfreq, 2.0)
+    print(
+        f"burst check: topic-7 L2 mass={mass:.2f}, sampled {hits}/{trials} "
+        f"times"
+    )
+
+
+if __name__ == "__main__":
+    main()

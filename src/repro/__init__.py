@@ -1,0 +1,100 @@
+"""repro — Truly Perfect Samplers for Data Streams and Sliding Windows.
+
+A production-grade Python reproduction of Jayaram, Woodruff & Zhou,
+"Truly Perfect Samplers for Data Streams and Sliding Windows" (PODS 2022,
+arXiv:2108.12017).
+
+Quick start::
+
+    import numpy as np
+    from repro import TrulyPerfectLpSampler, zipf_stream
+
+    stream = zipf_stream(n=256, m=10_000, alpha=1.2, seed=0)
+    sampler = TrulyPerfectLpSampler(p=2.0, n=stream.n, seed=0)
+    result = sampler.run(stream)
+    if result.is_item:
+        print("sampled index", result.item)
+
+Package map (see DESIGN.md for the full inventory):
+
+* :mod:`repro.core` — the paper's contribution: Framework 1.3, Lp / G /
+  matrix / F0 samplers, multi-pass strict turnstile reductions.
+* :mod:`repro.sliding_window` — Algorithms 4 & 6, windowed F0.
+* :mod:`repro.random_order` — Algorithms 9 & 10.
+* :mod:`repro.perfect` — γ > 0 baselines (Appendix B, JW18-style).
+* :mod:`repro.sketches` — Misra-Gries, CountSketch, AMS, smooth
+  histograms, sparse recovery, hashing.
+* :mod:`repro.streams` — stream model, generators, ground truth.
+* :mod:`repro.lowerbound` — Theorem 1.2's reduction, executable.
+* :mod:`repro.stats` — exactness validation harness.
+"""
+
+from repro.core import (
+    BoundedMeasure,
+    BoundedMeasureSampler,
+    CauchyMeasure,
+    ConcaveMeasure,
+    FairMeasure,
+    GemanMcClureMeasure,
+    HuberMeasure,
+    L1L2Measure,
+    LpMeasure,
+    Measure,
+    SampleOutcome,
+    SampleResult,
+    TrulyPerfectF0Sampler,
+    TrulyPerfectGSampler,
+    TrulyPerfectLpSampler,
+    TrulyPerfectMatrixSampler,
+    TukeyMeasure,
+    TukeySampler,
+    WeightedL1Sampler,
+    WeightedReservoir,
+)
+from repro.sliding_window import (
+    SlidingWindowF0Sampler,
+    SlidingWindowGSampler,
+    SlidingWindowLpSampler,
+)
+from repro.random_order import RandomOrderL2Sampler, RandomOrderLpSampler
+from repro.streams import (
+    Stream,
+    TurnstileStream,
+    uniform_stream,
+    zipf_stream,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    "Measure",
+    "BoundedMeasure",
+    "LpMeasure",
+    "L1L2Measure",
+    "FairMeasure",
+    "HuberMeasure",
+    "CauchyMeasure",
+    "TukeyMeasure",
+    "GemanMcClureMeasure",
+    "ConcaveMeasure",
+    "BoundedMeasureSampler",
+    "WeightedReservoir",
+    "WeightedL1Sampler",
+    "SampleOutcome",
+    "SampleResult",
+    "TrulyPerfectGSampler",
+    "TrulyPerfectLpSampler",
+    "TrulyPerfectMatrixSampler",
+    "TrulyPerfectF0Sampler",
+    "TukeySampler",
+    "SlidingWindowGSampler",
+    "SlidingWindowLpSampler",
+    "SlidingWindowF0Sampler",
+    "RandomOrderL2Sampler",
+    "RandomOrderLpSampler",
+    "Stream",
+    "TurnstileStream",
+    "uniform_stream",
+    "zipf_stream",
+]

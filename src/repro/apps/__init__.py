@@ -1,0 +1,27 @@
+"""Applications built on the samplers — the paper's "useful subroutines".
+
+Lp samplers were introduced as building blocks for heavy hitters, moment
+estimation, and duplicate finding ([MW10, JST11], Section 1).  This
+subpackage implements those consumers on top of the truly perfect
+samplers, demonstrating the end-to-end workflows the introduction
+motivates:
+
+* :func:`find_heavy_hitters` — repeated Lp samples expose every
+  φ-heavy item with probability ≥ φ per draw.
+* :class:`FGEstimator` — one reservoir pool estimates ``F_G``
+  *unbiasedly for any set of measures simultaneously* via the
+  telescoping identity ``m·E[G(c) − G(c−1)] = F_G``.
+* :func:`find_duplicate` — F0 samples with frequency metadata locate a
+  duplicated item.
+"""
+
+from repro.apps.heavy_hitters import HeavyHitterReport, find_heavy_hitters
+from repro.apps.moments import FGEstimator
+from repro.apps.duplicates import find_duplicate
+
+__all__ = [
+    "HeavyHitterReport",
+    "find_heavy_hitters",
+    "FGEstimator",
+    "find_duplicate",
+]

@@ -1,0 +1,44 @@
+"""Finding duplicates via F0 samples — the [JST11] application.
+
+The F0 samplers report the exact frequency of the returned support
+element (Theorem 5.2), so a duplicated item (``f_i ≥ 2``) is found as
+soon as a sample lands on one: each draw succeeds with probability
+``(#items with f ≥ 2)/F0``, and the draws are exactly uniform, so no
+duplicate is systematically missed.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.f0_sampler import TrulyPerfectF0Sampler
+
+__all__ = ["find_duplicate"]
+
+
+def find_duplicate(
+    stream,
+    n: int,
+    max_draws: int = 64,
+    seed: int | np.random.Generator | None = None,
+) -> int | None:
+    """Return some item appearing at least twice, or None if no draw
+    found one.
+
+    Parameters
+    ----------
+    stream:
+        Re-iterable insertion-only stream.
+    max_draws:
+        Independent F0 samples to try; if a fraction ``q`` of the support
+        is duplicated, the miss probability is ``(1−q)^max_draws``.
+    """
+    rng = seed if isinstance(seed, np.random.Generator) else np.random.default_rng(seed)
+    for __ in range(max_draws):
+        sampler = TrulyPerfectF0Sampler(
+            n, delta=0.1, seed=int(rng.integers(2**31))
+        )
+        res = sampler.run(stream)
+        if res.is_item and res.metadata.get("frequency", 0) >= 2:
+            return res.item
+    return None

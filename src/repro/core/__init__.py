@@ -1,0 +1,82 @@
+"""The paper's primary contribution: truly perfect samplers.
+
+Exports the insertion-only framework (Theorem 3.1), the Lp instantiations
+(Theorems 3.3–3.5), the matrix row sampler (Theorem 3.7), the F0 samplers
+(Section 5), and the multi-pass strict turnstile reductions (Theorem 1.5,
+Appendix D).
+"""
+
+from repro.core.types import SampleOutcome, SampleResult
+from repro.core.measures import (
+    BoundedMeasure,
+    CauchyMeasure,
+    ConcaveMeasure,
+    FairMeasure,
+    GemanMcClureMeasure,
+    HuberMeasure,
+    L1L2Measure,
+    LpMeasure,
+    Measure,
+    TukeyMeasure,
+)
+from repro.core.reservoir import KReservoir, TimestampedReservoir, skip_next_replacement
+from repro.core.weighted_reservoir import WeightedL1Sampler, WeightedReservoir
+from repro.core.g_sampler import SamplerPool, SingleGSampler, TrulyPerfectGSampler
+from repro.core.lp_sampler import TrulyPerfectLpSampler, lp_instance_bound
+from repro.core.matrix_sampler import (
+    RowL1Measure,
+    RowL2Measure,
+    RowMeasure,
+    TrulyPerfectMatrixSampler,
+)
+from repro.core.f0_sampler import (
+    Algorithm5F0Sampler,
+    BoundedMeasureSampler,
+    RandomOracleF0Sampler,
+    TrulyPerfectF0Sampler,
+    TukeySampler,
+)
+from repro.core.multipass import (
+    MultipassL1Sampler,
+    MultipassLinfEstimator,
+    MultipassLpSampler,
+    StrictTurnstileF0Sampler,
+)
+
+__all__ = [
+    "SampleOutcome",
+    "SampleResult",
+    "Measure",
+    "BoundedMeasure",
+    "LpMeasure",
+    "L1L2Measure",
+    "FairMeasure",
+    "HuberMeasure",
+    "CauchyMeasure",
+    "TukeyMeasure",
+    "GemanMcClureMeasure",
+    "ConcaveMeasure",
+    "BoundedMeasureSampler",
+    "KReservoir",
+    "TimestampedReservoir",
+    "skip_next_replacement",
+    "WeightedReservoir",
+    "WeightedL1Sampler",
+    "SamplerPool",
+    "SingleGSampler",
+    "TrulyPerfectGSampler",
+    "TrulyPerfectLpSampler",
+    "lp_instance_bound",
+    "RowMeasure",
+    "RowL1Measure",
+    "RowL2Measure",
+    "TrulyPerfectMatrixSampler",
+    "Algorithm5F0Sampler",
+    "RandomOracleF0Sampler",
+    "TrulyPerfectF0Sampler",
+    "TukeySampler",
+    "MultipassL1Sampler",
+    "MultipassLinfEstimator",
+    "MultipassLpSampler",
+    "StrictTurnstileF0Sampler",
+]

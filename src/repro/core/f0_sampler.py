@@ -1,0 +1,290 @@
+"""Truly perfect F0 (support) sampling — Section 5.
+
+``F0`` sampling outputs a uniformly random element of the support
+``{i : f_i ≠ 0}``.  Framework 1.3 does not apply directly (``F_0`` can be
+far smaller than ``m``), so Algorithm 5 uses a two-regime construction:
+
+* track the first ``√n`` distinct items ``T`` — if the stream's support
+  fits, output a uniform element of ``T`` (exact, never fails);
+* otherwise a pre-drawn uniform random set ``S`` of ``2√n`` universe
+  elements intersects the support with probability ≥ ``1 − e^{−2}``;
+  output a uniform element of ``U = S ∩ support``, which is uniform on the
+  support by symmetry of ``S``.
+
+With a random oracle the classic min-hash sampler is truly perfect in
+O(log n) bits (Remark 5.1); we materialize the oracle table to make its
+Ω(n) randomness cost explicit.
+
+The Tukey M-estimator is bounded, so the paper samples it through an F0
+sampler: accept an F0 sample ``i`` with probability ``G(f_i)/G(τ)``
+(Theorem 5.4) — implemented here as :class:`TukeySampler`.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.core.measures import BoundedMeasure, TukeyMeasure
+from repro.core.types import SampleResult
+from repro.sketches.hashing import random_oracle_hash
+
+__all__ = [
+    "Algorithm5F0Sampler",
+    "TrulyPerfectF0Sampler",
+    "RandomOracleF0Sampler",
+    "BoundedMeasureSampler",
+    "TukeySampler",
+]
+
+
+class Algorithm5F0Sampler:
+    """One copy of Algorithm 5 (√n-space truly perfect F0 sampler).
+
+    Tracks exact frequencies of the items in ``T`` and ``S`` so the
+    sampled index is reported together with ``f_i`` (Theorem 5.2).
+    """
+
+    __slots__ = ("_n", "_threshold", "_first", "_overflowed", "_s_set", "_counts", "_rng")
+
+    def __init__(self, n: int, seed: int | np.random.Generator | None = None) -> None:
+        if n < 1:
+            raise ValueError("universe size must be ≥ 1")
+        self._n = n
+        self._threshold = max(1, math.isqrt(n) + (0 if math.isqrt(n) ** 2 == n else 1))
+        self._rng = (
+            seed if isinstance(seed, np.random.Generator) else np.random.default_rng(seed)
+        )
+        s_size = min(2 * self._threshold, n)
+        self._s_set = set(
+            int(x) for x in self._rng.choice(n, size=s_size, replace=False)
+        )
+        self._first: dict[int, None] = {}
+        self._overflowed = False
+        self._counts: dict[int, int] = {}
+
+    @property
+    def threshold(self) -> int:
+        """The ``√n`` cut-off between the T and S regimes."""
+        return self._threshold
+
+    @property
+    def space_words(self) -> int:
+        return 2 * (len(self._first) + len(self._s_set)) + len(self._counts)
+
+    def update(self, item: int) -> None:
+        if not 0 <= item < self._n:
+            raise ValueError(f"item {item} outside universe [0, {self._n})")
+        # An item is provably *new* at its first arrival: it is in neither
+        # T nor the counted part of S.  (Later arrivals of an untracked
+        # item re-trigger the overflow flag, which is harmless.)
+        seen = item in self._first or self._counts.get(item, 0) > 0
+        if not seen:
+            if len(self._first) < self._threshold:
+                self._first[item] = None
+            else:
+                self._overflowed = True
+        if item in self._first or item in self._s_set:
+            self._counts[item] = self._counts.get(item, 0) + 1
+
+    def extend(self, items) -> None:
+        for item in items:
+            self.update(item)
+
+    def sample(self) -> SampleResult:
+        if not self._counts and not self._overflowed:
+            return SampleResult.empty()
+        if len(self._first) < self._threshold and not self._overflowed:
+            # The support fits in T entirely: exact uniform sampling.
+            support = list(self._first)
+            item = support[int(self._rng.integers(0, len(support)))]
+            return SampleResult.of(item, frequency=self._counts[item], regime="T")
+        appeared = [s for s in self._s_set if self._counts.get(s, 0) > 0]
+        if appeared:
+            item = appeared[int(self._rng.integers(0, len(appeared)))]
+            return SampleResult.of(item, frequency=self._counts[item], regime="S")
+        return SampleResult.fail(regime="S")
+
+
+class TrulyPerfectF0Sampler:
+    """Theorem 5.2: Algorithm 5 amplified to FAIL probability ≤ δ.
+
+    The ``T`` regime is deterministic, so only the random-set part is
+    replicated: ``⌈ln(1/δ)/2⌉`` independent copies drive the FAIL
+    probability below ``e^{−2·copies} ≤ δ``.
+    """
+
+    def __init__(
+        self,
+        n: int,
+        delta: float = 0.05,
+        seed: int | np.random.Generator | None = None,
+    ) -> None:
+        if not 0 < delta < 1:
+            raise ValueError("delta must be in (0, 1)")
+        rng = seed if isinstance(seed, np.random.Generator) else np.random.default_rng(seed)
+        copies = max(1, math.ceil(math.log(1.0 / delta) / 2.0))
+        self._copies = [Algorithm5F0Sampler(n, rng) for _ in range(copies)]
+
+    @property
+    def copies(self) -> int:
+        return len(self._copies)
+
+    @property
+    def space_words(self) -> int:
+        return sum(c.space_words for c in self._copies)
+
+    def update(self, item: int) -> None:
+        for copy in self._copies:
+            copy.update(item)
+
+    def extend(self, items) -> None:
+        for item in items:
+            self.update(item)
+
+    def sample(self) -> SampleResult:
+        result = SampleResult.fail()
+        for copy in self._copies:
+            result = copy.sample()
+            if not result.is_fail:
+                return result
+        return result
+
+    def run(self, stream) -> SampleResult:
+        self.extend(stream)
+        return self.sample()
+
+
+class RandomOracleF0Sampler:
+    """Remark 5.1: min-hash F0 sampling under a random oracle.
+
+    The oracle table ``h : [0,n) → [0,1)`` is materialized (Ω(n) random
+    words — exactly the cost the paper notes the model hides); the
+    streaming state beyond it is O(1) words.  The argmin item changes only
+    at the *first* occurrence of the new argmin, so its exact frequency
+    can be tracked alongside.
+    """
+
+    __slots__ = ("_h", "_min_item", "_min_val", "_count")
+
+    def __init__(self, n: int, seed: int | np.random.Generator | None = None) -> None:
+        self._h = random_oracle_hash(n, seed)
+        self._min_item: int | None = None
+        self._min_val = math.inf
+        self._count = 0
+
+    def update(self, item: int) -> None:
+        val = self._h[item]
+        if val < self._min_val:
+            self._min_val = val
+            self._min_item = item
+            self._count = 0
+        if item == self._min_item:
+            self._count += 1
+
+    def extend(self, items) -> None:
+        for item in items:
+            self.update(item)
+
+    def sample(self) -> SampleResult:
+        if self._min_item is None:
+            return SampleResult.empty()
+        return SampleResult.of(self._min_item, frequency=self._count, regime="oracle")
+
+    def run(self, stream) -> SampleResult:
+        self.extend(stream)
+        return self.sample()
+
+
+class BoundedMeasureSampler:
+    """Theorems 5.4/5.5 generalized: truly perfect sampling for any
+    *bounded* measure via an F0-sampler subroutine.
+
+    Each of ``R = ⌈G_max/G(1)·ln(1/δ)⌉`` repetitions draws an F0 sample
+    ``i`` (with its exact frequency) and accepts with probability
+    ``G(f_i)/G_max``; conditioned on acceptance the output is exactly
+    ``G(f_i)/F_G`` distributed.
+
+    Parameters
+    ----------
+    measure:
+        Any :class:`repro.core.measures.BoundedMeasure` (Tukey,
+        Geman–McClure, ...).
+    oracle:
+        Use the O(log n)-space random-oracle F0 sampler (default) or the
+        √n-space Algorithm 5 variant.
+    """
+
+    def __init__(
+        self,
+        measure: BoundedMeasure,
+        n: int,
+        delta: float = 0.05,
+        oracle: bool = True,
+        seed: int | np.random.Generator | None = None,
+    ) -> None:
+        if not 0 < delta < 1:
+            raise ValueError("delta must be in (0, 1)")
+        self._measure = measure
+        rng = seed if isinstance(seed, np.random.Generator) else np.random.default_rng(seed)
+        self._rng = rng
+        acceptance = measure(1.0) / measure.saturation
+        if acceptance <= 0:
+            raise ValueError("measure must satisfy G(1) > 0")
+        reps = max(1, math.ceil(math.log(1.0 / delta) / acceptance))
+        if oracle:
+            self._samplers: list = [RandomOracleF0Sampler(n, rng) for _ in range(reps)]
+        else:
+            self._samplers = [Algorithm5F0Sampler(n, rng) for _ in range(reps)]
+
+    @property
+    def measure(self) -> BoundedMeasure:
+        return self._measure
+
+    @property
+    def repetitions(self) -> int:
+        return len(self._samplers)
+
+    def update(self, item: int) -> None:
+        for s in self._samplers:
+            s.update(item)
+
+    def extend(self, items) -> None:
+        for item in items:
+            self.update(item)
+
+    def sample(self) -> SampleResult:
+        saw_any = False
+        for s in self._samplers:
+            res = s.sample()
+            if res.is_empty:
+                return res
+            if res.is_fail:
+                continue
+            saw_any = True
+            freq = res.metadata["frequency"]
+            accept_p = self._measure(freq) / self._measure.saturation
+            if self._rng.random() < accept_p:
+                return SampleResult.of(res.item, frequency=freq)
+        if not saw_any:
+            return SampleResult.fail(reason="all F0 copies failed")
+        return SampleResult.fail(reason="all repetitions rejected")
+
+    def run(self, stream) -> SampleResult:
+        self.extend(stream)
+        return self.sample()
+
+
+class TukeySampler(BoundedMeasureSampler):
+    """Theorem 5.4's named instantiation: the Tukey biweight via F0."""
+
+    def __init__(
+        self,
+        n: int,
+        tau: float = 5.0,
+        delta: float = 0.05,
+        oracle: bool = True,
+        seed: int | np.random.Generator | None = None,
+    ) -> None:
+        super().__init__(TukeyMeasure(tau), n, delta=delta, oracle=oracle, seed=seed)

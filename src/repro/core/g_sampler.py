@@ -1,0 +1,300 @@
+"""Framework 1.3 — truly perfect G-sampling on insertion-only streams.
+
+The construction (Algorithms 1 and 2, Theorem 3.1):
+
+1. run a single-slot reservoir over stream *positions*; remember the held
+   item ``s`` and the count ``c`` of its occurrences from the sampling
+   position onward;
+2. at query time, accept ``s`` with probability ``(G(c) − G(c−1))/ζ``.
+
+Telescoping over the ``f_i`` possible sampled positions of item ``i``
+gives ``P(output = i) = G(f_i)/(ζm)`` exactly — so *conditioned on
+accepting*, the output distribution is exactly ``G(f_i)/F_G``: truly
+perfect.  Repeating ``R = O((ζm/F_G)·log(1/δ))`` independent instances
+bounds the FAIL probability by δ.
+
+``SamplerPool`` implements the paper's O(1)-update-time data structure: a
+shared hash table mapping each currently tracked item to a running
+occurrence count, with each instance holding only an *offset* into that
+count; replacement times are drawn directly via skip-ahead jumps and kept
+in a min-heap, so an update touches one counter plus an amortized-O(1)
+number of heap events.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+
+import numpy as np
+
+from repro.core.measures import Measure
+from repro.core.reservoir import skip_next_replacement
+from repro.core.types import SampleResult
+
+__all__ = ["SingleGSampler", "SamplerPool", "TrulyPerfectGSampler"]
+
+
+class SingleGSampler:
+    """One literal instance of Algorithm 2 (reference implementation).
+
+    Kept deliberately naive — one coin per update — as the ground truth the
+    optimized pool is tested against.
+    """
+
+    __slots__ = ("_measure", "_item", "_count", "_t", "_rng")
+
+    def __init__(self, measure: Measure, seed: int | np.random.Generator | None = None) -> None:
+        self._measure = measure
+        self._item: int | None = None
+        self._count = 0
+        self._t = 0
+        self._rng = (
+            seed if isinstance(seed, np.random.Generator) else np.random.default_rng(seed)
+        )
+
+    @property
+    def position(self) -> int:
+        return self._t
+
+    def update(self, item: int) -> None:
+        self._t += 1
+        if self._rng.random() < 1.0 / self._t:
+            self._item = item
+            self._count = 0
+        if item == self._item:
+            self._count += 1
+
+    def extend(self, items) -> None:
+        for item in items:
+            self.update(item)
+
+    def sample(self, zeta: float | None = None) -> SampleResult:
+        """Run the rejection step; EMPTY on an empty stream."""
+        if self._t == 0:
+            return SampleResult.empty()
+        if zeta is None:
+            zeta = self._measure.zeta(None)
+        weight = self._measure.increment(self._count)
+        if weight > zeta * (1.0 + 1e-12):
+            raise ValueError(
+                f"invalid zeta {zeta}: increment at c={self._count} is {weight}"
+            )
+        if self._rng.random() < weight / zeta:
+            return SampleResult.of(self._item, count=self._count, zeta=zeta)
+        return SampleResult.fail()
+
+
+class SamplerPool:
+    """``R`` parallel Algorithm-1 instances with shared counters.
+
+    State per instance: ``(item, offset, timestamp, next replacement
+    time)``.  Shared: ``counts[i]`` — occurrences of item ``i`` since it
+    was first adopted by any instance; ``refs[i]`` — how many instances
+    hold ``i``.  The final forward count of an instance is
+    ``counts[item] − offset`` (≥ 1, includes its sampled occurrence).
+    """
+
+    __slots__ = ("_r", "_items", "_offsets", "_timestamps", "_heap", "_counts",
+                 "_refs", "_t", "_rng", "_heap_events")
+
+    def __init__(self, instances: int, seed: int | np.random.Generator | None = None) -> None:
+        if instances < 1:
+            raise ValueError(f"need at least one instance, got {instances}")
+        self._r = instances
+        self._items: list[int | None] = [None] * instances
+        self._offsets = [0] * instances
+        self._timestamps = [0] * instances
+        # Every instance replaces at position 1.
+        self._heap: list[tuple[int, int]] = [(1, idx) for idx in range(instances)]
+        heapq.heapify(self._heap)
+        self._counts: dict[int, int] = {}
+        self._refs: dict[int, int] = {}
+        self._t = 0
+        self._rng = (
+            seed if isinstance(seed, np.random.Generator) else np.random.default_rng(seed)
+        )
+        self._heap_events = 0
+
+    @property
+    def instances(self) -> int:
+        return self._r
+
+    @property
+    def position(self) -> int:
+        return self._t
+
+    @property
+    def tracked_items(self) -> int:
+        """Number of distinct items currently referenced (space accounting)."""
+        return len(self._counts)
+
+    @property
+    def heap_events(self) -> int:
+        """Total replacements processed — O(R log m) in expectation."""
+        return self._heap_events
+
+    def update(self, item: int) -> None:
+        self._t += 1
+        t = self._t
+        heap = self._heap
+        while heap and heap[0][0] == t:
+            __, idx = heapq.heappop(heap)
+            self._heap_events += 1
+            old = self._items[idx]
+            if old is not None:
+                self._refs[old] -= 1
+                if self._refs[old] == 0:
+                    del self._refs[old]
+                    del self._counts[old]
+            self._items[idx] = item
+            if item in self._refs:
+                self._refs[item] += 1
+            else:
+                self._refs[item] = 1
+                self._counts.setdefault(item, 0)
+            self._offsets[idx] = self._counts[item]
+            self._timestamps[idx] = t
+            heapq.heappush(heap, (skip_next_replacement(t, self._rng), idx))
+        if item in self._counts:
+            self._counts[item] += 1
+
+    def extend(self, items) -> None:
+        for item in items:
+            self.update(item)
+
+    def finalize(self) -> list[tuple[int, int, int]]:
+        """Per-instance ``(item, count, timestamp)`` triples.
+
+        ``count`` includes the sampled occurrence (≥ 1).  Empty when the
+        stream was empty.
+        """
+        if self._t == 0:
+            return []
+        out = []
+        for idx in range(self._r):
+            item = self._items[idx]
+            count = self._counts[item] - self._offsets[idx]
+            out.append((item, count, self._timestamps[idx]))
+        return out
+
+
+class TrulyPerfectGSampler:
+    """Truly perfect G-sampler for insertion-only streams (Theorem 3.1).
+
+    Parameters
+    ----------
+    measure:
+        The measure ``G``; must have globally bounded increments
+        (``measure.zeta(None)`` must not raise).  Lp with ``p > 1`` needs
+        the Misra-Gries normalizer — use
+        :class:`repro.core.lp_sampler.TrulyPerfectLpSampler`.
+    instances:
+        Explicit pool size ``R``; default sizes the pool from the
+        certified ``F_G`` lower bound to reach FAIL probability ≤ δ.
+    delta:
+        FAIL probability target when ``instances`` is not given.
+    m_hint:
+        Expected stream length, used only to size the pool for measures
+        whose certified acceptance bound depends on ``m`` (concave
+        measures); over-estimates are safe.
+
+    Notes
+    -----
+    Every downstream guarantee is *distributional*: conditioned on the
+    sampler returning an index, that index is exactly ``G(f_i)/F_G``
+    distributed, with zero additive error — including when ``instances``
+    is too small (only the FAIL rate suffers).
+    """
+
+    def __init__(
+        self,
+        measure: Measure,
+        instances: int | None = None,
+        delta: float = 0.05,
+        m_hint: int | None = None,
+        seed: int | np.random.Generator | None = None,
+    ) -> None:
+        if not 0 < delta < 1:
+            raise ValueError("delta must be in (0, 1)")
+        self._measure = measure
+        self._rng = (
+            seed if isinstance(seed, np.random.Generator) else np.random.default_rng(seed)
+        )
+        if instances is None:
+            instances = self.default_instances(measure, delta, m_hint)
+        self._pool = SamplerPool(instances, self._rng)
+        self._delta = delta
+
+    @staticmethod
+    def default_instances(
+        measure: Measure, delta: float = 0.05, m_hint: int | None = None
+    ) -> int:
+        """``R = ⌈ln(1/δ) / acceptance lower bound⌉`` (Theorem 3.1).
+
+        The acceptance bound is ``F̂_G/(ζ·m)``; for convex measures it is
+        independent of ``m``, for concave ones it degrades with ``m`` so a
+        conservative default horizon of 10^6 is used when no hint is given.
+        """
+        zeta = measure.zeta(None)  # raises for measures needing ‖f‖∞
+        m = m_hint if m_hint is not None else 10**6
+        acceptance = measure.fg_lower_bound(m) / (zeta * m)
+        if acceptance <= 0:
+            raise ValueError(f"measure {measure.name} certifies no acceptance bound")
+        return max(1, math.ceil(math.log(1.0 / delta) / acceptance))
+
+    @property
+    def measure(self) -> Measure:
+        return self._measure
+
+    @property
+    def instances(self) -> int:
+        return self._pool.instances
+
+    @property
+    def position(self) -> int:
+        return self._pool.position
+
+    @property
+    def space_words(self) -> int:
+        """Machine words of sampler state: 4 per instance + 2 per tracked
+        item (the paper counts bits; we count words)."""
+        return 4 * self._pool.instances + 2 * self._pool.tracked_items
+
+    def update(self, item: int) -> None:
+        self._pool.update(item)
+
+    def extend(self, items) -> None:
+        self._pool.extend(items)
+
+    def _zeta(self) -> float:
+        return self._measure.zeta(None)
+
+    def sample(self) -> SampleResult:
+        """Finalize all instances and return the first acceptor.
+
+        Truly perfect: each instance's accepted index is exactly
+        target-distributed and independent of *which* instances accept, so
+        taking the first acceptor preserves the distribution.
+        """
+        finals = self._pool.finalize()
+        if not finals:
+            return SampleResult.empty()
+        zeta = self._zeta()
+        measure = self._measure
+        # One vectorized batch of acceptance coins.
+        coins = self._rng.random(len(finals))
+        for (item, count, ts), coin in zip(finals, coins):
+            weight = measure.increment(count)
+            if weight > zeta * (1.0 + 1e-12):
+                raise ValueError(
+                    f"invalid zeta {zeta}: increment at c={count} is {weight}"
+                )
+            if coin < weight / zeta:
+                return SampleResult.of(item, count=count, timestamp=ts, zeta=zeta)
+        return SampleResult.fail(zeta=zeta)
+
+    def run(self, stream) -> SampleResult:
+        """Convenience: replay a whole stream then sample."""
+        self.extend(stream)
+        return self.sample()

@@ -1,0 +1,356 @@
+"""Measure functions ``G`` and their sampler-facing bounds.
+
+Framework 1.3 works for any ``G : R → R≥0`` with ``G(0) = 0``, symmetric,
+non-decreasing in ``|x|`` and with bounded increments
+``G(x) − G(x−1) ≤ ζ``.  Each measure here supplies the two quantities the
+framework needs *with certainty* (never from a fallible estimator):
+
+* ``zeta(linf_upper)`` — a valid increment bound, possibly using a
+  certified upper bound on ``‖f‖∞`` (Misra-Gries supplies one for Lp,
+  Theorem 3.4);
+* ``fg_lower_bound(m)`` — a certified lower bound on
+  ``F_G = Σ G(f_i)`` given only the stream length, used to size the
+  instance pool.  For convex ``G``, ``G(x) ≥ x·G(1)`` gives
+  ``F_G ≥ G(1)·m``; for concave ``G``, ``G(x) ≥ x·G(m)/m`` gives
+  ``F_G ≥ G(m)``.
+
+The stock measures are the paper's: ``Lp``, the M-estimators L1−L2
+(Section 3.2.2), Fair, Huber, Tukey (Section 5), and a generic concave
+wrapper (the class studied by [CG19]).
+"""
+
+from __future__ import annotations
+
+import abc
+import math
+
+__all__ = [
+    "Measure",
+    "BoundedMeasure",
+    "LpMeasure",
+    "L1L2Measure",
+    "FairMeasure",
+    "HuberMeasure",
+    "CauchyMeasure",
+    "TukeyMeasure",
+    "GemanMcClureMeasure",
+    "ConcaveMeasure",
+]
+
+
+class Measure(abc.ABC):
+    """A symmetric, monotone measure function with ``G(0) = 0``."""
+
+    #: Human-readable name used in reports and benchmark tables.
+    name: str = "G"
+
+    @abc.abstractmethod
+    def __call__(self, x: float) -> float:
+        """Evaluate ``G(x)``."""
+
+    def increment(self, c: int) -> float:
+        """``G(c) − G(c−1)`` for integer ``c ≥ 1`` (the rejection weight)."""
+        if c < 1:
+            raise ValueError(f"increment defined for c ≥ 1, got {c}")
+        return self(c) - self(c - 1)
+
+    @abc.abstractmethod
+    def zeta(self, linf_upper: float | None = None) -> float:
+        """A certified bound ``ζ ≥ G(x) − G(x−1)`` for all ``1 ≤ x ≤
+        linf_upper`` (all ``x`` when ``linf_upper`` is None).
+
+        Raises
+        ------
+        ValueError
+            If the measure has unbounded increments and no ``linf_upper``
+            was provided (e.g. Lp with ``p > 1``).
+        """
+
+    @abc.abstractmethod
+    def fg_lower_bound(self, m: int) -> float:
+        """A certified lower bound on ``F_G`` for any insertion-only
+        stream of length ``m ≥ 1``.  Must hold with probability 1."""
+
+    def needs_linf_bound(self) -> bool:
+        """Whether ``zeta`` requires a ``‖f‖∞`` upper bound."""
+        try:
+            self.zeta(None)
+        except ValueError:
+            return True
+        return False
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}()"
+
+
+class LpMeasure(Measure):
+    """``G(x) = |x|^p`` — the Lp sampling measure (Section 3.2.1).
+
+    For ``p ≤ 1`` increments are bounded by 1 globally.  For ``p > 1``
+    the increment at ``x`` grows like ``p·x^{p−1}``, so ``zeta`` demands a
+    certified ``‖f‖∞`` bound ``Z`` (from Misra–Gries) and returns the exact
+    worst increment ``Z^p − (Z−1)^p ≤ p·Z^{p−1}``.
+    """
+
+    def __init__(self, p: float) -> None:
+        if p <= 0:
+            raise ValueError(f"p must be positive, got {p}")
+        self.p = p
+        self.name = f"L{p:g}"
+
+    def __call__(self, x: float) -> float:
+        return abs(x) ** self.p
+
+    def zeta(self, linf_upper: float | None = None) -> float:
+        if self.p <= 1:
+            # x^p − (x−1)^p is non-increasing for p ≤ 1; max at x = 1.
+            return 1.0
+        if linf_upper is None:
+            raise ValueError(
+                f"Lp increments are unbounded for p = {self.p} > 1; "
+                "provide a certified ‖f‖∞ upper bound"
+            )
+        z = max(1.0, float(linf_upper))
+        return z**self.p - (z - 1.0) ** self.p
+
+    def fg_lower_bound(self, m: int) -> float:
+        if m < 1:
+            return 0.0
+        if self.p >= 1:
+            # Convexity: G(x) ≥ x·G(1) = x.
+            return float(m)
+        # Subadditivity for p < 1: Σ f_i^p ≥ (Σ f_i)^p = m^p.
+        return float(m) ** self.p
+
+    def __repr__(self) -> str:
+        return f"LpMeasure(p={self.p})"
+
+
+class L1L2Measure(Measure):
+    """The L1−L2 M-estimator ``G(x) = 2(√(1 + x²/2) − 1)``.
+
+    Increments are bounded by ``lim G'(x) = √2`` (the paper uses the looser
+    constant 3).  ``G`` is convex, so ``F_G ≥ G(1)·m``.
+    """
+
+    name = "L1-L2"
+
+    def __call__(self, x: float) -> float:
+        return 2.0 * (math.sqrt(1.0 + x * x / 2.0) - 1.0)
+
+    def zeta(self, linf_upper: float | None = None) -> float:
+        return math.sqrt(2.0)
+
+    def fg_lower_bound(self, m: int) -> float:
+        return self(1.0) * m
+
+
+class FairMeasure(Measure):
+    """The Fair estimator ``G(x) = τ|x| − τ² log(1 + |x|/τ)``.
+
+    Convex with increments below ``τ``; ``F_G ≥ G(1)·m``.
+    """
+
+    def __init__(self, tau: float = 1.0) -> None:
+        if tau <= 0:
+            raise ValueError(f"tau must be positive, got {tau}")
+        self.tau = tau
+        self.name = f"Fair(τ={tau:g})"
+
+    def __call__(self, x: float) -> float:
+        a = abs(x)
+        return self.tau * a - self.tau**2 * math.log(1.0 + a / self.tau)
+
+    def zeta(self, linf_upper: float | None = None) -> float:
+        return self.tau
+
+    def fg_lower_bound(self, m: int) -> float:
+        return self(1.0) * m
+
+    def __repr__(self) -> str:
+        return f"FairMeasure(tau={self.tau})"
+
+
+class HuberMeasure(Measure):
+    """The Huber estimator: ``x²/(2τ)`` for ``|x| ≤ τ``, else ``|x| − τ/2``.
+
+    Convex with increments below 1 (slope ≤ 1 everywhere for τ ≥ 1; for
+    τ < 1 the quadratic branch is only ``|x| < τ < 1`` and integer
+    increments still bounded by 1).  ``F_G ≥ G(1)·m``.
+    """
+
+    def __init__(self, tau: float = 1.0) -> None:
+        if tau <= 0:
+            raise ValueError(f"tau must be positive, got {tau}")
+        self.tau = tau
+        self.name = f"Huber(τ={tau:g})"
+
+    def __call__(self, x: float) -> float:
+        a = abs(x)
+        if a <= self.tau:
+            return a * a / (2.0 * self.tau)
+        return a - self.tau / 2.0
+
+    def zeta(self, linf_upper: float | None = None) -> float:
+        # The largest integer increment is G(c) − G(c−1) ≤ max slope on
+        # [c−1, c]; slope is min(x/τ, 1) ≤ max(1, 1/(2τ)) ... for τ ≥ 1 it
+        # is ≤ 1; for τ < 1 the worst increment is G(1) − G(0) ≤ 1 − τ/2 < 1.
+        return 1.0
+
+    def fg_lower_bound(self, m: int) -> float:
+        return self(1.0) * m
+
+    def __repr__(self) -> str:
+        return f"HuberMeasure(tau={self.tau})"
+
+
+class BoundedMeasure(Measure):
+    """Base class for measures with a finite supremum ``G_max``.
+
+    Bounded measures defeat Framework 1.3's repetition bound — ``F_G``
+    can stay O(1) while ``m`` grows, so ``ζm/F_G`` explodes.  The paper's
+    route (Section 5) samples them through an F0 sampler instead: draw a
+    uniform support element ``i`` (with its exact frequency) and accept
+    with probability ``G(f_i)/G_max``.
+    :class:`repro.core.f0_sampler.BoundedMeasureSampler` implements this
+    for any subclass.
+    """
+
+    @property
+    def saturation(self) -> float:
+        """``G_max = sup_x G(x)`` — the F0-route acceptance normalizer."""
+        raise NotImplementedError
+
+    def fg_lower_bound(self, m: int) -> float:
+        # One distinct item is always present; certified but weak — the
+        # F0 route avoids needing a better bound.
+        return self(1.0)
+
+
+class CauchyMeasure(Measure):
+    """The Cauchy (Lorentzian) M-estimator
+    ``G(x) = (τ²/2)·log(1 + x²/τ²)``.
+
+    Unbounded but slowly growing: increments are below the maximum slope
+    ``τ/2`` (at ``x = τ``), and ``G(x)/x`` is decreasing so
+    ``F_G ≥ G(m)`` is certified, exactly as for concave measures.
+    """
+
+    def __init__(self, tau: float = 1.0) -> None:
+        if tau <= 0:
+            raise ValueError(f"tau must be positive, got {tau}")
+        self.tau = tau
+        self.name = f"Cauchy(τ={tau:g})"
+
+    def __call__(self, x: float) -> float:
+        return self.tau**2 / 2.0 * math.log(1.0 + (x / self.tau) ** 2)
+
+    def zeta(self, linf_upper: float | None = None) -> float:
+        # max G' = G'(τ) = τ/2; integer increments are below the max slope.
+        return self.tau / 2.0
+
+    def fg_lower_bound(self, m: int) -> float:
+        # G(x)/x is unimodal (≈x/2 near 0, ≈τ²·log(x)/x at infinity), so
+        # its minimum over [1, m] sits at an endpoint:
+        # G(f) ≥ f·min(G(1), G(m)/m), and summing over f_i with Σf_i = m
+        # certifies F_G ≥ min(m·G(1), G(m)).
+        return min(m * self(1.0), self(m))
+
+    def __repr__(self) -> str:
+        return f"CauchyMeasure(tau={self.tau})"
+
+
+class TukeyMeasure(BoundedMeasure):
+    """The Tukey biweight: ``(τ²/6)(1 − (1 − x²/τ²)³)`` for ``|x| ≤ τ``,
+    else ``τ²/6``.
+
+    ``G`` is *bounded*, so ``F_G`` can be arbitrarily smaller than ``m``
+    and Framework 1.3 alone gives no useful repetition bound — this is why
+    the paper samples Tukey through an F0 sampler (Theorems 5.4/5.5):
+    accept an F0 sample ``i`` with probability ``G(f_i)/G(τ)``.
+    ``zeta``/``fg_lower_bound`` are still provided (they are valid), but
+    :class:`repro.core.f0_sampler.TukeySampler` is the intended route.
+    """
+
+    def __init__(self, tau: float = 5.0) -> None:
+        if tau <= 0:
+            raise ValueError(f"tau must be positive, got {tau}")
+        self.tau = tau
+        self.name = f"Tukey(τ={tau:g})"
+
+    def __call__(self, x: float) -> float:
+        a = abs(x)
+        if a >= self.tau:
+            return self.tau**2 / 6.0
+        return self.tau**2 / 6.0 * (1.0 - (1.0 - (a / self.tau) ** 2) ** 3)
+
+    @property
+    def saturation(self) -> float:
+        """``G(τ) = τ²/6``, the maximum value (acceptance normalizer)."""
+        return self.tau**2 / 6.0
+
+    def zeta(self, linf_upper: float | None = None) -> float:
+        # G' ≤ G'(τ/√5)·... bounded by τ (loose but certified): increments
+        # ≤ max slope = (τ²/6)·max d/dx(1−(1−x²/τ²)³) = τ·(48/75)·(4/5)^...
+        # use the simple certified bound max G' ≤ τ.
+        return min(self.tau, self.saturation)
+
+    def fg_lower_bound(self, m: int) -> float:
+        # Each of the ≥ 1 distinct items contributes ≥ G(1); certified
+        # bound uses just one.
+        return self(1.0)
+
+    def __repr__(self) -> str:
+        return f"TukeyMeasure(tau={self.tau})"
+
+
+class GemanMcClureMeasure(BoundedMeasure):
+    """The Geman–McClure estimator ``G(x) = (x²/2)/(1 + x²)``.
+
+    Bounded by ``1/2`` — like Tukey, sampled through the F0 route
+    (:class:`repro.core.f0_sampler.BoundedMeasureSampler`).
+    """
+
+    name = "Geman-McClure"
+
+    def __call__(self, x: float) -> float:
+        sq = x * x
+        return sq / 2.0 / (1.0 + sq)
+
+    @property
+    def saturation(self) -> float:
+        return 0.5
+
+    def zeta(self, linf_upper: float | None = None) -> float:
+        # max G' = 3√3/16 at x = 1/√3.
+        return 3.0 * math.sqrt(3.0) / 16.0
+
+
+class ConcaveMeasure(Measure):
+    """Generic wrapper for a concave, increasing ``G`` with ``G(0) = 0``
+    (the class of [CG19], handled by Framework 1.3).
+
+    Concavity gives both bounds for free: increments are maximized at
+    ``x = 1`` (``ζ = G(1)``), and ``G(x) ≥ x·G(m)/m`` for ``x ≤ m`` gives
+    ``F_G ≥ G(m)``.
+    """
+
+    def __init__(self, func, name: str = "concave-G") -> None:
+        if func(0) != 0:
+            raise ValueError("G(0) must equal 0")
+        if func(1) <= 0:
+            raise ValueError("G must be increasing (G(1) > 0)")
+        self._func = func
+        self.name = name
+
+    def __call__(self, x: float) -> float:
+        return float(self._func(abs(x)))
+
+    def zeta(self, linf_upper: float | None = None) -> float:
+        return self(1.0)
+
+    def fg_lower_bound(self, m: int) -> float:
+        return self(m)
+
+    def __repr__(self) -> str:
+        return f"ConcaveMeasure({self.name})"

@@ -1,0 +1,337 @@
+"""Multi-pass truly perfect sampling on strict turnstile streams
+(Theorem 1.5, Appendix D).
+
+Theorem 1.2 forbids one-pass truly perfect turnstile sampling in sublinear
+space; Appendix D shows the *strict* turnstile model (all intermediate
+frequency vectors non-negative) escapes the bound when multiple passes are
+allowed:
+
+* ``MultipassL1Sampler`` — partition the universe into ``n^γ`` chunks,
+  keep per-chunk sums (valid because final frequencies are non-negative),
+  sample a chunk proportional to its mass, recurse: after ``O(1/γ)``
+  passes a single coordinate is isolated with probability exactly
+  ``f_i/F_1``.
+* ``MultipassLinfEstimator`` — the deterministic chunked search yielding
+  ``‖f‖∞ ≤ Z ≤ ‖f‖∞ + F_1/n^{1−1/p}``, the multi-pass stand-in for
+  Misra–Gries.
+* ``MultipassLpSampler`` — Theorem 1.5: frequency-proportional samples
+  (shared passes for all ``R`` cursors) + a uniform position within the
+  sampled item's occurrences + the usual rejection step.
+* ``StrictTurnstileF0Sampler`` — Theorem D.3: deterministic k-sparse
+  recovery replaces the "first √n distinct items" structure; a random
+  2√n-subset with exact counters covers the dense regime.  One pass.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.core.types import SampleResult
+from repro.sketches.sparse_recovery import SparseRecovery
+
+__all__ = [
+    "MultipassL1Sampler",
+    "MultipassLinfEstimator",
+    "MultipassLpSampler",
+    "StrictTurnstileF0Sampler",
+]
+
+
+def _iter_updates(stream):
+    """Yield ``(item, delta)`` pairs from a Stream or TurnstileStream."""
+    for u in stream:
+        if isinstance(u, (int, np.integer)):
+            yield int(u), 1
+        else:
+            yield u.item, u.delta
+
+
+def _chunk_sums(stream, intervals: list[tuple[int, int]], chunks: int) -> list[np.ndarray]:
+    """One pass: per-interval chunk sums of final frequencies.
+
+    Each interval ``[lo, hi)`` is split into ``chunks`` equal pieces; the
+    return value holds one sum vector per interval.  Space is
+    ``O(len(intervals) · chunks)`` — the pass/space trade-off knob.
+    """
+    sums = [np.zeros(chunks, dtype=np.int64) for _ in intervals]
+    bounds = [(lo, hi, max(1, math.ceil((hi - lo) / chunks))) for lo, hi in intervals]
+    for item, delta in _iter_updates(stream):
+        for idx, (lo, hi, width) in enumerate(bounds):
+            if lo <= item < hi:
+                sums[idx][(item - lo) // width] += delta
+    return sums
+
+
+class MultipassL1Sampler:
+    """Truly perfect L1 sampler over a replayable strict turnstile stream.
+
+    Parameters
+    ----------
+    stream:
+        Re-iterable stream (``TurnstileStream`` or insertion-only
+        ``Stream``); one pass per refinement level.
+    n:
+        Universe size.
+    gamma:
+        Pass/space trade-off: ``⌈n^γ⌉`` chunks per pass, ``O(1/γ)``
+        passes.
+    """
+
+    def __init__(
+        self,
+        stream,
+        n: int,
+        gamma: float = 0.5,
+        seed: int | np.random.Generator | None = None,
+    ) -> None:
+        if not 0 < gamma <= 1:
+            raise ValueError("gamma must be in (0, 1]")
+        self._stream = stream
+        self._n = n
+        self._chunks = max(2, math.ceil(n**gamma))
+        self._rng = (
+            seed if isinstance(seed, np.random.Generator) else np.random.default_rng(seed)
+        )
+        self.passes_used = 0
+
+    @property
+    def chunks(self) -> int:
+        return self._chunks
+
+    def sample(self) -> SampleResult:
+        result = self._descend(1)
+        return result
+
+    def _descend(self, count: int) -> SampleResult:
+        items = self._parallel_samples(1)
+        if items is None:
+            return SampleResult.empty()
+        return SampleResult.of(items[0], passes=self.passes_used)
+
+    def _parallel_samples(self, count: int) -> list[int] | None:
+        """Draw ``count`` i.i.d. frequency-proportional items, sharing
+        passes across all cursors.  Returns None for the zero vector."""
+        cursors: list[tuple[int, int]] = [(0, self._n)] * count
+        while any(hi - lo > 1 for lo, hi in cursors):
+            # Deduplicate intervals so shared prefixes cost one sum vector.
+            unique = sorted(set(c for c in cursors if c[1] - c[0] > 1))
+            sums = _chunk_sums(self._stream, unique, self._chunks)
+            self.passes_used += 1
+            table = dict(zip(unique, sums))
+            new_cursors = []
+            for lo, hi in cursors:
+                if hi - lo <= 1:
+                    new_cursors.append((lo, hi))
+                    continue
+                s = table[(lo, hi)]
+                total = int(s.sum())
+                if total == 0:
+                    return None
+                probs = s / total
+                pick = int(self._rng.choice(self._chunks, p=probs))
+                width = max(1, math.ceil((hi - lo) / self._chunks))
+                new_lo = lo + pick * width
+                new_hi = min(new_lo + width, hi)
+                new_cursors.append((new_lo, new_hi))
+            cursors = new_cursors
+        return [lo for lo, __ in cursors]
+
+
+class MultipassLinfEstimator:
+    """Deterministic multi-pass ``‖f‖∞`` upper bound (Appendix D).
+
+    Guarantees ``‖f‖∞ ≤ Z ≤ ‖f‖∞ + θ`` with ``θ = F_1/n^{1−1/p}``,
+    using at most ``n^{1−1/p}·n^γ`` chunk counters per pass.
+    """
+
+    def __init__(self, stream, n: int, p: float, gamma: float = 0.5) -> None:
+        if p < 1:
+            raise ValueError("the normalizer is only needed for p ≥ 1")
+        self._stream = stream
+        self._n = n
+        self._p = p
+        self._chunks = max(2, math.ceil(n**gamma))
+        self.passes_used = 0
+
+    def estimate(self) -> float:
+        f1 = sum(delta for __, delta in _iter_updates(self._stream))
+        self.passes_used += 1
+        if f1 <= 0:
+            return 1.0
+        theta = f1 / self._n ** (1.0 - 1.0 / self._p) if self._p > 1 else 1.0
+        if self._p == 1:
+            return 1.0  # zeta is 1 for p = 1; no normalizer needed
+        candidates: list[tuple[int, int]] = [(0, self._n)]
+        best_singleton = 0
+        while candidates:
+            sums = _chunk_sums(self._stream, candidates, self._chunks)
+            self.passes_used += 1
+            next_candidates: list[tuple[int, int]] = []
+            for (lo, hi), s in zip(candidates, sums):
+                width = max(1, math.ceil((hi - lo) / self._chunks))
+                for j in range(self._chunks):
+                    c_lo = lo + j * width
+                    c_hi = min(c_lo + width, hi)
+                    if c_lo >= c_hi:
+                        continue
+                    total = int(s[j])
+                    if total < theta:
+                        continue  # every coordinate inside is < theta
+                    if c_hi - c_lo == 1:
+                        best_singleton = max(best_singleton, total)
+                    else:
+                        next_candidates.append((c_lo, c_hi))
+            candidates = next_candidates
+        return float(max(best_singleton, theta))
+
+
+class MultipassLpSampler:
+    """Theorem 1.5: truly perfect Lp sampling on strict turnstile streams
+    with ``O(1/γ)`` passes.
+
+    The insertion-only sampler needs (a) a frequency-proportional sample
+    ``s``, (b) a uniform position among the occurrences of ``s`` — i.e.
+    ``c ~ Uniform{1..f_s}`` — and (c) the certified normalizer ``Z``.
+    All three are obtained in ``O(1/γ)`` passes; the rejection step is
+    then identical to Theorem 3.4 and the output distribution is exactly
+    ``f_i^p/F_p``.
+    """
+
+    def __init__(
+        self,
+        stream,
+        n: int,
+        p: float,
+        gamma: float = 0.5,
+        delta: float = 0.1,
+        instances: int | None = None,
+        seed: int | np.random.Generator | None = None,
+    ) -> None:
+        if p < 1:
+            raise ValueError("MultipassLpSampler supports p ≥ 1")
+        self._stream = stream
+        self._n = n
+        self._p = p
+        self._gamma = gamma
+        self._rng = (
+            seed if isinstance(seed, np.random.Generator) else np.random.default_rng(seed)
+        )
+        if instances is None:
+            instances = max(
+                1, math.ceil(4.0 * n ** (1.0 - 1.0 / p) * math.log(1.0 / delta))
+            )
+        self._instances = instances
+        self.passes_used = 0
+
+    @property
+    def instances(self) -> int:
+        return self._instances
+
+    def sample(self) -> SampleResult:
+        # Phase A: deterministic normalizer.
+        linf = MultipassLinfEstimator(self._stream, self._n, self._p, self._gamma)
+        z = linf.estimate()
+        self.passes_used += linf.passes_used
+        # Phase B: R frequency-proportional samples with shared passes.
+        l1 = MultipassL1Sampler(self._stream, self._n, self._gamma, self._rng)
+        samples = l1._parallel_samples(self._instances)
+        self.passes_used += l1.passes_used
+        if samples is None:
+            return SampleResult.empty()
+        # Phase C: exact frequencies of the sampled ids (one pass).
+        wanted = set(samples)
+        freqs = {i: 0 for i in wanted}
+        for item, delta in _iter_updates(self._stream):
+            if item in freqs:
+                freqs[item] += delta
+        self.passes_used += 1
+        # Rejection step (Theorem 3.4), with c uniform over positions.
+        z = max(z, 1.0)
+        zeta = z**self._p - (z - 1.0) ** self._p if self._p > 1 else 1.0
+        for s in samples:
+            f_s = freqs[s]
+            if f_s <= 0:  # pragma: no cover - impossible under strictness
+                continue
+            c = int(self._rng.integers(1, f_s + 1))
+            weight = c**self._p - (c - 1) ** self._p
+            if weight > zeta * (1.0 + 1e-12):
+                raise ValueError("normalizer violated in multipass sampler")
+            if self._rng.random() < weight / zeta:
+                return SampleResult.of(s, count=c, passes=self.passes_used, zeta=zeta)
+        return SampleResult.fail(passes=self.passes_used)
+
+
+class StrictTurnstileF0Sampler:
+    """Theorem D.3: one-pass truly perfect F0 sampling on strict
+    turnstile streams in ``O(√n)`` space.
+
+    Deterministic ``2√n``-sparse recovery (power-sum moments +
+    Berlekamp–Massey) replaces Algorithm 5's "first √n distinct" set ``T``
+    — deletions make "first distinct" meaningless, but recovery of the
+    *final* vector is oblivious to ordering.  The dense regime keeps the
+    random subset ``S`` with exact member counters.
+    """
+
+    def __init__(
+        self,
+        n: int,
+        delta: float = 0.05,
+        seed: int | np.random.Generator | None = None,
+    ) -> None:
+        if not 0 < delta < 1:
+            raise ValueError("delta must be in (0, 1)")
+        rng = seed if isinstance(seed, np.random.Generator) else np.random.default_rng(seed)
+        self._n = n
+        k = min(n, max(1, 2 * math.isqrt(n) + 2))
+        self._recovery = SparseRecovery(n, k)
+        copies = max(1, math.ceil(math.log(1.0 / delta) / 2.0))
+        s_size = min(2 * math.isqrt(n) + 2, n)
+        self._s_sets = [
+            set(int(x) for x in rng.choice(n, size=s_size, replace=False))
+            for _ in range(copies)
+        ]
+        self._s_counts: list[dict[int, int]] = [
+            {s: 0 for s in s_set} for s_set in self._s_sets
+        ]
+        self._rng = rng
+
+    @property
+    def sparsity_budget(self) -> int:
+        return self._recovery.k
+
+    def update(self, item: int, delta: int = 1) -> None:
+        self._recovery.update(item, delta)
+        for counts in self._s_counts:
+            if item in counts:
+                counts[item] += delta
+
+    def extend(self, updates) -> None:
+        for u in updates:
+            if isinstance(u, (int, np.integer)):
+                self.update(int(u), 1)
+            elif isinstance(u, tuple):
+                self.update(*u)
+            else:
+                self.update(u.item, u.delta)
+
+    def sample(self) -> SampleResult:
+        rec = self._recovery.recover()
+        if rec.success:
+            if not rec.support:
+                return SampleResult.empty()
+            idx = int(self._rng.integers(0, len(rec.support)))
+            return SampleResult.of(
+                rec.support[idx], frequency=rec.frequencies[idx], regime="sparse"
+            )
+        for counts in self._s_counts:
+            alive = [s for s, c in counts.items() if c != 0]
+            if alive:
+                item = alive[int(self._rng.integers(0, len(alive)))]
+                return SampleResult.of(item, frequency=counts[item], regime="S")
+        return SampleResult.fail(regime="S")
+
+    def run(self, stream) -> SampleResult:
+        self.extend(stream)
+        return self.sample()

@@ -1,0 +1,67 @@
+"""Shared result types for all samplers.
+
+Definition 1.1 allows three outcomes: an index ``i ∈ [n]``, the symbol
+``⊥`` (the frequency vector is zero), or ``FAIL`` (the sampler declines to
+answer; the distribution guarantee is conditioned on not failing).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+from typing import Any
+
+__all__ = ["SampleOutcome", "SampleResult"]
+
+
+class SampleOutcome(enum.Enum):
+    """The three possible outcomes of Definition 1.1."""
+
+    ITEM = "item"
+    EMPTY = "bot"  # the paper's ⊥ — the frequency vector is zero
+    FAIL = "fail"
+
+
+@dataclasses.dataclass(frozen=True, slots=True)
+class SampleResult:
+    """Outcome of one sampling attempt.
+
+    Attributes
+    ----------
+    outcome:
+        ITEM, EMPTY (⊥), or FAIL.
+    item:
+        The sampled index when ``outcome is ITEM`` else ``None``.
+    metadata:
+        Sampler-specific extras — e.g. the F0 samplers report the exact
+        frequency ``f_i`` of the returned index (Theorem 5.2), and the
+        framework samplers report the post-sample counter.
+    """
+
+    outcome: SampleOutcome
+    item: int | None = None
+    metadata: dict[str, Any] = dataclasses.field(default_factory=dict)
+
+    @staticmethod
+    def of(item: int, **metadata: Any) -> "SampleResult":
+        return SampleResult(SampleOutcome.ITEM, item, metadata)
+
+    @staticmethod
+    def empty() -> "SampleResult":
+        return SampleResult(SampleOutcome.EMPTY)
+
+    @staticmethod
+    def fail(**metadata: Any) -> "SampleResult":
+        return SampleResult(SampleOutcome.FAIL, None, metadata)
+
+    @property
+    def is_item(self) -> bool:
+        return self.outcome is SampleOutcome.ITEM
+
+    @property
+    def is_empty(self) -> bool:
+        return self.outcome is SampleOutcome.EMPTY
+
+    @property
+    def is_fail(self) -> bool:
+        return self.outcome is SampleOutcome.FAIL

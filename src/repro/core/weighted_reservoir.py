@@ -1,0 +1,125 @@
+"""Weighted reservoir sampling and weighted truly perfect L1 sampling.
+
+The paper cites weighted reservoir sampling over distributed streams
+([JSTW19]) as part of the sampling toolbox its framework belongs to.  We
+implement the Efraimidis–Spirakis exponential-key scheme: item ``i`` with
+weight ``w_i`` receives key ``E_i/w_i`` for an exponential ``E_i``; the
+*minimum* key wins with probability exactly ``w_i/Σw`` (the same
+min-of-exponentials fact as Lemma B.3 with ``p = 1``).
+
+Two layers:
+
+* :class:`WeightedReservoir` — k smallest keys = a weighted
+  without-replacement sample (one pass, O(k) space).
+* :class:`WeightedL1Sampler` — single-slot version: a truly perfect
+  weighted-L1 sampler for streams whose updates carry positive real
+  weights ``(item, w)``, generalizing the classic reservoir = truly
+  perfect L1 sampler observation (Section 1) to weighted updates.
+"""
+
+from __future__ import annotations
+
+import heapq
+
+import numpy as np
+
+from repro.core.types import SampleResult
+
+__all__ = ["WeightedReservoir", "WeightedL1Sampler"]
+
+
+class WeightedReservoir:
+    """Efraimidis–Spirakis weighted reservoir of size ``k``.
+
+    Each update ``(item, weight)`` draws key ``E/weight``; the ``k``
+    smallest keys are retained.  The retained *set* is a weighted
+    without-replacement sample; the single smallest key (``k = 1``) is an
+    exactly ``w_i/Σw``-distributed with-replacement sample.
+    """
+
+    __slots__ = ("_k", "_heap", "_rng", "_total_weight", "_count")
+
+    def __init__(self, k: int, seed: int | np.random.Generator | None = None) -> None:
+        if k < 1:
+            raise ValueError(f"k must be ≥ 1, got {k}")
+        self._k = k
+        # Max-heap on negated keys so the worst retained key is at the top.
+        self._heap: list[tuple[float, int, float]] = []
+        self._rng = (
+            seed if isinstance(seed, np.random.Generator) else np.random.default_rng(seed)
+        )
+        self._total_weight = 0.0
+        self._count = 0
+
+    @property
+    def k(self) -> int:
+        return self._k
+
+    @property
+    def total_weight(self) -> float:
+        return self._total_weight
+
+    @property
+    def count(self) -> int:
+        """Number of updates processed."""
+        return self._count
+
+    def update(self, item: int, weight: float = 1.0) -> None:
+        if weight <= 0:
+            raise ValueError(f"weights must be positive, got {weight}")
+        self._count += 1
+        self._total_weight += weight
+        key = self._rng.exponential(1.0) / weight
+        if len(self._heap) < self._k:
+            heapq.heappush(self._heap, (-key, item, weight))
+        elif key < -self._heap[0][0]:
+            heapq.heapreplace(self._heap, (-key, item, weight))
+
+    def extend(self, updates) -> None:
+        """Apply ``(item, weight)`` pairs or bare items (weight 1)."""
+        for u in updates:
+            if isinstance(u, tuple):
+                self.update(*u)
+            else:
+                self.update(int(u))
+
+    def sample(self) -> list[tuple[int, float]]:
+        """The retained ``(item, weight)`` pairs, best key first."""
+        ordered = sorted(self._heap, key=lambda e: -e[0])
+        return [(item, weight) for __, item, weight in ordered]
+
+
+class WeightedL1Sampler:
+    """Truly perfect weighted-L1 sampler: ``P(i) = W_i/Σ_j W_j`` where
+    ``W_i`` is the total weight delivered to item ``i``.
+
+    Single-slot special case of the reservoir; never fails on a non-empty
+    stream (like classic reservoir sampling, the paper's p = 1 base
+    case).
+    """
+
+    __slots__ = ("_reservoir",)
+
+    def __init__(self, seed: int | np.random.Generator | None = None) -> None:
+        self._reservoir = WeightedReservoir(1, seed)
+
+    @property
+    def total_weight(self) -> float:
+        return self._reservoir.total_weight
+
+    def update(self, item: int, weight: float = 1.0) -> None:
+        self._reservoir.update(item, weight)
+
+    def extend(self, updates) -> None:
+        self._reservoir.extend(updates)
+
+    def sample(self) -> SampleResult:
+        held = self._reservoir.sample()
+        if not held:
+            return SampleResult.empty()
+        item, weight = held[0]
+        return SampleResult.of(item, update_weight=weight)
+
+    def run(self, updates) -> SampleResult:
+        self.extend(updates)
+        return self.sample()

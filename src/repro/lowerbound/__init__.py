@@ -1,0 +1,24 @@
+"""The turnstile lower bound (Theorem 1.2), made executable.
+
+The lower bound itself cannot be "run"; what *can* be run is its
+constructive content — the reduction from any ``(ε, γ, 1/2)`` G-sampler
+to a one-way EQUALITY protocol with refutation error γ — plus a concrete
+finite-memory sampler family realizing the γ ↔ memory trade-off the bound
+predicts is optimal.
+"""
+
+from repro.lowerbound.equality import (
+    EqualityReduction,
+    FingerprintSampler,
+    ExactTurnstileSampler,
+    refutation_bound_bits,
+    measure_advantage,
+)
+
+__all__ = [
+    "EqualityReduction",
+    "FingerprintSampler",
+    "ExactTurnstileSampler",
+    "refutation_bound_bits",
+    "measure_advantage",
+]

@@ -1,0 +1,36 @@
+"""Perfect — but *not truly* perfect — samplers (Appendix B, baselines).
+
+These samplers carry the ``γ = 1/poly(n)`` additive error the paper's
+lower bound (Theorem 1.2) shows is unavoidable for one-pass turnstile
+algorithms, and that Framework 1.3 eliminates in the insertion-only model:
+
+* :class:`FastPerfectLpSampler` — Algorithm 8 / Theorem B.9: exponential
+  scaling with item duplication + a deterministic weighted heavy-hitter
+  test; ``p < 1``.
+* :class:`PrecisionSamplingLpSampler` — the [JW18b]-style baseline:
+  CountSketch over the exponentially scaled vector with a dominance test;
+  exposes the duplication (update-time) and sketch-width (γ) knobs the
+  benchmarks sweep.
+* :class:`BiasedGSampler` — a *model instrument*: an exact sampler with a
+  planted additive-γ bias, used by the error-accumulation and
+  distinguishing-attack experiments to realize a precisely known γ.
+"""
+
+from repro.perfect.exponentials import (
+    ExponentialAssignment,
+    sample_p_stable,
+)
+from repro.perfect.fast_lp import FastPerfectLpSampler, WeightedMisraGries
+from repro.perfect.precision_sampling import PrecisionSamplingLpSampler
+from repro.perfect.window_lp import SlidingWindowPerfectLpSampler
+from repro.perfect.biased import BiasedGSampler
+
+__all__ = [
+    "ExponentialAssignment",
+    "sample_p_stable",
+    "FastPerfectLpSampler",
+    "WeightedMisraGries",
+    "PrecisionSamplingLpSampler",
+    "SlidingWindowPerfectLpSampler",
+    "BiasedGSampler",
+]

@@ -1,0 +1,103 @@
+"""A controlled additive-γ sampler — the experiments' bias instrument.
+
+``BiasedGSampler`` samples from the *exact* target distribution with
+probability ``1 − γ`` and from a planted alternative with probability
+``γ``: its output distribution is point-wise within ``γ`` of the target,
+i.e. it is exactly an ``(0, γ, 0)``-sampler in the sense of
+Definition 1.1.  It is a *model*, not a streaming algorithm (it keeps the
+exact frequency vector) — its purpose is to give the error-accumulation
+(E16) and distinguishing-attack (E17) experiments a sampler whose γ is
+known exactly, isolating the downstream effect the paper's introduction
+describes from any particular algorithm's implementation detail.
+
+The planted alternative mirrors the paper's privacy discussion: a biased
+sampler "may positively bias a certain subset S ⊂ [n]" — here the bias
+set is explicit.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.measures import Measure
+from repro.core.types import SampleResult
+
+__all__ = ["BiasedGSampler"]
+
+
+class BiasedGSampler:
+    """Exact G-sampler with a planted point-wise-γ bias.
+
+    Parameters
+    ----------
+    measure:
+        Target measure ``G``.
+    n:
+        Universe size.
+    gamma:
+        Additive bias (``0`` makes the sampler truly perfect).
+    bias_items:
+        The favoured subset ``S``; with probability γ the output is drawn
+        uniformly from ``S ∩ support`` (falling back to the target
+        distribution when the intersection is empty).
+    """
+
+    def __init__(
+        self,
+        measure: Measure,
+        n: int,
+        gamma: float = 0.0,
+        bias_items: list[int] | None = None,
+        seed: int | np.random.Generator | None = None,
+    ) -> None:
+        if not 0 <= gamma < 1:
+            raise ValueError("gamma must be in [0, 1)")
+        self._measure = measure
+        self._n = n
+        self._gamma = gamma
+        self._bias = list(bias_items) if bias_items else [0]
+        self._freq = np.zeros(n, dtype=np.int64)
+        self._rng = (
+            seed if isinstance(seed, np.random.Generator) else np.random.default_rng(seed)
+        )
+        self._t = 0
+
+    @property
+    def gamma(self) -> float:
+        return self._gamma
+
+    def update(self, item: int) -> None:
+        self._t += 1
+        self._freq[item] += 1
+
+    def extend(self, items) -> None:
+        for item in items:
+            self.update(item)
+
+    def target_distribution(self) -> np.ndarray:
+        weights = np.array([self._measure(f) for f in self._freq], dtype=np.float64)
+        total = weights.sum()
+        if total <= 0:
+            raise ValueError("zero frequency vector")
+        return weights / total
+
+    def output_distribution(self) -> np.ndarray:
+        """The exact (analytic) output distribution, for TV computations."""
+        target = self.target_distribution()
+        alive = [i for i in self._bias if self._freq[i] > 0]
+        if not alive or self._gamma == 0:
+            return target
+        biased = np.zeros(self._n)
+        biased[alive] = 1.0 / len(alive)
+        return (1.0 - self._gamma) * target + self._gamma * biased
+
+    def sample(self) -> SampleResult:
+        if self._t == 0:
+            return SampleResult.empty()
+        dist = self.output_distribution()
+        item = int(self._rng.choice(self._n, p=dist))
+        return SampleResult.of(item)
+
+    def run(self, stream) -> SampleResult:
+        self.extend(stream)
+        return self.sample()

@@ -1,0 +1,174 @@
+"""Algorithm 7 / Theorem B.7 — perfect (γ > 0) Lp sampling for
+``p ∈ (0, 1)`` on sliding windows.
+
+Structure, following the paper:
+
+* every update to item ``i`` spawns ``D`` duplicated weighted instances
+  ``z_{i,j} = 1/e_{i,j}^{1/p}`` (consistent exponentials);
+* geometric *level sets* ``S_k`` hold a ``~c₀/2^k`` subsample of the
+  instances, with timestamps so expired instances can be dropped;
+* at query time the level matching the window's total instance count is
+  inspected: if a single duplicated key holds a majority of the level's
+  sample, its base item is output (Lemma B.5: the scaled max dominates
+  with constant probability; Lemma B.6: which item wins perturbs the
+  failure event only by 1/poly — the additive γ).
+
+The window's total instance count is maintained with an exact rolling
+sum (O(W) counters); the paper uses a [BO07] estimate — the substitution
+only sharpens the level choice and does not affect the γ source (the
+majority test).  This sampler is *perfect*, not truly perfect: the
+benchmarks measure its γ against the truly perfect samplers.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import Counter, deque
+
+import numpy as np
+
+from repro.core.types import SampleResult
+from repro.perfect.exponentials import ExponentialAssignment
+
+__all__ = ["SlidingWindowPerfectLpSampler"]
+
+
+class _LevelSet:
+    """One geometric level: a timestamped subsample of instances."""
+
+    __slots__ = ("rate", "cap", "members")
+
+    def __init__(self, rate: float, cap: int) -> None:
+        self.rate = rate
+        self.cap = cap
+        self.members: deque[tuple[int, int]] = deque()  # (key, timestamp)
+
+
+class SlidingWindowPerfectLpSampler:
+    """Perfect Lp sampler (``p ∈ (0,1)``) over the last ``window`` updates.
+
+    Parameters
+    ----------
+    p, n, window:
+        Order, universe, and window size.
+    duplication:
+        The ``n^c`` knob; γ shrinks with it (and update cost grows).
+    level_size:
+        Target subsample size per level (the paper's ``100·c·log n``).
+    """
+
+    def __init__(
+        self,
+        p: float,
+        n: int,
+        window: int,
+        duplication: int = 8,
+        level_size: int = 48,
+        seed: int | np.random.Generator | None = None,
+    ) -> None:
+        if not 0 < p < 1:
+            raise ValueError("requires p in (0, 1)")
+        if window < 1:
+            raise ValueError("window must be ≥ 1")
+        rng = seed if isinstance(seed, np.random.Generator) else np.random.default_rng(seed)
+        self._p = p
+        self._n = n
+        self._window = window
+        self._dup = duplication
+        self._exp = ExponentialAssignment(p, int(rng.integers(2**31)))
+        self._rng = rng
+        self._level_size = level_size
+        self._levels: dict[int, _LevelSet] = {}
+        self._recent_weights: deque[float] = deque()  # per-update instance mass
+        self._window_weight = 0.0
+        self._t = 0
+
+    @property
+    def p(self) -> float:
+        return self._p
+
+    @property
+    def window(self) -> int:
+        return self._window
+
+    @property
+    def duplication(self) -> int:
+        return self._dup
+
+    @property
+    def position(self) -> int:
+        return self._t
+
+    def _level(self, k: int) -> _LevelSet:
+        level = self._levels.get(k)
+        if level is None:
+            rate = min(1.0, self._level_size / 2.0**k)
+            level = _LevelSet(rate, 8 * self._level_size)
+            self._levels[k] = level
+        return level
+
+    def update(self, item: int) -> None:
+        self._t += 1
+        t = self._t
+        dup = self._dup
+        total = 0.0
+        max_level = max(
+            1, int(math.log2(max(self._window_weight, 2.0))) + 3
+        )
+        for j in range(dup):
+            weight = self._exp.scale(item, j)
+            total += weight
+            # The weight stands for ~weight unit instances; each level
+            # subsamples them Binomially at its rate.
+            instances = int(weight) + (self._rng.random() < weight - int(weight))
+            if instances <= 0:
+                continue
+            key = item * dup + j
+            for k in range(1, max_level + 1):
+                level = self._level(k)
+                if len(level.members) >= level.cap:
+                    continue
+                if level.rate >= 1.0:
+                    hits = instances
+                else:
+                    hits = int(self._rng.binomial(min(instances, 10**9), level.rate))
+                for __ in range(min(hits, level.cap - len(level.members))):
+                    level.members.append((key, t))
+        # Rolling window mass.
+        self._recent_weights.append(total)
+        self._window_weight += total
+        if len(self._recent_weights) > self._window:
+            self._window_weight -= self._recent_weights.popleft()
+        self._expire()
+
+    def extend(self, items) -> None:
+        for item in items:
+            self.update(item)
+
+    def _expire(self) -> None:
+        cutoff = self._t - self._window
+        for level in self._levels.values():
+            while level.members and level.members[0][1] <= cutoff:
+                level.members.popleft()
+
+    def sample(self) -> SampleResult:
+        """Majority test at the level matching the window's mass."""
+        if self._t == 0:
+            return SampleResult.empty()
+        self._expire()
+        mass = max(self._window_weight, 1.0)
+        k = max(1, int(math.log2(mass)))
+        level = self._levels.get(k)
+        if level is None or not level.members:
+            return SampleResult.fail(level=k)
+        counts = Counter(key for key, __ in level.members)
+        key, c = counts.most_common(1)[0]
+        if c * 2 <= len(level.members):
+            return SampleResult.fail(level=k, majority=c / len(level.members))
+        return SampleResult.of(
+            key // self._dup, duplicate=key % self._dup, level=k
+        )
+
+    def run(self, stream) -> SampleResult:
+        self.extend(stream)
+        return self.sample()

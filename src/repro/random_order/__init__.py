@@ -1,0 +1,20 @@
+"""Random-order samplers (Appendix C, Theorems 1.6 / 1.7).
+
+When the stream's arrival order is a uniform permutation of its multiset,
+*collisions between adjacent positions* carry moment information: two
+adjacent equal items occur with probability ``f_i(f_i−1)/(m(m−1))``.
+Algorithm 9 corrects this to exactly ``f_i²/m²`` with a two-part
+rejection; Algorithm 10 generalizes to integer ``p > 2`` via p-wise
+collisions inside blocks and a Stirling-number correction (Lemma C.5).
+"""
+
+from repro.random_order.stirling import falling_factorial, stirling2
+from repro.random_order.l2_collision import RandomOrderL2Sampler
+from repro.random_order.lp_collision import RandomOrderLpSampler
+
+__all__ = [
+    "falling_factorial",
+    "stirling2",
+    "RandomOrderL2Sampler",
+    "RandomOrderLpSampler",
+]

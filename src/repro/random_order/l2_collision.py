@@ -1,0 +1,128 @@
+"""Algorithm 9 — truly perfect L2 sampling on random-order streams
+(Theorem 1.6).
+
+For each disjoint adjacent pair ``(u_{2i−1}, u_{2i})``:
+
+* with probability ``1/W`` sample the first element outright;
+* otherwise sample it iff the pair collides (``u_{2i−1} = u_{2i}``).
+
+On a uniformly ordered stream the two branches combine to sampling item
+``j`` with probability exactly ``f_j²/W²`` per pair — the rejection
+"corrects" the collision probability ``f_j(f_j−1)/(W(W−1))`` up to
+``f_j²/W²``.  Samples carry timestamps, so expiry extends the construction
+to sliding windows; the final answer is a uniform element of the sample
+buffer.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.core.types import SampleResult
+
+__all__ = ["RandomOrderL2Sampler"]
+
+
+class RandomOrderL2Sampler:
+    """Truly perfect L2 sampler for random-order insertion-only streams.
+
+    Parameters
+    ----------
+    n:
+        Universe size (drives the default buffer capacity ``O(log n)``).
+    horizon:
+        The normalization length ``W``: the window size in sliding-window
+        mode, or the stream length ``m`` for whole-stream sampling
+        (Remark C.1).
+    sliding:
+        When true, samples expire once their timestamp leaves the last
+        ``horizon`` updates.
+    capacity:
+        Buffer cap (the paper's ``2C log n``); ``None`` chooses
+        ``4⌈log₂(n·horizon)⌉``.
+    """
+
+    def __init__(
+        self,
+        n: int,
+        horizon: int,
+        sliding: bool = False,
+        capacity: int | None = None,
+        seed: int | np.random.Generator | None = None,
+    ) -> None:
+        if horizon < 2:
+            raise ValueError("horizon must be ≥ 2")
+        self._n = n
+        self._w = horizon
+        self._sliding = sliding
+        self._rng = (
+            seed if isinstance(seed, np.random.Generator) else np.random.default_rng(seed)
+        )
+        if capacity is None:
+            capacity = max(8, 4 * math.ceil(math.log2(max(4, n * horizon))))
+        self._capacity = capacity
+        self._buffer: list[tuple[int, int]] = []  # (item, timestamp of pair start)
+        self._pending: int | None = None
+        self._t = 0
+
+    @property
+    def horizon(self) -> int:
+        return self._w
+
+    @property
+    def capacity(self) -> int:
+        return self._capacity
+
+    @property
+    def buffer_size(self) -> int:
+        return len(self._buffer)
+
+    @property
+    def position(self) -> int:
+        return self._t
+
+    def update(self, item: int) -> None:
+        self._t += 1
+        if self._pending is None:
+            self._pending = item
+            return
+        first = self._pending
+        self._pending = None
+        first_ts = self._t - 1
+        if self._rng.random() < 1.0 / self._w:
+            self._buffer.append((first, first_ts))
+        elif first == item:
+            self._buffer.append((first, first_ts))
+        self._expire()
+        if len(self._buffer) > 2 * self._capacity:
+            # Down-sample uniformly to preserve the buffer's symmetry.
+            keep = self._rng.choice(
+                len(self._buffer), size=self._capacity, replace=False
+            )
+            self._buffer = [self._buffer[i] for i in sorted(keep)]
+
+    def extend(self, items) -> None:
+        for item in items:
+            self.update(item)
+
+    def _expire(self) -> None:
+        if not self._sliding:
+            return
+        cutoff = self._t - self._w
+        if self._buffer and self._buffer[0][1] <= cutoff:
+            self._buffer = [(i, ts) for i, ts in self._buffer if ts > cutoff]
+
+    def sample(self) -> SampleResult:
+        if self._t == 0:
+            return SampleResult.empty()
+        self._expire()
+        if not self._buffer:
+            return SampleResult.fail()
+        item, ts = self._buffer[int(self._rng.integers(0, len(self._buffer)))]
+        return SampleResult.of(item, timestamp=ts)
+
+    def run(self, stream) -> SampleResult:
+        self.extend(stream)
+        return self.sample()

@@ -1,0 +1,41 @@
+"""Stirling numbers and falling factorials (Lemma C.5).
+
+The identity ``x^p = Σ_{k=0}^p S(p,k)·(x)_k`` lets Algorithm 10 express
+the target weight ``f^p`` as a positive combination of the collision
+probabilities ``(f)_k/(m)_k`` that random-order streams expose.
+"""
+
+from __future__ import annotations
+
+import functools
+
+__all__ = ["falling_factorial", "stirling2", "power_as_falling_factorials"]
+
+
+def falling_factorial(x: int | float, k: int) -> int | float:
+    """``(x)_k = x(x−1)···(x−k+1)``; ``(x)_0 = 1``."""
+    if k < 0:
+        raise ValueError("k must be non-negative")
+    result = 1
+    for i in range(k):
+        result *= x - i
+    return result
+
+
+@functools.lru_cache(maxsize=None)
+def stirling2(p: int, k: int) -> int:
+    """Stirling number of the second kind ``S(p, k)`` — partitions of a
+    p-set into k non-empty blocks."""
+    if p < 0 or k < 0:
+        raise ValueError("arguments must be non-negative")
+    if p == k:
+        return 1
+    if k == 0 or k > p:
+        return 0
+    # Recurrence S(p, k) = k·S(p−1, k) + S(p−1, k−1).
+    return k * stirling2(p - 1, k) + stirling2(p - 1, k - 1)
+
+
+def power_as_falling_factorials(x: int, p: int) -> int:
+    """Evaluate ``Σ_k S(p,k)(x)_k`` (equals ``x^p``; used in tests)."""
+    return sum(stirling2(p, k) * falling_factorial(x, k) for k in range(p + 1))

@@ -1,0 +1,89 @@
+"""The Count-Min sketch (Cormode–Muthukrishnan).
+
+Used by the fast perfect-sampler variants (Appendix B.2) to identify the
+maximal scaled coordinate, and generally as the cheap frequency oracle in
+the precision-sampling baseline.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.sketches.hashing import KWiseHash
+
+__all__ = ["CountMin"]
+
+
+class CountMin:
+    """Count-Min sketch with ``depth`` rows of ``width`` counters.
+
+    Guarantees (insertion-only): ``f_i ≤ est(i) ≤ f_i + εm`` with
+    probability ``1 − δ`` for ``width = ⌈e/ε⌉``, ``depth = ⌈ln 1/δ⌉``.
+    """
+
+    __slots__ = ("_table", "_hashes", "_width", "_depth", "_total")
+
+    def __init__(
+        self,
+        width: int,
+        depth: int,
+        seed: int | np.random.Generator | None = None,
+    ) -> None:
+        if width < 1 or depth < 1:
+            raise ValueError("width and depth must be ≥ 1")
+        rng = seed if isinstance(seed, np.random.Generator) else np.random.default_rng(seed)
+        self._width = width
+        self._depth = depth
+        self._table = np.zeros((depth, width), dtype=np.int64)
+        self._hashes = [KWiseHash(2, width, rng) for _ in range(depth)]
+        self._total = 0
+
+    @classmethod
+    def from_error(
+        cls,
+        epsilon: float,
+        delta: float,
+        seed: int | np.random.Generator | None = None,
+    ) -> "CountMin":
+        """Size the sketch for additive error ``εm`` w.p. ``1 − δ``."""
+        if not 0 < epsilon < 1 or not 0 < delta < 1:
+            raise ValueError("epsilon and delta must lie in (0, 1)")
+        width = math.ceil(math.e / epsilon)
+        depth = math.ceil(math.log(1.0 / delta))
+        return cls(width, max(depth, 1), seed)
+
+    @property
+    def width(self) -> int:
+        return self._width
+
+    @property
+    def depth(self) -> int:
+        return self._depth
+
+    @property
+    def total(self) -> int:
+        return self._total
+
+    def update(self, item: int, delta: int = 1) -> None:
+        for row, h in enumerate(self._hashes):
+            self._table[row, h(item)] += delta
+        self._total += delta
+
+    def extend(self, items) -> None:
+        for item in items:
+            self.update(item)
+
+    def estimate(self, item: int) -> int:
+        """Point estimate: minimum over rows (one-sided overestimate)."""
+        return int(min(self._table[row, h(item)] for row, h in enumerate(self._hashes)))
+
+    def heavy_hitters(self, candidates, threshold: float) -> dict[int, int]:
+        """Candidates whose estimate exceeds ``threshold``."""
+        out: dict[int, int] = {}
+        for item in candidates:
+            est = self.estimate(item)
+            if est > threshold:
+                out[item] = est
+        return out

@@ -1,0 +1,90 @@
+"""The CountSketch frequency estimator (Charikar–Chen–Farach-Colton).
+
+This is the estimation core of precision-sampling Lp samplers
+([AKO11, JST11, JW18b]) — our *perfect-but-not-truly-perfect* baseline
+(:mod:`repro.perfect.precision_sampling`) uses it to find the maximal
+scaled coordinate, exactly as the paper describes those prior works.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.sketches.hashing import KWiseHash
+
+__all__ = ["CountSketch"]
+
+
+class CountSketch:
+    """CountSketch with ``depth`` rows of ``width`` buckets.
+
+    Median-of-rows point estimates satisfy
+    ``|est(i) − f_i| ≤ 3‖f_tail‖₂/√width`` per row with constant
+    probability; the median over ``depth = O(log 1/δ)`` rows boosts this to
+    ``1 − δ``.  Supports signed (turnstile) updates and real-valued deltas,
+    which the precision-sampling baseline needs after exponential scaling.
+    """
+
+    __slots__ = ("_table", "_bucket_hashes", "_sign_hashes", "_width", "_depth")
+
+    def __init__(
+        self,
+        width: int,
+        depth: int,
+        seed: int | np.random.Generator | None = None,
+    ) -> None:
+        if width < 1 or depth < 1:
+            raise ValueError("width and depth must be ≥ 1")
+        rng = seed if isinstance(seed, np.random.Generator) else np.random.default_rng(seed)
+        self._width = width
+        self._depth = depth
+        self._table = np.zeros((depth, width), dtype=np.float64)
+        self._bucket_hashes = [KWiseHash(2, width, rng) for _ in range(depth)]
+        # 4-wise independence suffices for the variance bound (AMS-style).
+        self._sign_hashes = [KWiseHash(4, 1 << 16, rng) for _ in range(depth)]
+
+    @classmethod
+    def from_error(
+        cls,
+        epsilon: float,
+        delta: float,
+        seed: int | np.random.Generator | None = None,
+    ) -> "CountSketch":
+        width = max(1, math.ceil(9.0 / epsilon**2))
+        depth = max(1, math.ceil(4 * math.log(1.0 / delta)))
+        return cls(width, depth, seed)
+
+    @property
+    def width(self) -> int:
+        return self._width
+
+    @property
+    def depth(self) -> int:
+        return self._depth
+
+    def _sign(self, row: int, item: int) -> int:
+        return 1 - 2 * (self._sign_hashes[row](item) & 1)
+
+    def update(self, item: int, delta: float = 1.0) -> None:
+        for row in range(self._depth):
+            bucket = self._bucket_hashes[row](item)
+            self._table[row, bucket] += self._sign(row, item) * delta
+
+    def extend(self, items) -> None:
+        for item in items:
+            self.update(item)
+
+    def estimate(self, item: int) -> float:
+        """Median-of-rows unbiased point estimate of ``f_item``."""
+        vals = [
+            self._sign(row, item) * self._table[row, self._bucket_hashes[row](item)]
+            for row in range(self._depth)
+        ]
+        return float(np.median(vals))
+
+    def l2_estimate(self) -> float:
+        """Median-of-rows estimate of ``‖f‖₂`` (AMS via the sketch rows)."""
+        row_norms = np.sqrt((self._table**2).sum(axis=1))
+        return float(np.median(row_norms))

@@ -1,0 +1,100 @@
+"""k-wise independent hash families over the Mersenne prime ``2^31 − 1``.
+
+The paper's algorithms assume either limited-independence hashing (AMS,
+CountSketch) or a random oracle (Remark 5.1).  We implement the standard
+polynomial construction: a random degree-``k−1`` polynomial over
+``GF(p)`` is a k-wise independent family.  ``p = 2^31 − 1`` keeps all
+intermediate products inside ``int64``, so evaluation is vectorizable.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["MERSENNE_P", "KWiseHash", "PairwiseHash", "random_oracle_hash"]
+
+MERSENNE_P = (1 << 31) - 1
+
+
+class KWiseHash:
+    """A hash drawn from a k-wise independent family ``[0, p) → [0, out_range)``.
+
+    Parameters
+    ----------
+    k:
+        Independence (polynomial degree is ``k − 1``).
+    out_range:
+        Outputs are reduced modulo ``out_range`` (slight non-uniformity of
+        the modular reduction is ≤ out_range/p, negligible for our sizes).
+    seed:
+        Seed or Generator for drawing the coefficients.
+    """
+
+    __slots__ = ("_coeffs", "_out_range")
+
+    def __init__(
+        self,
+        k: int,
+        out_range: int,
+        seed: int | np.random.Generator | None = None,
+    ) -> None:
+        if k < 1:
+            raise ValueError(f"independence k must be ≥ 1, got {k}")
+        if not 1 <= out_range <= MERSENNE_P:
+            raise ValueError(f"out_range must be in [1, {MERSENNE_P}]")
+        rng = seed if isinstance(seed, np.random.Generator) else np.random.default_rng(seed)
+        coeffs = rng.integers(0, MERSENNE_P, size=k, dtype=np.int64)
+        # A zero leading coefficient only reduces the effective degree; force
+        # it non-zero so the family is exactly the degree-(k-1) family.
+        if k > 1 and coeffs[-1] == 0:
+            coeffs[-1] = 1
+        self._coeffs = coeffs
+        self._out_range = out_range
+
+    @property
+    def independence(self) -> int:
+        return int(self._coeffs.size)
+
+    @property
+    def out_range(self) -> int:
+        return self._out_range
+
+    def __call__(self, x: int | np.ndarray) -> int | np.ndarray:
+        """Evaluate the hash at ``x`` (scalar or array)."""
+        arr = np.asarray(x, dtype=np.int64) % MERSENNE_P
+        acc = np.zeros_like(arr)
+        # Horner evaluation mod p; products stay < 2^62.
+        for c in self._coeffs[::-1]:
+            acc = (acc * arr + c) % MERSENNE_P
+        out = acc % self._out_range
+        if np.isscalar(x) or arr.ndim == 0:
+            return int(out)
+        return out
+
+    def sign(self, x: int | np.ndarray) -> int | np.ndarray:
+        """±1 values derived from the low bit (for sign sketches use an
+        even ``out_range``)."""
+        h = self(x)
+        if isinstance(h, np.ndarray):
+            return 1 - 2 * (h & 1)
+        return 1 - 2 * (h & 1)
+
+
+class PairwiseHash(KWiseHash):
+    """The common 2-wise (``ax + b``) special case."""
+
+    def __init__(self, out_range: int, seed: int | np.random.Generator | None = None) -> None:
+        super().__init__(2, out_range, seed)
+
+
+def random_oracle_hash(
+    n: int, seed: int | np.random.Generator | None = None
+) -> np.ndarray:
+    """A full random-oracle table ``h : [0, n) → [0, 1)``.
+
+    Used by the random-oracle F0 sampler (Remark 5.1).  Storing the table is
+    exactly the Ω(n) randomness cost the paper charges the random-oracle
+    model with — we make the cost explicit by materializing it.
+    """
+    rng = seed if isinstance(seed, np.random.Generator) else np.random.default_rng(seed)
+    return rng.random(n)

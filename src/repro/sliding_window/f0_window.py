@@ -1,0 +1,142 @@
+"""Corollary 5.3 — truly perfect F0 sampling on sliding windows.
+
+Algorithm 5 adapts to windows by (a) replacing "the first √n distinct
+items" with the *most recently seen* √n distinct items plus an eviction
+certificate, and (b) time-stamping the random-subset hits so expired
+members can be discarded:
+
+* An LRU table of ≤ √n+1 items keyed by last-occurrence time.  If every
+  eviction ever performed removed an item whose recorded last occurrence
+  has since expired, the pruned table *is* the window's exact support.
+  Otherwise some eviction happened while > √n distinct items were active,
+  certifying that the window's F0 exceeded √n at that moment — and the
+  moment's √n+1 witnesses stay active until the sample time in question,
+  so the S-regime is the correct branch whenever the certificate fails.
+* ``S`` is the usual random 2√n-subset; a member is *alive* when its last
+  occurrence is inside the window.  Uniformity over the window support
+  follows from the permutation symmetry of ``S`` exactly as in the
+  whole-stream case.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import OrderedDict
+
+import numpy as np
+
+from repro.core.types import SampleResult
+
+__all__ = ["SlidingWindowF0Sampler"]
+
+
+class _WindowCopy:
+    """One S-copy: last-seen timestamps for members of a random subset."""
+
+    __slots__ = ("s_set", "last_seen")
+
+    def __init__(self, s_set: set[int]) -> None:
+        self.s_set = s_set
+        self.last_seen: dict[int, int] = {}
+
+
+class SlidingWindowF0Sampler:
+    """Truly perfect F0 sampler over the last ``window`` updates.
+
+    Parameters
+    ----------
+    n, window:
+        Universe and window sizes.
+    delta:
+        FAIL probability; drives the number of independent S-copies.
+    """
+
+    def __init__(
+        self,
+        n: int,
+        window: int,
+        delta: float = 0.05,
+        seed: int | np.random.Generator | None = None,
+    ) -> None:
+        if n < 1 or window < 1:
+            raise ValueError("n and window must be ≥ 1")
+        if not 0 < delta < 1:
+            raise ValueError("delta must be in (0, 1)")
+        self._n = n
+        self._window = window
+        self._threshold = max(1, math.isqrt(n) + (0 if math.isqrt(n) ** 2 == n else 1))
+        self._rng = (
+            seed if isinstance(seed, np.random.Generator) else np.random.default_rng(seed)
+        )
+        # LRU of (item -> last occurrence), capacity threshold + 1.
+        self._recent: OrderedDict[int, int] = OrderedDict()
+        self._evict_horizon = 0  # newest last-occurrence ever evicted
+        copies = max(1, math.ceil(math.log(1.0 / delta) / 2.0))
+        s_size = min(2 * self._threshold, n)
+        self._copies = [
+            _WindowCopy(
+                set(int(x) for x in self._rng.choice(n, size=s_size, replace=False))
+            )
+            for _ in range(copies)
+        ]
+        self._t = 0
+
+    @property
+    def threshold(self) -> int:
+        return self._threshold
+
+    @property
+    def window(self) -> int:
+        return self._window
+
+    @property
+    def position(self) -> int:
+        return self._t
+
+    def update(self, item: int) -> None:
+        if not 0 <= item < self._n:
+            raise ValueError(f"item {item} outside universe [0, {self._n})")
+        self._t += 1
+        recent = self._recent
+        if item in recent:
+            del recent[item]
+        recent[item] = self._t
+        if len(recent) > self._threshold + 1:
+            __, ts = recent.popitem(last=False)
+            self._evict_horizon = max(self._evict_horizon, ts)
+        for copy in self._copies:
+            if item in copy.s_set:
+                copy.last_seen[item] = self._t
+
+    def extend(self, items) -> None:
+        for item in items:
+            self.update(item)
+
+    def _active_recent(self) -> list[int]:
+        window_start = self._t - self._window
+        return [i for i, ts in self._recent.items() if ts > window_start]
+
+    def sample(self) -> SampleResult:
+        if self._t == 0:
+            return SampleResult.empty()
+        window_start = self._t - self._window
+        active = self._active_recent()
+        certificate_ok = self._evict_horizon <= window_start
+        if certificate_ok and len(active) <= self._threshold:
+            # The LRU provably contains the window's entire support.
+            if not active:
+                return SampleResult.empty()  # pragma: no cover - W ≥ 1
+            item = active[int(self._rng.integers(0, len(active)))]
+            return SampleResult.of(item, regime="recent")
+        # Dense regime: the window support exceeds √n (certified either by
+        # |active| > threshold or by a live eviction witness).
+        for copy in self._copies:
+            alive = [s for s, ts in copy.last_seen.items() if ts > window_start]
+            if alive:
+                item = alive[int(self._rng.integers(0, len(alive)))]
+                return SampleResult.of(item, regime="S")
+        return SampleResult.fail(regime="S")
+
+    def run(self, stream) -> SampleResult:
+        self.extend(stream)
+        return self.sample()

@@ -1,0 +1,55 @@
+"""Statistical validation harness.
+
+Truly perfect means the output distribution *equals* the target; the only
+deviation an experiment can show is Monte-Carlo noise.  This subpackage
+computes target distributions, distances (TV, χ²), runs samplers over many
+trials, and models the downstream phenomena the paper motivates truly
+perfect sampling with: error accumulation across stream portions and
+distinguishing attacks on biased samplers.
+"""
+
+from repro.stats.distributions import (
+    f0_target,
+    g_target,
+    lp_target,
+    row_target,
+)
+from repro.stats.distance import (
+    chi_square_gof,
+    expected_tv_noise,
+    total_variation,
+)
+from repro.stats.harness import (
+    EvaluationReport,
+    collect_outcomes,
+    empirical_distribution,
+    evaluate,
+)
+from repro.stats.accumulation import (
+    bernoulli_accumulation,
+    joint_tv_upper,
+    portioned_drift,
+)
+from repro.stats.attack import (
+    AttackReport,
+    distinguishing_attack,
+)
+
+__all__ = [
+    "f0_target",
+    "g_target",
+    "lp_target",
+    "row_target",
+    "chi_square_gof",
+    "expected_tv_noise",
+    "total_variation",
+    "EvaluationReport",
+    "collect_outcomes",
+    "empirical_distribution",
+    "evaluate",
+    "bernoulli_accumulation",
+    "joint_tv_upper",
+    "portioned_drift",
+    "AttackReport",
+    "distinguishing_attack",
+]

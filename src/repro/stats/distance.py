@@ -1,0 +1,66 @@
+"""Distribution distances and goodness-of-fit tests."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+from scipy import stats as sps
+
+__all__ = ["total_variation", "chi_square_gof", "expected_tv_noise"]
+
+
+def total_variation(p: np.ndarray, q: np.ndarray) -> float:
+    """``TV(p, q) = ½ Σ |p_i − q_i|``."""
+    p = np.asarray(p, dtype=np.float64)
+    q = np.asarray(q, dtype=np.float64)
+    if p.shape != q.shape:
+        raise ValueError("distributions must have the same shape")
+    return float(0.5 * np.abs(p - q).sum())
+
+
+def expected_tv_noise(support_size: int, samples: int) -> float:
+    """Expected TV between the empirical and true distribution of an
+    *exact* sampler: ≈ ``√(k/(2π·N))·...`` — we use the standard
+    ``√((k−1)/(4N))``-flavoured bound ``√(k/N)/2`` as the Monte-Carlo
+    noise floor experiments compare against."""
+    if samples <= 0:
+        return 1.0
+    return 0.5 * math.sqrt(support_size / samples)
+
+
+def chi_square_gof(
+    counts: np.ndarray,
+    expected_probs: np.ndarray,
+    min_expected: float = 5.0,
+) -> tuple[float, float]:
+    """Pearson χ² goodness-of-fit with low-expectation pooling.
+
+    Cells whose expected count falls below ``min_expected`` are merged
+    into one pooled cell (standard practice — χ²'s asymptotics need
+    non-trivial expectations).  Returns ``(statistic, p_value)``.
+    """
+    counts = np.asarray(counts, dtype=np.float64)
+    probs = np.asarray(expected_probs, dtype=np.float64)
+    if counts.shape != probs.shape:
+        raise ValueError("counts and probabilities must align")
+    n = counts.sum()
+    if n <= 0:
+        raise ValueError("no observations")
+    expected = probs * n
+    big = expected >= min_expected
+    obs_cells = list(counts[big])
+    exp_cells = list(expected[big])
+    pooled_obs = counts[~big].sum()
+    pooled_exp = expected[~big].sum()
+    if pooled_exp > 0:
+        obs_cells.append(pooled_obs)
+        exp_cells.append(pooled_exp)
+    if len(obs_cells) < 2:
+        return 0.0, 1.0
+    obs = np.asarray(obs_cells)
+    exp = np.asarray(exp_cells)
+    # Guard scipy's sum-match requirement against float drift.
+    exp = exp * (obs.sum() / exp.sum())
+    stat, pvalue = sps.chisquare(obs, exp)
+    return float(stat), float(pvalue)

@@ -1,0 +1,52 @@
+"""Target output distributions for every sampler family."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["g_target", "lp_target", "f0_target", "row_target"]
+
+
+def g_target(frequencies: np.ndarray, measure) -> np.ndarray:
+    """``G(f_i)/F_G`` over the universe (Definition 1.1 with ε = γ = 0)."""
+    freq = np.asarray(frequencies)
+    weights = np.array([measure(abs(float(f))) for f in freq], dtype=np.float64)
+    total = weights.sum()
+    if total <= 0:
+        raise ValueError("zero frequency vector has no target distribution")
+    return weights / total
+
+
+def lp_target(frequencies: np.ndarray, p: float) -> np.ndarray:
+    """``|f_i|^p / F_p``."""
+    freq = np.abs(np.asarray(frequencies, dtype=np.float64))
+    weights = np.where(freq > 0, freq**p, 0.0)
+    total = weights.sum()
+    if total <= 0:
+        raise ValueError("zero frequency vector has no target distribution")
+    return weights / total
+
+
+def f0_target(frequencies: np.ndarray) -> np.ndarray:
+    """Uniform over the support."""
+    freq = np.asarray(frequencies)
+    support = (freq != 0).astype(np.float64)
+    total = support.sum()
+    if total <= 0:
+        raise ValueError("zero frequency vector has no support")
+    return support / total
+
+
+def row_target(matrix: np.ndarray, row_measure) -> np.ndarray:
+    """``G(m_r)/Σ_j G(m_j)`` for a row measure over a dense matrix."""
+    weights = np.array(
+        [
+            row_measure.value({j: int(v) for j, v in enumerate(row) if v})
+            for row in np.asarray(matrix)
+        ],
+        dtype=np.float64,
+    )
+    total = weights.sum()
+    if total <= 0:
+        raise ValueError("zero matrix has no target distribution")
+    return weights / total

@@ -1,0 +1,122 @@
+"""The trial harness: run a sampler many times, compare to the target.
+
+The central abstraction is a *trial function* ``run(seed) -> SampleResult``
+— one fully independent sampler construction + stream replay + query.
+Everything else (empirical distribution, χ², TV, fail rates) derives from
+the outcome counts.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from collections import Counter
+from collections.abc import Callable
+
+import numpy as np
+
+from repro.core.types import SampleResult
+from repro.stats.distance import chi_square_gof, expected_tv_noise, total_variation
+
+__all__ = [
+    "collect_outcomes",
+    "empirical_distribution",
+    "EvaluationReport",
+    "evaluate",
+]
+
+
+def collect_outcomes(
+    run: Callable[[int], SampleResult],
+    trials: int,
+    seed_offset: int = 0,
+) -> tuple[Counter, int, int]:
+    """Run ``trials`` independent trials; return (item counts, #fail,
+    #empty)."""
+    counts: Counter = Counter()
+    fails = 0
+    empties = 0
+    for trial in range(trials):
+        result = run(seed_offset + trial)
+        if result.is_item:
+            counts[result.item] += 1
+        elif result.is_fail:
+            fails += 1
+        else:
+            empties += 1
+    return counts, fails, empties
+
+
+def empirical_distribution(counts: Counter, n: int) -> np.ndarray:
+    """Normalize item counts over the universe ``[0, n)``."""
+    total = sum(counts.values())
+    if total == 0:
+        raise ValueError("no successful samples")
+    dist = np.zeros(n, dtype=np.float64)
+    for item, c in counts.items():
+        dist[item] = c
+    return dist / total
+
+
+@dataclasses.dataclass(frozen=True)
+class EvaluationReport:
+    """Summary of one sampler-vs-target evaluation."""
+
+    trials: int
+    successes: int
+    fails: int
+    empties: int
+    tv: float
+    tv_noise_floor: float
+    chi2_stat: float
+    chi2_pvalue: float
+
+    @property
+    def fail_rate(self) -> float:
+        return self.fails / self.trials if self.trials else 0.0
+
+    @property
+    def success_rate(self) -> float:
+        return self.successes / self.trials if self.trials else 0.0
+
+    def row(self, label: str) -> str:
+        """One formatted table row for benchmark output."""
+        return (
+            f"{label:<28s} trials={self.trials:<6d} ok={self.success_rate:6.1%} "
+            f"fail={self.fail_rate:6.1%} TV={self.tv:.4f} "
+            f"(noise≈{self.tv_noise_floor:.4f}) chi2 p={self.chi2_pvalue:.3f}"
+        )
+
+
+def evaluate(
+    run: Callable[[int], SampleResult],
+    target: np.ndarray,
+    trials: int,
+    seed_offset: int = 0,
+) -> EvaluationReport:
+    """Collect trials and compare the conditional (non-FAIL) output
+    distribution to ``target``."""
+    counts, fails, empties = collect_outcomes(run, trials, seed_offset)
+    successes = sum(counts.values())
+    n = int(np.asarray(target).size)
+    if successes == 0:
+        return EvaluationReport(
+            trials, 0, fails, empties, 1.0, 1.0, float("inf"), 0.0
+        )
+    empirical = empirical_distribution(counts, n)
+    tv = total_variation(empirical, target)
+    support = int((np.asarray(target) > 0).sum())
+    noise = expected_tv_noise(support, successes)
+    observed = np.zeros(n)
+    for item, c in counts.items():
+        observed[item] = c
+    stat, pvalue = chi_square_gof(observed, np.asarray(target))
+    return EvaluationReport(
+        trials=trials,
+        successes=successes,
+        fails=fails,
+        empties=empties,
+        tv=tv,
+        tv_noise_floor=noise,
+        chi2_stat=stat,
+        chi2_pvalue=pvalue,
+    )

@@ -1,0 +1,64 @@
+"""Stream model, workload generators, and exact ground-truth trackers.
+
+This subpackage is the substrate every sampler in :mod:`repro` runs on.  A
+*stream* is a sequence of updates to an implicit frequency vector
+``f ∈ R^n`` (Section 1.3 of the paper).  Three regimes are modelled:
+
+* **insertion-only** — each update increments one coordinate by one;
+* **turnstile** — updates carry signed integer deltas (the *strict*
+  turnstile additionally promises all intermediate vectors stay
+  non-negative);
+* **sliding window** — only the most recent ``W`` insertion-only updates
+  are *active* (Section 4).
+
+Ground truth trackers (:class:`FrequencyVector`,
+:class:`WindowedFrequency`) compute the exact frequency vector so tests and
+benchmarks can compare sampler output distributions against the true target
+distribution.
+"""
+
+from repro.streams.stream import (
+    Stream,
+    StreamKind,
+    TurnstileStream,
+    Update,
+)
+from repro.streams.frequency import (
+    FrequencyVector,
+    WindowedFrequency,
+)
+from repro.streams.generators import (
+    adversarial_order_stream,
+    constant_stream,
+    matrix_stream,
+    permuted,
+    planted_heavy_hitter_stream,
+    random_order_stream,
+    sparse_support_stream,
+    stream_from_frequencies,
+    strict_turnstile_stream,
+    two_level_stream,
+    uniform_stream,
+    zipf_stream,
+)
+
+__all__ = [
+    "Stream",
+    "StreamKind",
+    "TurnstileStream",
+    "Update",
+    "FrequencyVector",
+    "WindowedFrequency",
+    "adversarial_order_stream",
+    "constant_stream",
+    "matrix_stream",
+    "permuted",
+    "planted_heavy_hitter_stream",
+    "random_order_stream",
+    "sparse_support_stream",
+    "stream_from_frequencies",
+    "strict_turnstile_stream",
+    "two_level_stream",
+    "uniform_stream",
+    "zipf_stream",
+]

@@ -1,0 +1,144 @@
+"""Exact ground-truth frequency tracking.
+
+These trackers use linear space on purpose: they are the *oracle* against
+which sublinear samplers are validated, not part of any sampler.
+"""
+
+from __future__ import annotations
+
+from collections import Counter, deque
+
+import numpy as np
+
+__all__ = ["FrequencyVector", "WindowedFrequency"]
+
+
+class FrequencyVector:
+    """Exact frequency vector maintained incrementally.
+
+    Supports signed updates so the same oracle serves insertion-only and
+    turnstile experiments.
+    """
+
+    def __init__(self, n: int) -> None:
+        if n <= 0:
+            raise ValueError(f"universe size must be positive, got {n}")
+        self._n = n
+        self._freq = Counter()
+        self._total = 0
+
+    @property
+    def n(self) -> int:
+        return self._n
+
+    @property
+    def total(self) -> int:
+        """Sum of all frequencies (``F_1`` for non-negative vectors)."""
+        return self._total
+
+    def update(self, item: int, delta: int = 1) -> None:
+        if not 0 <= item < self._n:
+            raise ValueError(f"item {item} outside universe [0, {self._n})")
+        new = self._freq[item] + delta
+        if new == 0:
+            del self._freq[item]
+        else:
+            self._freq[item] = new
+        self._total += delta
+
+    def extend(self, items) -> None:
+        """Apply a batch of unit insertions."""
+        for item in items:
+            self.update(item)
+
+    def __getitem__(self, item: int) -> int:
+        return self._freq.get(item, 0)
+
+    def support(self) -> list[int]:
+        """Indices with non-zero frequency."""
+        return sorted(self._freq)
+
+    def f0(self) -> int:
+        """Number of distinct items with non-zero frequency."""
+        return len(self._freq)
+
+    def vector(self) -> np.ndarray:
+        """Dense copy of the frequency vector."""
+        out = np.zeros(self._n, dtype=np.int64)
+        for item, count in self._freq.items():
+            out[item] = count
+        return out
+
+    def fp(self, p: float) -> float:
+        """Moment ``F_p = Σ |f_i|^p`` over the support."""
+        return float(sum(abs(c) ** p for c in self._freq.values()))
+
+    def f_g(self, g) -> float:
+        """Generalized moment ``F_G = Σ G(f_i)`` for a measure ``g``."""
+        return float(sum(g(c) for c in self._freq.values()))
+
+    def linf(self) -> int:
+        """``‖f‖∞`` (0 for the empty vector)."""
+        if not self._freq:
+            return 0
+        return max(abs(c) for c in self._freq.values())
+
+
+class WindowedFrequency:
+    """Exact frequency vector of the last ``window`` insertion-only updates.
+
+    A deque of the active updates gives O(1) amortized updates; memory is
+    O(W), which is fine for an oracle.
+    """
+
+    def __init__(self, n: int, window: int) -> None:
+        if window <= 0:
+            raise ValueError(f"window must be positive, got {window}")
+        self._inner = FrequencyVector(n)
+        self._window = window
+        self._active: deque[int] = deque()
+
+    @property
+    def n(self) -> int:
+        return self._inner.n
+
+    @property
+    def window(self) -> int:
+        return self._window
+
+    @property
+    def active_count(self) -> int:
+        """Number of active (non-expired) updates, ``min(t, W)``."""
+        return len(self._active)
+
+    def update(self, item: int) -> None:
+        self._active.append(item)
+        self._inner.update(item, 1)
+        if len(self._active) > self._window:
+            expired = self._active.popleft()
+            self._inner.update(expired, -1)
+
+    def extend(self, items) -> None:
+        for item in items:
+            self.update(item)
+
+    def __getitem__(self, item: int) -> int:
+        return self._inner[item]
+
+    def vector(self) -> np.ndarray:
+        return self._inner.vector()
+
+    def support(self) -> list[int]:
+        return self._inner.support()
+
+    def f0(self) -> int:
+        return self._inner.f0()
+
+    def fp(self, p: float) -> float:
+        return self._inner.fp(p)
+
+    def f_g(self, g) -> float:
+        return self._inner.f_g(g)
+
+    def linf(self) -> int:
+        return self._inner.linf()

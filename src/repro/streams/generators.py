@@ -1,0 +1,267 @@
+"""Synthetic workload generators.
+
+Every generator is deterministic given a seed and returns a
+:class:`repro.streams.Stream` (or :class:`TurnstileStream`).  The workloads
+mirror the settings the paper's introduction motivates: skewed network
+traffic (Zipf), near-uniform sensor streams, sparse-support event logs, and
+planted heavy hitters for sanity checks.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro.streams.stream import Stream, TurnstileStream, Update
+
+__all__ = [
+    "zipf_stream",
+    "uniform_stream",
+    "constant_stream",
+    "two_level_stream",
+    "sparse_support_stream",
+    "planted_heavy_hitter_stream",
+    "random_order_stream",
+    "adversarial_order_stream",
+    "permuted",
+    "strict_turnstile_stream",
+    "matrix_stream",
+    "stream_from_frequencies",
+]
+
+
+def _rng(seed: int | np.random.Generator | None) -> np.random.Generator:
+    if isinstance(seed, np.random.Generator):
+        return seed
+    return np.random.default_rng(seed)
+
+
+def stream_from_frequencies(
+    frequencies: Sequence[int] | np.ndarray,
+    *,
+    order: str = "sorted",
+    seed: int | np.random.Generator | None = None,
+) -> Stream:
+    """Materialize a stream with the exact frequency vector ``frequencies``.
+
+    Parameters
+    ----------
+    frequencies:
+        Non-negative integer target frequencies; index ``i`` appears
+        ``frequencies[i]`` times.
+    order:
+        ``"sorted"`` emits all copies of item 0, then item 1, ...;
+        ``"random"`` shuffles (the random-order model);
+        ``"interleaved"`` round-robins across items (worst case for
+        collision-based samplers).
+    """
+    freq = np.asarray(frequencies, dtype=np.int64)
+    if freq.ndim != 1:
+        raise ValueError("frequencies must be one-dimensional")
+    if freq.size and freq.min() < 0:
+        raise ValueError("frequencies must be non-negative")
+    n = int(freq.size)
+    items = np.repeat(np.arange(n, dtype=np.int64), freq)
+    if order == "sorted":
+        pass
+    elif order == "random":
+        items = _rng(seed).permutation(items)
+    elif order == "interleaved":
+        items = _interleave(freq)
+    else:
+        raise ValueError(f"unknown order {order!r}")
+    return Stream(items, n)
+
+
+def _interleave(freq: np.ndarray) -> np.ndarray:
+    """Round-robin ordering: one copy of each still-live item per round."""
+    remaining = freq.copy()
+    out: list[int] = []
+    while remaining.any():
+        live = np.flatnonzero(remaining)
+        out.extend(live.tolist())
+        remaining[live] -= 1
+    return np.asarray(out, dtype=np.int64)
+
+
+def zipf_stream(
+    n: int,
+    m: int,
+    *,
+    alpha: float = 1.1,
+    seed: int | np.random.Generator | None = None,
+) -> Stream:
+    """A stream of ``m`` i.i.d. draws from a Zipf(``alpha``) law on ``[0, n)``.
+
+    Zipfian item popularity is the canonical model for network traffic and
+    e-commerce logs; heavy hitters make Lp sampling for ``p > 1``
+    interesting (large items dominate ``F_p``).
+    """
+    if alpha <= 0:
+        raise ValueError(f"alpha must be positive, got {alpha}")
+    rng = _rng(seed)
+    weights = 1.0 / np.arange(1, n + 1, dtype=np.float64) ** alpha
+    weights /= weights.sum()
+    items = rng.choice(n, size=m, p=weights)
+    return Stream(items, n)
+
+
+def uniform_stream(
+    n: int, m: int, *, seed: int | np.random.Generator | None = None
+) -> Stream:
+    """``m`` i.i.d. uniform draws from ``[0, n)``."""
+    rng = _rng(seed)
+    return Stream(rng.integers(0, n, size=m), n)
+
+
+def constant_stream(n: int, m: int, *, item: int = 0) -> Stream:
+    """``m`` copies of a single item — the maximally skewed stream."""
+    if not 0 <= item < n:
+        raise ValueError(f"item {item} outside universe [0, {n})")
+    return Stream(np.full(m, item, dtype=np.int64), n)
+
+
+def two_level_stream(
+    n: int,
+    *,
+    heavy_items: int,
+    heavy_count: int,
+    light_count: int = 1,
+    order: str = "random",
+    seed: int | np.random.Generator | None = None,
+) -> Stream:
+    """``heavy_items`` items appearing ``heavy_count`` times; the rest
+    appear ``light_count`` times.
+
+    The two-level shape is where perfect and approximate samplers differ
+    most visibly: an approximate sampler's relative error moves noticeable
+    mass between the two levels.
+    """
+    if heavy_items > n:
+        raise ValueError("more heavy items than universe size")
+    freq = np.full(n, light_count, dtype=np.int64)
+    freq[:heavy_items] = heavy_count
+    return stream_from_frequencies(freq, order=order, seed=seed)
+
+
+def sparse_support_stream(
+    n: int,
+    support: int,
+    m: int,
+    *,
+    seed: int | np.random.Generator | None = None,
+) -> Stream:
+    """A stream touching only ``support`` uniformly chosen coordinates.
+
+    Exercises the ``F0 ≤ √n`` branch of Algorithm 5 when
+    ``support ≤ √n``.
+    """
+    if support > n:
+        raise ValueError("support cannot exceed universe size")
+    if support <= 0:
+        raise ValueError("support must be positive")
+    rng = _rng(seed)
+    alive = rng.choice(n, size=support, replace=False)
+    items = rng.choice(alive, size=m)
+    return Stream(items, n)
+
+
+def planted_heavy_hitter_stream(
+    n: int,
+    m: int,
+    *,
+    heavy_fraction: float = 0.5,
+    heavy_item: int = 0,
+    seed: int | np.random.Generator | None = None,
+) -> Stream:
+    """One planted item carrying ``heavy_fraction`` of the mass, rest uniform."""
+    if not 0 < heavy_fraction < 1:
+        raise ValueError("heavy_fraction must be in (0, 1)")
+    rng = _rng(seed)
+    heavy_m = int(round(m * heavy_fraction))
+    light = rng.integers(0, n, size=m - heavy_m)
+    items = np.concatenate([np.full(heavy_m, heavy_item, dtype=np.int64), light])
+    return Stream(rng.permutation(items), n)
+
+
+def random_order_stream(
+    frequencies: Sequence[int] | np.ndarray,
+    *,
+    seed: int | np.random.Generator | None = None,
+) -> Stream:
+    """A uniformly random arrival order of the multiset given by
+    ``frequencies`` — the model of Appendix C."""
+    return stream_from_frequencies(frequencies, order="random", seed=seed)
+
+
+def adversarial_order_stream(
+    frequencies: Sequence[int] | np.ndarray,
+) -> Stream:
+    """Round-robin (interleaved) order: adjacent equal pairs are as rare as
+    possible, the hardest case for collision-based samplers."""
+    return stream_from_frequencies(frequencies, order="interleaved")
+
+
+def permuted(stream: Stream, *, seed: int | np.random.Generator | None = None) -> Stream:
+    """Shuffle an existing stream into random order."""
+    return stream.shuffled(_rng(seed))
+
+
+def strict_turnstile_stream(
+    n: int,
+    m: int,
+    *,
+    delete_fraction: float = 0.3,
+    max_delta: int = 3,
+    seed: int | np.random.Generator | None = None,
+) -> TurnstileStream:
+    """A random strict turnstile stream.
+
+    Insertions arrive with random positive deltas; with probability
+    ``delete_fraction`` an update instead deletes part of some currently
+    positive coordinate, never driving it negative (the strict promise).
+    """
+    if not 0 <= delete_fraction < 1:
+        raise ValueError("delete_fraction must be in [0, 1)")
+    rng = _rng(seed)
+    freq = np.zeros(n, dtype=np.int64)
+    updates: list[Update] = []
+    while len(updates) < m:
+        positive = np.flatnonzero(freq)
+        if positive.size and rng.random() < delete_fraction:
+            item = int(rng.choice(positive))
+            delta = -int(rng.integers(1, freq[item] + 1))
+        else:
+            item = int(rng.integers(0, n))
+            delta = int(rng.integers(1, max_delta + 1))
+        freq[item] += delta
+        updates.append(Update(item, delta))
+    return TurnstileStream(updates, n, strict=True)
+
+
+def matrix_stream(
+    rows: int,
+    cols: int,
+    m: int,
+    *,
+    row_weights: Sequence[float] | None = None,
+    seed: int | np.random.Generator | None = None,
+) -> list[tuple[int, int]]:
+    """Entry-wise insertion stream for an ``rows × cols`` matrix.
+
+    Returns a list of ``(row, col)`` single-unit updates, the input format
+    of Algorithm 3 (matrix G-sampler).  ``row_weights`` biases which rows
+    receive mass (default uniform).
+    """
+    rng = _rng(seed)
+    if row_weights is None:
+        p = None
+    else:
+        p = np.asarray(row_weights, dtype=np.float64)
+        if p.size != rows:
+            raise ValueError("row_weights must have one entry per row")
+        p = p / p.sum()
+    r = rng.choice(rows, size=m, p=p)
+    c = rng.integers(0, cols, size=m)
+    return list(zip(r.tolist(), c.tolist()))

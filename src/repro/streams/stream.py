@@ -1,0 +1,224 @@
+"""Core stream abstractions.
+
+All samplers consume streams through the small interface defined here.
+Items are integers in ``[0, n)`` (0-based, unlike the paper's ``[n]``; the
+translation is mechanical).  Insertion-only streams are stored as a dense
+``numpy`` integer array because every experiment replays the same stream
+through many sampler instances, and array iteration dominates the harness
+cost otherwise.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+from collections.abc import Iterable, Iterator, Sequence
+
+import numpy as np
+
+__all__ = ["StreamKind", "Update", "Stream", "TurnstileStream"]
+
+
+class StreamKind(enum.Enum):
+    """Which streaming regime a stream's updates obey."""
+
+    INSERTION_ONLY = "insertion-only"
+    STRICT_TURNSTILE = "strict-turnstile"
+    GENERAL_TURNSTILE = "general-turnstile"
+
+
+@dataclasses.dataclass(frozen=True, slots=True)
+class Update:
+    """A single signed update ``(item, delta)`` to coordinate ``item``.
+
+    Insertion-only streams use ``delta == 1`` exclusively; the class exists
+    so turnstile algorithms and the lower-bound reduction can share one
+    update vocabulary.
+    """
+
+    item: int
+    delta: int = 1
+
+    def __post_init__(self) -> None:
+        if self.item < 0:
+            raise ValueError(f"item must be non-negative, got {self.item}")
+        if self.delta == 0:
+            raise ValueError("zero-delta updates are not allowed")
+
+
+class Stream:
+    """An insertion-only stream over the universe ``[0, n)``.
+
+    Parameters
+    ----------
+    items:
+        The sequence of coordinate updates, one insertion each.
+    n:
+        Universe size.  Every item must lie in ``[0, n)``.
+
+    The object is immutable; iterating yields plain ``int`` items.
+    """
+
+    __slots__ = ("_items", "_n")
+
+    def __init__(self, items: Sequence[int] | np.ndarray, n: int) -> None:
+        if n <= 0:
+            raise ValueError(f"universe size must be positive, got {n}")
+        arr = np.asarray(items, dtype=np.int64)
+        if arr.ndim != 1:
+            raise ValueError("stream items must form a 1-d sequence")
+        if arr.size and (arr.min() < 0 or arr.max() >= n):
+            raise ValueError(f"stream items must lie in [0, {n})")
+        arr.setflags(write=False)
+        self._items = arr
+        self._n = n
+
+    @property
+    def n(self) -> int:
+        """Universe size."""
+        return self._n
+
+    @property
+    def items(self) -> np.ndarray:
+        """Read-only array of the stream's items."""
+        return self._items
+
+    @property
+    def kind(self) -> StreamKind:
+        return StreamKind.INSERTION_ONLY
+
+    def __len__(self) -> int:
+        return int(self._items.size)
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(self._items.tolist())
+
+    def __getitem__(self, index: int) -> int:
+        return int(self._items[index])
+
+    def __repr__(self) -> str:
+        return f"Stream(m={len(self)}, n={self._n})"
+
+    def frequencies(self) -> np.ndarray:
+        """Exact frequency vector ``f`` induced by the whole stream."""
+        return np.bincount(self._items, minlength=self._n).astype(np.int64)
+
+    def window_frequencies(self, window: int) -> np.ndarray:
+        """Exact frequency vector of the last ``window`` updates."""
+        if window <= 0:
+            raise ValueError(f"window must be positive, got {window}")
+        active = self._items[-window:]
+        return np.bincount(active, minlength=self._n).astype(np.int64)
+
+    def prefix(self, t: int) -> "Stream":
+        """The stream truncated to its first ``t`` updates."""
+        return Stream(self._items[:t], self._n)
+
+    def concat(self, other: "Stream") -> "Stream":
+        """Concatenate two streams over the same universe."""
+        if other.n != self._n:
+            raise ValueError("cannot concatenate streams over different universes")
+        return Stream(np.concatenate([self._items, other.items]), self._n)
+
+    def shuffled(self, rng: np.random.Generator) -> "Stream":
+        """A uniformly random reordering (the *random-order* model)."""
+        return Stream(rng.permutation(self._items), self._n)
+
+
+class TurnstileStream:
+    """A turnstile stream of signed updates over ``[0, n)``.
+
+    Parameters
+    ----------
+    updates:
+        Iterable of :class:`Update` (or ``(item, delta)`` pairs).
+    n:
+        Universe size.
+    strict:
+        When true, validates the *strict* turnstile promise — every
+        intermediate frequency vector is non-negative (Appendix D).
+    """
+
+    __slots__ = ("_updates", "_n", "_strict")
+
+    def __init__(
+        self,
+        updates: Iterable[Update | tuple[int, int]],
+        n: int,
+        strict: bool = True,
+    ) -> None:
+        if n <= 0:
+            raise ValueError(f"universe size must be positive, got {n}")
+        normalized: list[Update] = []
+        for u in updates:
+            if not isinstance(u, Update):
+                u = Update(*u)
+            if u.item >= n:
+                raise ValueError(f"item {u.item} outside universe [0, {n})")
+            normalized.append(u)
+        self._updates = tuple(normalized)
+        self._n = n
+        self._strict = strict
+        if strict:
+            self._check_strictness()
+
+    def _check_strictness(self) -> None:
+        freq = np.zeros(self._n, dtype=np.int64)
+        for u in self._updates:
+            freq[u.item] += u.delta
+            if freq[u.item] < 0:
+                raise ValueError(
+                    "strict turnstile promise violated: coordinate "
+                    f"{u.item} went negative"
+                )
+
+    @property
+    def n(self) -> int:
+        return self._n
+
+    @property
+    def kind(self) -> StreamKind:
+        if self._strict:
+            return StreamKind.STRICT_TURNSTILE
+        return StreamKind.GENERAL_TURNSTILE
+
+    @property
+    def updates(self) -> tuple[Update, ...]:
+        return self._updates
+
+    def __len__(self) -> int:
+        return len(self._updates)
+
+    def __iter__(self) -> Iterator[Update]:
+        return iter(self._updates)
+
+    def __repr__(self) -> str:
+        return f"TurnstileStream(m={len(self)}, n={self._n}, kind={self.kind.value})"
+
+    def frequencies(self) -> np.ndarray:
+        """Exact final frequency vector."""
+        freq = np.zeros(self._n, dtype=np.int64)
+        for u in self._updates:
+            freq[u.item] += u.delta
+        return freq
+
+    @staticmethod
+    def from_difference(x: Sequence[int], y: Sequence[int]) -> "TurnstileStream":
+        """Build the ``f = x − y`` stream of the Theorem 1.2 reduction.
+
+        Alice inserts ``x``; Bob deletes ``y``.  The result is a *general*
+        turnstile stream (intermediate negativity is allowed).
+        """
+        x_arr = np.asarray(x, dtype=np.int64)
+        y_arr = np.asarray(y, dtype=np.int64)
+        if x_arr.shape != y_arr.shape:
+            raise ValueError("x and y must have the same length")
+        n = int(x_arr.size)
+        ups: list[Update] = []
+        for i in range(n):
+            if x_arr[i]:
+                ups.append(Update(i, int(x_arr[i])))
+        for i in range(n):
+            if y_arr[i]:
+                ups.append(Update(i, -int(y_arr[i])))
+        return TurnstileStream(ups, n, strict=False)

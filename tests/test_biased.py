@@ -1,0 +1,67 @@
+"""Tests for the controlled-bias instrument (repro.perfect.biased)."""
+
+import numpy as np
+import pytest
+
+from repro.core import LpMeasure
+from repro.perfect import BiasedGSampler
+from repro.stats import lp_target, total_variation
+from repro.stats.harness import collect_outcomes, empirical_distribution
+from repro.streams import stream_from_frequencies
+
+FREQ = np.array([1, 2, 3, 10])
+STREAM = stream_from_frequencies(FREQ, order="random", seed=2)
+
+
+class TestBiasedGSampler:
+    def test_gamma_zero_is_exact(self):
+        s = BiasedGSampler(LpMeasure(1.0), 4, gamma=0.0, seed=0)
+        s.extend(STREAM)
+        assert total_variation(s.output_distribution(), lp_target(FREQ, 1.0)) == 0.0
+
+    def test_output_distribution_is_planted_mixture(self):
+        gamma = 0.2
+        s = BiasedGSampler(LpMeasure(1.0), 4, gamma=gamma, bias_items=[0], seed=0)
+        s.extend(STREAM)
+        target = lp_target(FREQ, 1.0)
+        out = s.output_distribution()
+        expected = (1 - gamma) * target
+        expected[0] += gamma
+        assert np.allclose(out, expected)
+
+    def test_tv_equals_gamma_times_planted_mass(self):
+        gamma = 0.1
+        s = BiasedGSampler(LpMeasure(1.0), 4, gamma=gamma, bias_items=[0], seed=0)
+        s.extend(STREAM)
+        tv = total_variation(s.output_distribution(), s.target_distribution())
+        # TV of the mixture = γ·TV(planted, target) ≤ γ; positive here.
+        assert 0 < tv <= gamma + 1e-12
+
+    def test_sampling_matches_analytic_distribution(self):
+        gamma = 0.3
+        out_dist = None
+
+        def run(seed):
+            s = BiasedGSampler(
+                LpMeasure(1.0), 4, gamma=gamma, bias_items=[0], seed=seed
+            )
+            return s.run(STREAM)
+
+        counts, __, __ = collect_outcomes(run, trials=4000)
+        emp = empirical_distribution(counts, 4)
+        ref = BiasedGSampler(LpMeasure(1.0), 4, gamma=gamma, bias_items=[0], seed=0)
+        ref.extend(STREAM)
+        assert total_variation(emp, ref.output_distribution()) < 0.03
+
+    def test_empty_stream(self):
+        s = BiasedGSampler(LpMeasure(1.0), 4, seed=0)
+        assert s.sample().is_empty
+
+    def test_bias_falls_back_when_planted_items_absent(self):
+        s = BiasedGSampler(LpMeasure(1.0), 4, gamma=0.5, bias_items=[3], seed=0)
+        s.extend([0, 0, 1])  # item 3 never appears
+        assert np.allclose(s.output_distribution(), s.target_distribution())
+
+    def test_validates_gamma(self):
+        with pytest.raises(ValueError):
+            BiasedGSampler(LpMeasure(1.0), 4, gamma=1.0)

@@ -1,0 +1,102 @@
+"""Tests for the extended measures (Cauchy, Geman–McClure) and the
+generic bounded-measure F0 route."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from conftest import assert_matches_distribution
+from repro.core import (
+    BoundedMeasureSampler,
+    CauchyMeasure,
+    GemanMcClureMeasure,
+    TrulyPerfectGSampler,
+    TukeySampler,
+)
+from repro.stats import g_target
+from repro.streams import stream_from_frequencies
+
+FREQ = np.array([4, 0, 1, 7, 0, 2, 0, 9, 3, 1])
+STREAM = stream_from_frequencies(FREQ, order="random", seed=31)
+
+
+class TestCauchyMeasure:
+    def test_values(self):
+        m = CauchyMeasure(tau=2.0)
+        assert m(0) == 0.0
+        assert m(2) == pytest.approx(2.0 * np.log(2.0))
+
+    @given(c=st.integers(1, 5000))
+    @settings(max_examples=60, deadline=None)
+    def test_zeta_valid(self, c):
+        m = CauchyMeasure(tau=3.0)
+        assert m.increment(c) <= m.zeta(None) + 1e-9
+
+    @given(freq=st.lists(st.integers(1, 40), min_size=1, max_size=20))
+    @settings(max_examples=50, deadline=None)
+    def test_fg_bound_certified(self, freq):
+        m = CauchyMeasure(tau=1.5)
+        fg = sum(m(f) for f in freq)
+        assert m.fg_lower_bound(sum(freq)) <= fg + 1e-9
+
+    def test_framework_sampler_exact(self):
+        measure = CauchyMeasure(tau=1.0)
+        target = g_target(FREQ, measure)
+
+        def run(seed):
+            return TrulyPerfectGSampler(
+                measure, seed=seed, m_hint=len(STREAM)
+            ).run(STREAM)
+
+        assert_matches_distribution(run, target, trials=2500, max_fail_rate=0.05)
+
+    def test_validates_tau(self):
+        with pytest.raises(ValueError):
+            CauchyMeasure(tau=0.0)
+
+
+class TestGemanMcClureMeasure:
+    def test_values_and_saturation(self):
+        m = GemanMcClureMeasure()
+        assert m(0) == 0.0
+        assert m(1) == pytest.approx(0.25)
+        assert m(100) < m.saturation == 0.5
+
+    @given(c=st.integers(1, 1000))
+    @settings(max_examples=60, deadline=None)
+    def test_zeta_valid(self, c):
+        m = GemanMcClureMeasure()
+        assert m.increment(c) <= m.zeta(None) + 1e-9
+
+    def test_monotone(self):
+        m = GemanMcClureMeasure()
+        vals = [m(x) for x in range(20)]
+        assert all(b >= a for a, b in zip(vals, vals[1:]))
+
+
+class TestBoundedMeasureSampler:
+    def test_geman_mcclure_distribution(self):
+        measure = GemanMcClureMeasure()
+        target = g_target(FREQ, measure)
+
+        def run(seed):
+            return BoundedMeasureSampler(
+                measure, len(FREQ), seed=seed
+            ).run(STREAM)
+
+        assert_matches_distribution(run, target, trials=2500, max_fail_rate=0.05)
+
+    def test_tukey_subclass_equivalence(self):
+        """TukeySampler is the named BoundedMeasureSampler instantiation."""
+        t = TukeySampler(16, tau=4.0, seed=0)
+        assert isinstance(t, BoundedMeasureSampler)
+        assert t.measure.tau == 4.0
+
+    def test_empty_stream(self):
+        s = BoundedMeasureSampler(GemanMcClureMeasure(), 8, seed=0)
+        assert s.sample().is_empty
+
+    def test_validates_delta(self):
+        with pytest.raises(ValueError):
+            BoundedMeasureSampler(GemanMcClureMeasure(), 8, delta=0.0)

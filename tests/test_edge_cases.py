@@ -1,0 +1,226 @@
+"""Edge cases and failure injection across all sampler families."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    Algorithm5F0Sampler,
+    HuberMeasure,
+    L1L2Measure,
+    LpMeasure,
+    RandomOracleF0Sampler,
+    SampleOutcome,
+    SampleResult,
+    SamplerPool,
+    TrulyPerfectF0Sampler,
+    TrulyPerfectGSampler,
+    TrulyPerfectLpSampler,
+    TukeySampler,
+)
+from repro.random_order import RandomOrderL2Sampler
+from repro.sliding_window import (
+    SlidingWindowF0Sampler,
+    SlidingWindowGSampler,
+    SlidingWindowLpSampler,
+)
+from repro.streams import Stream
+
+
+class TestSampleResult:
+    def test_constructors(self):
+        assert SampleResult.of(3).outcome is SampleOutcome.ITEM
+        assert SampleResult.empty().is_empty
+        assert SampleResult.fail().is_fail
+
+    def test_metadata_passthrough(self):
+        res = SampleResult.of(1, count=5)
+        assert res.metadata["count"] == 5
+
+    def test_frozen(self):
+        res = SampleResult.of(1)
+        with pytest.raises(AttributeError):
+            res.item = 2
+
+
+class TestLengthOneStreams:
+    """Every sampler must handle a single-update stream."""
+
+    STREAM = Stream([3], n=8)
+
+    def test_g_sampler(self):
+        res = TrulyPerfectGSampler(L1L2Measure(), instances=32, seed=0).run(
+            self.STREAM
+        )
+        assert res.is_item and res.item == 3
+
+    def test_lp_sampler(self):
+        res = TrulyPerfectLpSampler(p=2.0, n=8, seed=0).run(self.STREAM)
+        assert res.is_item and res.item == 3
+
+    def test_f0_samplers(self):
+        for sampler in (
+            TrulyPerfectF0Sampler(8, seed=0),
+            RandomOracleF0Sampler(8, seed=0),
+        ):
+            res = sampler.run(self.STREAM)
+            assert res.is_item and res.item == 3
+
+    def test_tukey(self):
+        res = TukeySampler(8, tau=3.0, delta=0.01, seed=0).run(self.STREAM)
+        # Tukey may reject; if it answers, the answer is forced.
+        if res.is_item:
+            assert res.item == 3
+
+    def test_sliding_window(self):
+        for sampler in (
+            SlidingWindowGSampler(HuberMeasure(), window=5, seed=0),
+            SlidingWindowLpSampler(2.0, window=5, instances=16, seed=0),
+            SlidingWindowF0Sampler(8, window=5, seed=0),
+        ):
+            res = sampler.run(self.STREAM)
+            assert res.is_item and res.item == 3
+
+
+class TestUniverseOfOne:
+    def test_constant_universe(self):
+        stream = Stream([0, 0, 0], n=1)
+        res = TrulyPerfectLpSampler(p=2.0, n=1, seed=0).run(stream)
+        assert res.is_item and res.item == 0
+        res = TrulyPerfectF0Sampler(1, seed=0).run(stream)
+        assert res.is_item and res.item == 0
+
+
+class TestDegenerateDistributions:
+    def test_single_distinct_item_always_wins(self):
+        stream = Stream([5] * 100, n=16)
+        for seed in range(20):
+            res = TrulyPerfectGSampler(
+                HuberMeasure(), instances=16, seed=seed
+            ).run(stream)
+            if res.is_item:
+                assert res.item == 5
+
+    def test_max_count_increment_within_zeta(self):
+        """c = m (one item only): the largest possible increment must
+        still be ≤ ζ, exercising the boundary of the rejection step."""
+        stream = Stream([0] * 50, n=4)
+        s = TrulyPerfectLpSampler(p=2.0, n=4, seed=0)
+        s.extend(stream)
+        # Every instance holds item 0 with some count ≤ 50.
+        assert s.normalizer() >= 50**2 - 49**2 - 1e-9
+        assert s.sample().is_item  # never raises
+
+
+class TestPoolReuseSemantics:
+    def test_repeated_sample_calls_are_correlated_but_valid(self):
+        """sample() may be called repeatedly; each call re-randomizes the
+        acceptance coins over the same reservoir state."""
+        stream = Stream(list(range(10)) * 10, n=10)
+        s = TrulyPerfectGSampler(L1L2Measure(), instances=64, seed=0)
+        s.extend(stream)
+        outcomes = {s.sample().outcome for __ in range(10)}
+        assert SampleOutcome.ITEM in outcomes
+
+    def test_pool_updates_after_sample(self):
+        """Sampling is non-destructive: the stream can continue."""
+        s = TrulyPerfectGSampler(L1L2Measure(), instances=16, seed=0)
+        s.extend([0, 1, 2])
+        first = s.sample()
+        s.extend([3, 4, 5])
+        second = s.sample()
+        assert s.position == 6
+        assert first.outcome in (SampleOutcome.ITEM, SampleOutcome.FAIL)
+        assert second.outcome in (SampleOutcome.ITEM, SampleOutcome.FAIL)
+
+
+class TestGeneratorSeedSharing:
+    def test_shared_generator_produces_different_samplers(self):
+        rng = np.random.default_rng(7)
+        a = TrulyPerfectLpSampler(p=2.0, n=8, seed=rng)
+        b = TrulyPerfectLpSampler(p=2.0, n=8, seed=rng)
+        stream = Stream([1, 2, 3, 1, 2, 1] * 20, n=8)
+        ra = a.run(stream)
+        rb = b.run(stream)
+        # Both valid; drawing from the shared generator decorrelates them.
+        assert ra.outcome in (SampleOutcome.ITEM, SampleOutcome.FAIL)
+        assert rb.outcome in (SampleOutcome.ITEM, SampleOutcome.FAIL)
+
+
+class TestWindowBoundaries:
+    def test_window_one(self):
+        s = SlidingWindowF0Sampler(8, window=1, seed=0)
+        s.extend([1, 2, 3])
+        res = s.sample()
+        assert res.is_item and res.item == 3
+
+    def test_window_equals_stream(self):
+        stream = Stream([0, 1, 0, 1], n=4)
+        s = SlidingWindowGSampler(HuberMeasure(), window=4, seed=0)
+        res = s.run(stream)
+        if res.is_item:
+            assert res.item in (0, 1)
+
+    def test_exactly_two_windows(self):
+        """Generation rotation boundary: t = 2W."""
+        s = SlidingWindowGSampler(HuberMeasure(), window=3, instances=8, seed=0)
+        s.extend([0, 0, 0, 1, 1, 1])
+        res = s.sample()
+        if res.is_item:
+            assert res.item == 1
+
+
+class TestRandomOrderEdges:
+    def test_odd_length_stream_ignores_trailing(self):
+        s = RandomOrderL2Sampler(4, horizon=10, seed=0)
+        s.extend([1, 1, 2])  # the trailing '2' never forms a pair
+        res = s.sample()
+        if res.is_item:
+            assert res.item == 1
+
+    def test_two_element_stream(self):
+        s = RandomOrderL2Sampler(4, horizon=2, seed=0)
+        s.extend([3, 3])  # guaranteed collision
+        assert s.sample().item == 3
+
+
+class TestFailureInjection:
+    def test_zero_instances_rejected(self):
+        with pytest.raises(ValueError):
+            SamplerPool(0)
+
+    def test_g_sampler_survives_all_reject(self):
+        """Force rejection by a measure whose increments vanish at large
+        counts (concave) on a heavy stream with a single instance."""
+        import math
+
+        from repro.core import ConcaveMeasure
+
+        measure = ConcaveMeasure(lambda x: math.log2(1 + x), "log")
+        stream = Stream([0] * 200, n=2)
+        fails = 0
+        for seed in range(50):
+            s = TrulyPerfectGSampler(measure, instances=1, seed=seed)
+            if s.run(stream).is_fail:
+                fails += 1
+        assert fails > 0  # rejection genuinely happens
+        # ... and amplification drives failure to ~(1 - F_G/(ζm))^R:
+        # acceptance/instance = log2(201)/200 ≈ 0.038, so R = 256 gives
+        # failure probability ≈ 5e-5.
+        amplified_fails = 0
+        for seed in range(50):
+            s = TrulyPerfectGSampler(measure, instances=256, seed=seed)
+            if s.run(stream).is_fail:
+                amplified_fails += 1
+        assert amplified_fails <= 1
+
+    def test_f0_dense_with_tiny_subset(self):
+        """Algorithm 5's FAIL path: force S to miss the support."""
+        fails = 0
+        for seed in range(300):
+            s = Algorithm5F0Sampler(10_000, seed=seed)
+            # Support of 150 items (> √n = 100) out of 10k: S of 200
+            # random items misses it reasonably often.
+            s.extend(range(5_000, 5_150))
+            if s.sample().is_fail:
+                fails += 1
+        assert 0 < fails < 300  # both branches exercised

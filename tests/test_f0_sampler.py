@@ -1,0 +1,141 @@
+"""Tests for truly perfect F0 sampling (Section 5) and the Tukey sampler."""
+
+import numpy as np
+import pytest
+
+from conftest import assert_matches_distribution
+from repro.core import (
+    Algorithm5F0Sampler,
+    RandomOracleF0Sampler,
+    TrulyPerfectF0Sampler,
+    TukeyMeasure,
+    TukeySampler,
+)
+from repro.stats import f0_target, g_target
+from repro.streams import sparse_support_stream, stream_from_frequencies, zipf_stream
+
+FREQ = np.array([4, 0, 1, 7, 0, 2, 0, 9, 3, 1])
+STREAM = stream_from_frequencies(FREQ, order="random", seed=3)
+TARGET = f0_target(FREQ)
+
+
+class TestAlgorithm5:
+    def test_sparse_regime_never_fails(self):
+        """F0 < √n: everything is in T, sampling is exact."""
+        stream = sparse_support_stream(400, support=5, m=300, seed=0)
+        target = f0_target(stream.frequencies())
+
+        def run(seed):
+            s = Algorithm5F0Sampler(400, seed=seed)
+            s.extend(stream)
+            return s.sample()
+
+        report = assert_matches_distribution(run, target, trials=2500)
+        assert report.fail_rate == 0.0
+
+    def test_dense_regime_uniform_with_bounded_failure(self):
+        def run(seed):
+            s = Algorithm5F0Sampler(len(FREQ), seed=seed)
+            s.extend(STREAM)
+            return s.sample()
+
+        report = assert_matches_distribution(run, TARGET, trials=3000)
+        # One copy fails w.p. ≤ e^{-2} ≈ 0.135 in the dense regime.
+        assert report.fail_rate <= 0.25
+
+    def test_reports_exact_frequency(self):
+        for seed in range(50):
+            s = Algorithm5F0Sampler(len(FREQ), seed=seed)
+            s.extend(STREAM)
+            res = s.sample()
+            if res.is_item:
+                assert res.metadata["frequency"] == FREQ[res.item]
+
+    def test_empty_stream(self):
+        s = Algorithm5F0Sampler(16, seed=0)
+        assert s.sample().is_empty
+
+    def test_validates_universe(self):
+        with pytest.raises(ValueError):
+            Algorithm5F0Sampler(0)
+        s = Algorithm5F0Sampler(4, seed=0)
+        with pytest.raises(ValueError):
+            s.update(4)
+
+
+class TestTrulyPerfectF0:
+    def test_amplification_reduces_failure(self):
+        fails = 0
+        trials = 400
+        for seed in range(trials):
+            s = TrulyPerfectF0Sampler(len(FREQ), delta=0.01, seed=seed)
+            if s.run(STREAM).is_fail:
+                fails += 1
+        assert fails / trials <= 0.02
+
+    def test_distribution_uniform_over_support(self):
+        def run(seed):
+            return TrulyPerfectF0Sampler(len(FREQ), delta=0.05, seed=seed).run(STREAM)
+
+        assert_matches_distribution(run, TARGET, trials=3000, max_fail_rate=0.05)
+
+    def test_copies_scale_with_delta(self):
+        few = TrulyPerfectF0Sampler(16, delta=0.3, seed=0).copies
+        many = TrulyPerfectF0Sampler(16, delta=0.001, seed=0).copies
+        assert many > few
+
+    def test_validates_delta(self):
+        with pytest.raises(ValueError):
+            TrulyPerfectF0Sampler(4, delta=1.5)
+
+
+class TestRandomOracleF0:
+    def test_uniform_over_support(self):
+        def run(seed):
+            return RandomOracleF0Sampler(len(FREQ), seed=seed).run(STREAM)
+
+        report = assert_matches_distribution(run, TARGET, trials=3000)
+        assert report.fail_rate == 0.0  # the oracle sampler never fails
+
+    def test_reports_exact_frequency(self):
+        for seed in range(50):
+            res = RandomOracleF0Sampler(len(FREQ), seed=seed).run(STREAM)
+            assert res.is_item
+            assert res.metadata["frequency"] == FREQ[res.item]
+
+    def test_empty(self):
+        assert RandomOracleF0Sampler(8, seed=0).sample().is_empty
+
+    def test_deterministic_given_seed(self):
+        a = RandomOracleF0Sampler(len(FREQ), seed=5).run(STREAM)
+        b = RandomOracleF0Sampler(len(FREQ), seed=5).run(STREAM)
+        assert a.item == b.item
+
+
+class TestTukeySampler:
+    def test_distribution_matches_tukey_target(self):
+        tau = 5.0
+        target = g_target(FREQ, TukeyMeasure(tau))
+
+        def run(seed):
+            return TukeySampler(len(FREQ), tau=tau, seed=seed).run(STREAM)
+
+        assert_matches_distribution(run, target, trials=3000, max_fail_rate=0.05)
+
+    def test_sqrt_n_variant(self):
+        tau = 4.0
+        target = g_target(FREQ, TukeyMeasure(tau))
+
+        def run(seed):
+            return TukeySampler(len(FREQ), tau=tau, oracle=False, seed=seed).run(STREAM)
+
+        assert_matches_distribution(run, target, trials=2500, max_fail_rate=0.2)
+
+    def test_repetitions_grow_with_tau(self):
+        small = TukeySampler(16, tau=2.0, seed=0).repetitions
+        large = TukeySampler(16, tau=10.0, seed=0).repetitions
+        assert large > small
+
+    def test_empty_stream(self):
+        s = TukeySampler(8, tau=3.0, seed=0)
+        assert s.sample().is_empty

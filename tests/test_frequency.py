@@ -1,0 +1,81 @@
+"""Tests for ground-truth trackers (repro.streams.frequency)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.streams import FrequencyVector, WindowedFrequency
+
+
+class TestFrequencyVector:
+    def test_basic_updates(self):
+        fv = FrequencyVector(4)
+        fv.extend([0, 1, 1, 3])
+        assert fv[0] == 1
+        assert fv[1] == 2
+        assert fv[2] == 0
+        assert fv.total == 4
+        assert fv.f0() == 3
+        assert fv.support() == [0, 1, 3]
+
+    def test_signed_updates_and_cancellation(self):
+        fv = FrequencyVector(3)
+        fv.update(1, 5)
+        fv.update(1, -5)
+        assert fv[1] == 0
+        assert fv.f0() == 0
+
+    def test_validates_item(self):
+        fv = FrequencyVector(2)
+        with pytest.raises(ValueError):
+            fv.update(2)
+
+    def test_moments(self):
+        fv = FrequencyVector(3)
+        fv.extend([0, 0, 1])
+        assert fv.fp(2) == pytest.approx(5.0)
+        assert fv.fp(1) == pytest.approx(3.0)
+        assert fv.linf() == 2
+
+    def test_f_g(self):
+        fv = FrequencyVector(3)
+        fv.extend([0, 0, 1])
+        assert fv.f_g(lambda x: x * x) == pytest.approx(5.0)
+
+    @given(st.lists(st.integers(0, 7), max_size=60))
+    @settings(max_examples=60, deadline=None)
+    def test_matches_bincount(self, items):
+        fv = FrequencyVector(8)
+        fv.extend(items)
+        assert fv.vector().tolist() == np.bincount(items, minlength=8).tolist()
+
+
+class TestWindowedFrequency:
+    def test_expiry(self):
+        wf = WindowedFrequency(3, window=2)
+        wf.extend([0, 1, 2])
+        assert wf[0] == 0  # expired
+        assert wf[1] == 1
+        assert wf[2] == 1
+        assert wf.active_count == 2
+
+    def test_validates_window(self):
+        with pytest.raises(ValueError):
+            WindowedFrequency(2, window=0)
+
+    @given(st.lists(st.integers(0, 5), max_size=50), st.integers(1, 10))
+    @settings(max_examples=60, deadline=None)
+    def test_matches_suffix_bincount(self, items, window):
+        wf = WindowedFrequency(6, window=window)
+        wf.extend(items)
+        expected = np.bincount(items[-window:] if items else [], minlength=6)
+        assert wf.vector().tolist() == expected.tolist()
+
+    def test_moments_over_window(self):
+        wf = WindowedFrequency(4, window=3)
+        wf.extend([0, 0, 0, 1, 1, 2])
+        # window = [1, 1, 2]
+        assert wf.fp(2) == pytest.approx(5.0)
+        assert wf.f0() == 2
+        assert wf.linf() == 2

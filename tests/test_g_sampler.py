@@ -1,0 +1,125 @@
+"""Distributional exactness of the Framework 1.3 G-samplers (Theorem 3.1,
+Corollary 3.6)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from conftest import assert_matches_distribution
+from repro.core import (
+    ConcaveMeasure,
+    FairMeasure,
+    HuberMeasure,
+    L1L2Measure,
+    SingleGSampler,
+    TrulyPerfectGSampler,
+)
+from repro.stats import g_target
+from repro.streams import stream_from_frequencies, zipf_stream
+
+FREQ = np.array([1, 2, 3, 5, 8, 13, 21])
+STREAM = stream_from_frequencies(FREQ, order="random", seed=99)
+
+M_ESTIMATORS = [L1L2Measure(), FairMeasure(1.0), HuberMeasure(1.0)]
+
+
+class TestSingleGSampler:
+    def test_exact_distribution_conditioned_on_accept(self):
+        measure = L1L2Measure()
+        target = g_target(FREQ, measure)
+
+        def run(seed):
+            s = SingleGSampler(measure, seed=seed)
+            s.extend(STREAM)
+            return s.sample()
+
+        report = assert_matches_distribution(run, target, trials=6000)
+        # A single instance accepts with probability F_G/(ζ m) < 1.
+        assert 0 < report.fail_rate < 1
+
+    def test_empty_stream_returns_bot(self):
+        s = SingleGSampler(L1L2Measure(), seed=0)
+        assert s.sample().is_empty
+
+    def test_invalid_zeta_raises(self):
+        s = SingleGSampler(L1L2Measure(), seed=0)
+        s.extend([0] * 10)
+        with pytest.raises(ValueError):
+            s.sample(zeta=1e-6)
+
+
+class TestTrulyPerfectGSampler:
+    @pytest.mark.parametrize("measure", M_ESTIMATORS, ids=lambda m: m.name)
+    def test_m_estimator_exactness(self, measure):
+        target = g_target(FREQ, measure)
+
+        def run(seed):
+            return TrulyPerfectGSampler(
+                measure, seed=seed, m_hint=len(STREAM)
+            ).run(STREAM)
+
+        assert_matches_distribution(run, target, trials=4000, max_fail_rate=0.05)
+
+    def test_concave_measure_exactness(self):
+        measure = ConcaveMeasure(lambda x: math.log2(1 + x), "log2(1+x)")
+        target = g_target(FREQ, measure)
+
+        def run(seed):
+            return TrulyPerfectGSampler(
+                measure, seed=seed, m_hint=len(STREAM)
+            ).run(STREAM)
+
+        assert_matches_distribution(run, target, trials=4000, max_fail_rate=0.05)
+
+    def test_fail_rate_respects_delta(self):
+        measure = HuberMeasure(1.0)
+        fails = 0
+        trials = 400
+        for seed in range(trials):
+            s = TrulyPerfectGSampler(measure, delta=0.05, seed=seed, m_hint=len(STREAM))
+            if s.run(STREAM).is_fail:
+                fails += 1
+        assert fails / trials <= 0.05 + 0.03
+
+    def test_empty_stream(self):
+        s = TrulyPerfectGSampler(L1L2Measure(), seed=0, m_hint=10)
+        assert s.sample().is_empty
+
+    def test_default_instances_m_free_for_convex(self):
+        """For convex measures the pool size is independent of m."""
+        a = TrulyPerfectGSampler.default_instances(L1L2Measure(), 0.05, m_hint=100)
+        b = TrulyPerfectGSampler.default_instances(L1L2Measure(), 0.05, m_hint=10**6)
+        assert a == b
+
+    def test_default_instances_grows_with_confidence(self):
+        lo = TrulyPerfectGSampler.default_instances(HuberMeasure(1.0), 0.5)
+        hi = TrulyPerfectGSampler.default_instances(HuberMeasure(1.0), 0.001)
+        assert hi > lo
+
+    def test_lp_above_one_rejected_without_normalizer(self):
+        from repro.core import LpMeasure
+
+        with pytest.raises(ValueError):
+            TrulyPerfectGSampler(LpMeasure(2.0), seed=0)
+
+    def test_explicit_instances_used(self):
+        s = TrulyPerfectGSampler(L1L2Measure(), instances=7, seed=0)
+        assert s.instances == 7
+
+    def test_space_words_accounting(self):
+        s = TrulyPerfectGSampler(L1L2Measure(), instances=5, seed=0)
+        s.extend(zipf_stream(16, 100, seed=1))
+        assert s.space_words >= 4 * 5
+        assert s.space_words <= 4 * 5 + 2 * 5  # ≤ instances tracked items
+
+    def test_metadata_contains_count_and_zeta(self):
+        s = TrulyPerfectGSampler(L1L2Measure(), instances=64, seed=3)
+        res = s.run(STREAM)
+        assert res.is_item
+        assert res.metadata["count"] >= 1
+        assert res.metadata["zeta"] == pytest.approx(math.sqrt(2))
+
+    def test_validates_delta(self):
+        with pytest.raises(ValueError):
+            TrulyPerfectGSampler(L1L2Measure(), delta=0.0)

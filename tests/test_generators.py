@@ -1,0 +1,162 @@
+"""Tests for workload generators (repro.streams.generators)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.streams import (
+    adversarial_order_stream,
+    constant_stream,
+    matrix_stream,
+    permuted,
+    planted_heavy_hitter_stream,
+    random_order_stream,
+    sparse_support_stream,
+    stream_from_frequencies,
+    strict_turnstile_stream,
+    two_level_stream,
+    uniform_stream,
+    zipf_stream,
+)
+
+
+class TestStreamFromFrequencies:
+    @given(st.lists(st.integers(0, 6), min_size=1, max_size=20))
+    @settings(max_examples=50, deadline=None)
+    def test_roundtrip_sorted(self, freq):
+        s = stream_from_frequencies(freq, order="sorted")
+        assert s.frequencies().tolist() == freq
+
+    @given(st.lists(st.integers(0, 6), min_size=1, max_size=20))
+    @settings(max_examples=50, deadline=None)
+    def test_roundtrip_random(self, freq):
+        s = stream_from_frequencies(freq, order="random", seed=0)
+        assert s.frequencies().tolist() == freq
+
+    def test_interleaved_order(self):
+        s = stream_from_frequencies([2, 1], order="interleaved")
+        assert list(s) == [0, 1, 0]
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            stream_from_frequencies([-1, 2])
+
+    def test_rejects_unknown_order(self):
+        with pytest.raises(ValueError):
+            stream_from_frequencies([1], order="sideways")
+
+
+class TestZipf:
+    def test_shape_and_determinism(self):
+        a = zipf_stream(100, 500, alpha=1.2, seed=7)
+        b = zipf_stream(100, 500, alpha=1.2, seed=7)
+        assert len(a) == 500
+        assert a.n == 100
+        assert list(a) == list(b)
+
+    def test_skew_increases_with_alpha(self):
+        flat = zipf_stream(50, 5000, alpha=0.5, seed=1).frequencies()
+        steep = zipf_stream(50, 5000, alpha=2.5, seed=1).frequencies()
+        assert steep.max() > flat.max()
+
+    def test_rejects_bad_alpha(self):
+        with pytest.raises(ValueError):
+            zipf_stream(10, 10, alpha=0)
+
+
+class TestUniformConstant:
+    def test_uniform_covers_universe(self):
+        s = uniform_stream(10, 2000, seed=3)
+        assert (s.frequencies() > 0).all()
+
+    def test_constant(self):
+        s = constant_stream(5, 7, item=2)
+        assert s.frequencies().tolist() == [0, 0, 7, 0, 0]
+
+    def test_constant_validates_item(self):
+        with pytest.raises(ValueError):
+            constant_stream(5, 7, item=5)
+
+
+class TestTwoLevel:
+    def test_exact_frequencies(self):
+        s = two_level_stream(10, heavy_items=2, heavy_count=9, light_count=1, seed=0)
+        freq = sorted(s.frequencies().tolist(), reverse=True)
+        assert freq == [9, 9] + [1] * 8
+
+    def test_rejects_too_many_heavy(self):
+        with pytest.raises(ValueError):
+            two_level_stream(3, heavy_items=4, heavy_count=2)
+
+
+class TestSparseSupport:
+    def test_support_size(self):
+        s = sparse_support_stream(1000, support=5, m=500, seed=0)
+        assert int((s.frequencies() > 0).sum()) <= 5
+
+    def test_validates_support(self):
+        with pytest.raises(ValueError):
+            sparse_support_stream(10, support=11, m=5)
+        with pytest.raises(ValueError):
+            sparse_support_stream(10, support=0, m=5)
+
+
+class TestPlantedHeavyHitter:
+    def test_mass_fraction(self):
+        s = planted_heavy_hitter_stream(100, 2000, heavy_fraction=0.5, seed=0)
+        freq = s.frequencies()
+        assert freq[0] >= 900  # ~half the stream plus uniform hits
+
+    def test_validates_fraction(self):
+        with pytest.raises(ValueError):
+            planted_heavy_hitter_stream(10, 10, heavy_fraction=1.5)
+
+
+class TestOrders:
+    def test_random_order_preserves_frequencies(self):
+        freq = [3, 0, 2, 5]
+        s = random_order_stream(freq, seed=0)
+        assert s.frequencies().tolist() == freq
+
+    def test_adversarial_order_interleaves(self):
+        s = adversarial_order_stream([3, 3])
+        items = list(s)
+        # Round-robin: no adjacent equal pair until one item is exhausted.
+        assert items == [0, 1, 0, 1, 0, 1]
+
+    def test_permuted_preserves_multiset(self):
+        s = zipf_stream(20, 100, seed=0)
+        p = permuted(s, seed=1)
+        assert p.frequencies().tolist() == s.frequencies().tolist()
+
+
+class TestStrictTurnstile:
+    def test_generates_valid_strict_stream(self):
+        ts = strict_turnstile_stream(20, 200, delete_fraction=0.4, seed=0)
+        assert len(ts) == 200
+        assert (ts.frequencies() >= 0).all()
+
+    def test_contains_deletions(self):
+        ts = strict_turnstile_stream(20, 300, delete_fraction=0.5, seed=1)
+        assert any(u.delta < 0 for u in ts)
+
+    def test_validates_fraction(self):
+        with pytest.raises(ValueError):
+            strict_turnstile_stream(5, 10, delete_fraction=1.0)
+
+
+class TestMatrixStream:
+    def test_shapes(self):
+        ups = matrix_stream(4, 3, 50, seed=0)
+        assert len(ups) == 50
+        assert all(0 <= r < 4 and 0 <= c < 3 for r, c in ups)
+
+    def test_row_weights_bias(self):
+        ups = matrix_stream(2, 2, 2000, row_weights=[0.9, 0.1], seed=0)
+        rows = [r for r, __ in ups]
+        assert rows.count(0) > 3 * rows.count(1)
+
+    def test_rejects_bad_weights(self):
+        with pytest.raises(ValueError):
+            matrix_stream(2, 2, 10, row_weights=[1.0])

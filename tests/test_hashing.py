@@ -1,0 +1,83 @@
+"""Tests for hash families (repro.sketches.hashing)."""
+
+import numpy as np
+import pytest
+
+from repro.sketches.hashing import MERSENNE_P, KWiseHash, PairwiseHash, random_oracle_hash
+
+
+class TestKWiseHash:
+    def test_range(self):
+        h = KWiseHash(4, 100, seed=0)
+        vals = h(np.arange(1000))
+        assert vals.min() >= 0
+        assert vals.max() < 100
+
+    def test_determinism(self):
+        h = KWiseHash(3, 50, seed=42)
+        assert h(17) == h(17)
+        a = h(np.arange(20))
+        b = h(np.arange(20))
+        assert (a == b).all()
+
+    def test_scalar_matches_vector(self):
+        h = KWiseHash(2, 64, seed=1)
+        vec = h(np.arange(10))
+        for x in range(10):
+            assert h(x) == vec[x]
+
+    def test_roughly_uniform(self):
+        h = KWiseHash(2, 8, seed=3)
+        vals = h(np.arange(8000))
+        counts = np.bincount(vals, minlength=8)
+        # Each bucket expects 1000; allow generous slack.
+        assert counts.min() > 700
+        assert counts.max() < 1300
+
+    def test_different_seeds_differ(self):
+        a = KWiseHash(2, 1000, seed=0)(np.arange(50))
+        b = KWiseHash(2, 1000, seed=1)(np.arange(50))
+        assert (a != b).any()
+
+    def test_sign_values(self):
+        h = KWiseHash(4, 1 << 16, seed=0)
+        signs = h.sign(np.arange(100))
+        assert set(np.unique(signs)) <= {-1, 1}
+
+    def test_sign_balanced(self):
+        h = KWiseHash(4, 1 << 16, seed=5)
+        signs = h.sign(np.arange(4000))
+        assert abs(int(signs.sum())) < 400
+
+    def test_validates_parameters(self):
+        with pytest.raises(ValueError):
+            KWiseHash(0, 10)
+        with pytest.raises(ValueError):
+            KWiseHash(2, 0)
+        with pytest.raises(ValueError):
+            KWiseHash(2, MERSENNE_P + 1)
+
+    def test_independence_property(self):
+        assert KWiseHash(5, 10, seed=0).independence == 5
+
+
+class TestPairwiseHash:
+    def test_is_degree_one(self):
+        h = PairwiseHash(100, seed=0)
+        assert h.independence == 2
+
+
+class TestRandomOracle:
+    def test_shape_and_range(self):
+        h = random_oracle_hash(100, seed=0)
+        assert h.shape == (100,)
+        assert (h >= 0).all() and (h < 1).all()
+
+    def test_deterministic(self):
+        a = random_oracle_hash(50, seed=9)
+        b = random_oracle_hash(50, seed=9)
+        assert (a == b).all()
+
+    def test_all_distinct(self):
+        h = random_oracle_hash(1000, seed=1)
+        assert len(np.unique(h)) == 1000

@@ -1,0 +1,107 @@
+"""Cross-module integration tests."""
+
+import numpy as np
+import pytest
+
+from conftest import assert_matches_distribution
+from repro.core import (
+    HuberMeasure,
+    TrulyPerfectF0Sampler,
+    TrulyPerfectGSampler,
+    TrulyPerfectLpSampler,
+)
+from repro.sliding_window import SlidingWindowGSampler
+from repro.stats import f0_target, g_target, lp_target
+from repro.streams import (
+    WindowedFrequency,
+    planted_heavy_hitter_stream,
+    zipf_stream,
+)
+
+
+class TestEndToEnd:
+    def test_lp_samples_find_planted_heavy_hitter(self):
+        """The intro's use case: repeated L2 samples expose heavy items."""
+        stream = planted_heavy_hitter_stream(
+            200, 4000, heavy_fraction=0.4, heavy_item=17, seed=0
+        )
+        hits = 0
+        trials = 60
+        for seed in range(trials):
+            s = TrulyPerfectLpSampler(p=2.0, n=200, seed=seed)
+            res = s.run(stream)
+            if res.is_item and res.item == 17:
+                hits += 1
+        # Item 17 carries ≥ 97% of F2 mass on this stream.
+        assert hits / trials > 0.7
+
+    def test_f0_and_lp_agree_on_support(self):
+        stream = zipf_stream(64, 1500, alpha=1.5, seed=1)
+        support = set(np.flatnonzero(stream.frequencies()).tolist())
+        for seed in range(40):
+            f0_res = TrulyPerfectF0Sampler(64, seed=seed).run(stream)
+            lp_res = TrulyPerfectLpSampler(p=2.0, n=64, seed=seed).run(stream)
+            if f0_res.is_item:
+                assert f0_res.item in support
+            if lp_res.is_item:
+                assert lp_res.item in support
+
+    def test_window_sampler_agrees_with_windowed_oracle(self):
+        """SlidingWindowGSampler vs WindowedFrequency oracle targets."""
+        n, window = 10, 150
+        stream = zipf_stream(n, 600, alpha=0.9, seed=2)
+        oracle = WindowedFrequency(n, window)
+        oracle.extend(stream)
+        target = g_target(oracle.vector(), HuberMeasure())
+
+        def run(seed):
+            return SlidingWindowGSampler(
+                HuberMeasure(), window=window, seed=seed
+            ).run(stream)
+
+        assert_matches_distribution(run, target, trials=2000, max_fail_rate=0.05)
+
+    def test_reproducibility_same_seed(self):
+        stream = zipf_stream(32, 500, seed=3)
+        a = TrulyPerfectGSampler(HuberMeasure(), seed=7, m_hint=500).run(stream)
+        b = TrulyPerfectGSampler(HuberMeasure(), seed=7, m_hint=500).run(stream)
+        assert a.outcome == b.outcome
+        assert a.item == b.item
+
+    def test_different_seeds_vary(self):
+        stream = zipf_stream(32, 500, alpha=0.5, seed=4)
+        items = {
+            TrulyPerfectGSampler(HuberMeasure(), seed=s, m_hint=500).run(stream).item
+            for s in range(25)
+        }
+        assert len(items) > 3
+
+    def test_sampling_with_metadata_retrieval(self):
+        """The paper's metadata point: samples carry their own evidence
+        (count, timestamp) that downstream code can consume."""
+        stream = zipf_stream(16, 800, alpha=1.2, seed=5)
+        s = TrulyPerfectLpSampler(p=2.0, n=16, seed=6)
+        res = s.run(stream)
+        assert res.is_item
+        ts = res.metadata["timestamp"]
+        assert stream[ts - 1] == res.item  # timestamp points at the item
+
+    def test_multiple_measures_one_stream(self):
+        """Run several G-samplers side by side on one pass (distributed
+        summaries scenario)."""
+        from repro.core import FairMeasure, L1L2Measure
+
+        stream = zipf_stream(16, 700, alpha=1.1, seed=7)
+        measures = [HuberMeasure(), FairMeasure(1.0), L1L2Measure()]
+        samplers = [
+            TrulyPerfectGSampler(m, seed=i, m_hint=700)
+            for i, m in enumerate(measures)
+        ]
+        for item in stream:
+            for s in samplers:
+                s.update(item)
+        freq = stream.frequencies()
+        for m, s in zip(measures, samplers):
+            res = s.sample()
+            if res.is_item:
+                assert freq[res.item] > 0

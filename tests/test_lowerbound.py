@@ -1,0 +1,133 @@
+"""Tests for the Theorem 1.2 reduction and the γ ↔ memory trade-off."""
+
+import numpy as np
+import pytest
+
+from repro.lowerbound import (
+    EqualityReduction,
+    ExactTurnstileSampler,
+    FingerprintSampler,
+    measure_advantage,
+    refutation_bound_bits,
+)
+
+
+class TestFingerprintSampler:
+    def test_equal_vectors_always_bot(self):
+        """x = y ⇒ f = 0 ⇒ fingerprint 0 ⇒ ⊥ with certainty."""
+        rng = np.random.default_rng(0)
+        for seed in range(50):
+            x = rng.integers(0, 2, size=24)
+            s = FingerprintSampler(24, bits=8, seed=seed)
+            for i, v in enumerate(x):
+                if v:
+                    s.update(i, int(v))
+            for i, v in enumerate(x):
+                if v:
+                    s.update(i, -int(v))
+            assert s.sample().is_empty
+
+    def test_unequal_rarely_bot(self):
+        """x ≠ y ⇒ ⊥ only on a fingerprint collision (≈ 2^{-bits})."""
+        bots = 0
+        trials = 800
+        for seed in range(trials):
+            s = FingerprintSampler(16, bits=8, seed=seed)
+            s.update(3, 1)  # f = e_3 ≠ 0
+            if s.sample().is_empty:
+                bots += 1
+        assert bots / trials < 0.05
+
+    def test_collision_rate_tracks_bits(self):
+        """γ ≈ 2^{-bits}: 2 bits collide far more often than 8."""
+
+        def collision_rate(bits, trials=1500):
+            hits = 0
+            for seed in range(trials):
+                s = FingerprintSampler(16, bits=bits, seed=seed)
+                s.update(1, 1)
+                if s.sample().is_empty:
+                    hits += 1
+            return hits / trials
+
+        rate2 = collision_rate(2)
+        rate8 = collision_rate(8)
+        assert rate2 == pytest.approx(0.25, abs=0.08)
+        assert rate8 < 0.05
+
+    def test_state_bits(self):
+        assert FingerprintSampler(8, bits=12, seed=0).state_bits == 12
+
+    def test_validates_bits(self):
+        with pytest.raises(ValueError):
+            FingerprintSampler(8, bits=0)
+
+
+class TestExactSampler:
+    def test_truly_perfect_on_turnstile(self):
+        s = ExactTurnstileSampler(4, seed=0)
+        s.update(1, 3)
+        s.update(1, -3)
+        s.update(2, 5)
+        res = s.sample()
+        assert res.is_item
+        assert res.item == 2
+
+    def test_empty(self):
+        assert ExactTurnstileSampler(4, seed=0).sample().is_empty
+
+
+class TestReduction:
+    def test_exact_sampler_solves_equality_perfectly(self):
+        red = EqualityReduction(lambda seed: ExactTurnstileSampler(16, seed=seed))
+        rng = np.random.default_rng(1)
+        for trial in range(30):
+            x = rng.integers(0, 2, size=16)
+            y = x.copy()
+            y[int(rng.integers(0, 16))] ^= 1
+            assert red.decide(x, x.copy(), seed=trial) is True
+            assert red.decide(x, y, seed=trial) is False
+
+    def test_advantage_grows_with_bits(self):
+        """The executable content of Theorem 1.2: refutation error tracks
+        2^{-bits}, so advantage grows with memory."""
+        reports = {
+            bits: measure_advantage(
+                lambda seed, b=bits: FingerprintSampler(16, bits=b, seed=seed),
+                n=16,
+                trials=250,
+                state_bits=bits,
+            )
+            for bits in (1, 4, 10)
+        }
+        assert reports[1].refutation_error > reports[4].refutation_error
+        assert reports[4].refutation_error >= reports[10].refutation_error
+        assert reports[10].advantage > 0.9
+        # Verification side is error-free for the fingerprint family.
+        assert all(r.verification_error == 0.0 for r in reports.values())
+
+    def test_memory_matches_bound(self):
+        """Measured γ vs the Ω(log 1/γ) bound: our b-bit family sits within
+        a constant of the bound's prediction."""
+        report = measure_advantage(
+            lambda seed: FingerprintSampler(16, bits=6, seed=seed),
+            n=16,
+            trials=400,
+            state_bits=6,
+        )
+        gamma = max(report.refutation_error, 1.0 / 400)
+        bound = refutation_bound_bits(16, gamma)
+        # The construction's memory is within a small factor of the bound.
+        assert report.state_bits >= 0.2 * bound
+
+
+class TestBoundFormula:
+    def test_monotone_in_inverse_gamma(self):
+        assert refutation_bound_bits(64, 1e-6) > refutation_bound_bits(64, 1e-2)
+
+    def test_caps_at_n(self):
+        assert refutation_bound_bits(10, 1e-30) <= 10
+
+    def test_validates_gamma(self):
+        with pytest.raises(ValueError):
+            refutation_bound_bits(10, 0.0)

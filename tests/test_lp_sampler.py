@@ -1,0 +1,108 @@
+"""Distributional exactness and sizing of the truly perfect Lp samplers
+(Theorems 3.3, 3.4, 3.5)."""
+
+import numpy as np
+import pytest
+
+from conftest import assert_matches_distribution
+from repro.core import TrulyPerfectLpSampler, lp_instance_bound
+from repro.stats import lp_target
+from repro.streams import stream_from_frequencies
+
+FREQ = np.array([1, 2, 3, 5, 8, 13, 21])
+STREAM = stream_from_frequencies(FREQ, order="random", seed=7)
+
+
+class TestExactness:
+    @pytest.mark.parametrize("p", [0.5, 1.0, 1.5, 2.0])
+    def test_distribution_matches_target(self, p):
+        target = lp_target(FREQ, p)
+
+        def run(seed):
+            s = TrulyPerfectLpSampler(
+                p=p, n=len(FREQ), m_hint=len(STREAM), seed=seed
+            )
+            return s.run(STREAM)
+
+        assert_matches_distribution(run, target, trials=3000, max_fail_rate=0.05)
+
+    def test_p_equal_one_is_reservoir(self):
+        """p = 1 accepts on the first instance always (ζ = increment = 1)."""
+        s = TrulyPerfectLpSampler(p=1.0, n=len(FREQ), seed=0)
+        res = s.run(STREAM)
+        assert res.is_item
+
+    def test_skewed_stream_p2(self):
+        freq = np.array([50, 1, 1, 1, 1])
+        stream = stream_from_frequencies(freq, order="random", seed=1)
+        target = lp_target(freq, 2.0)
+
+        def run(seed):
+            return TrulyPerfectLpSampler(p=2.0, n=5, seed=seed).run(stream)
+
+        assert_matches_distribution(run, target, trials=2500, max_fail_rate=0.05)
+
+
+class TestSizing:
+    def test_instance_bound_scales_with_n(self):
+        small = lp_instance_bound(2.0, 16, 0.1)
+        large = lp_instance_bound(2.0, 1024, 0.1)
+        # n^{1/2} scaling: 1024/16 = 64 => factor 8.
+        assert large / small == pytest.approx(8.0, rel=0.15)
+
+    def test_instance_bound_sub_one_scales_with_m(self):
+        small = lp_instance_bound(0.5, 16, 0.1, m_hint=100)
+        large = lp_instance_bound(0.5, 16, 0.1, m_hint=10000)
+        assert large / small == pytest.approx(10.0, rel=0.15)
+
+    def test_sub_one_requires_m_hint(self):
+        with pytest.raises(ValueError):
+            lp_instance_bound(0.5, 16, 0.1)
+
+    def test_p_one_needs_constant_instances(self):
+        assert lp_instance_bound(1.0, 10**6, 0.5) <= 4
+
+    def test_validates_delta(self):
+        with pytest.raises(ValueError):
+            lp_instance_bound(2.0, 16, 0.0)
+
+
+class TestMechanics:
+    def test_empty_stream_is_bot(self):
+        s = TrulyPerfectLpSampler(p=2.0, n=8, seed=0)
+        assert s.sample().is_empty
+
+    def test_normalizer_certified(self):
+        """ζ must dominate the worst increment of the true frequencies."""
+        s = TrulyPerfectLpSampler(p=2.0, n=len(FREQ), seed=0)
+        s.extend(STREAM)
+        linf = int(FREQ.max())
+        worst = linf**2 - (linf - 1) ** 2
+        assert s.normalizer() >= worst - 1e-9
+
+    def test_fail_rate_within_delta(self):
+        fails = 0
+        trials = 300
+        for seed in range(trials):
+            s = TrulyPerfectLpSampler(p=2.0, n=len(FREQ), delta=0.05, seed=seed)
+            if s.run(STREAM).is_fail:
+                fails += 1
+        assert fails / trials <= 0.05 + 0.03
+
+    def test_validates_params(self):
+        with pytest.raises(ValueError):
+            TrulyPerfectLpSampler(p=0.0, n=4)
+        with pytest.raises(ValueError):
+            TrulyPerfectLpSampler(p=1.0, n=0)
+
+    def test_space_words_includes_mg(self):
+        s2 = TrulyPerfectLpSampler(p=2.0, n=64, instances=10, seed=0)
+        s1 = TrulyPerfectLpSampler(p=1.0, n=64, instances=10, seed=0)
+        assert s2.space_words > s1.space_words  # MG counters included
+
+    def test_result_metadata(self):
+        s = TrulyPerfectLpSampler(p=2.0, n=len(FREQ), seed=11)
+        res = s.run(STREAM)
+        assert res.is_item
+        assert res.metadata["count"] >= 1
+        assert res.metadata["zeta"] > 0

@@ -1,0 +1,94 @@
+"""Distributional exactness of the matrix row sampler (Algorithm 3 /
+Theorem 3.7)."""
+
+import numpy as np
+import pytest
+
+from conftest import assert_matches_distribution
+from repro.core import RowL1Measure, RowL2Measure, TrulyPerfectMatrixSampler
+from repro.stats import row_target
+
+# A small fixed matrix streamed entry-by-entry.
+MATRIX = np.array(
+    [
+        [3, 0, 1],
+        [0, 5, 0],
+        [2, 2, 2],
+        [0, 0, 10],
+    ]
+)
+
+
+def _matrix_updates(matrix, seed):
+    rng = np.random.default_rng(seed)
+    ups = []
+    for r, row in enumerate(matrix):
+        for c, v in enumerate(row):
+            ups.extend([(r, c)] * int(v))
+    order = rng.permutation(len(ups))
+    return [ups[i] for i in order]
+
+
+UPDATES = _matrix_updates(MATRIX, seed=5)
+
+
+class TestRowMeasures:
+    def test_l1_value(self):
+        m = RowL1Measure()
+        assert m.value({0: 2, 2: 3}) == pytest.approx(5.0)
+        assert m.coordinate_increment({0: 2}, 1) == 1.0
+        assert m.zeta() == 1.0
+
+    def test_l2_value_and_increment_bound(self):
+        m = RowL2Measure()
+        assert m.value({0: 3, 1: 4}) == pytest.approx(5.0)
+        inc = m.coordinate_increment({0: 3, 1: 4}, 0)
+        assert 0 < inc <= m.zeta() + 1e-12
+
+    def test_l2_fg_bound(self):
+        m = RowL2Measure()
+        # F_G ≥ m/√d must under-approximate the true row-norm sum.
+        truth = sum(float(np.linalg.norm(row)) for row in MATRIX)
+        assert m.fg_lower_bound(int(MATRIX.sum()), 3) <= truth + 1e-9
+
+
+class TestMatrixSampler:
+    def test_l11_row_distribution(self):
+        measure = RowL1Measure()
+        target = row_target(MATRIX, measure)
+
+        def run(seed):
+            s = TrulyPerfectMatrixSampler(measure, d=3, seed=seed, m_hint=len(UPDATES))
+            return s.run(UPDATES)
+
+        assert_matches_distribution(run, target, trials=3000, max_fail_rate=0.05)
+
+    def test_l12_row_distribution(self):
+        measure = RowL2Measure()
+        target = row_target(MATRIX, measure)
+
+        def run(seed):
+            s = TrulyPerfectMatrixSampler(measure, d=3, seed=seed, m_hint=len(UPDATES))
+            return s.run(UPDATES)
+
+        assert_matches_distribution(run, target, trials=3000, max_fail_rate=0.05)
+
+    def test_empty_stream(self):
+        s = TrulyPerfectMatrixSampler(RowL1Measure(), d=2, seed=0)
+        assert s.sample().is_empty
+
+    def test_column_validation(self):
+        s = TrulyPerfectMatrixSampler(RowL1Measure(), d=2, seed=0)
+        with pytest.raises(ValueError):
+            s.update(0, 5)
+
+    def test_instance_default_l1_is_small(self):
+        s = TrulyPerfectMatrixSampler(RowL1Measure(), d=4, delta=0.05, seed=0)
+        # ζm/F_G = 1 for L1,1, so only ln(1/δ) ≈ 3 instances.
+        assert s.instances <= 4
+
+    def test_metadata_reports_column(self):
+        s = TrulyPerfectMatrixSampler(RowL1Measure(), d=3, seed=1, m_hint=len(UPDATES))
+        res = s.run(UPDATES)
+        assert res.is_item
+        assert 0 <= res.metadata["col"] < 3

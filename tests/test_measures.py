@@ -1,0 +1,146 @@
+"""Tests for measure functions and their certified bounds."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.measures import (
+    ConcaveMeasure,
+    FairMeasure,
+    HuberMeasure,
+    L1L2Measure,
+    LpMeasure,
+    TukeyMeasure,
+)
+
+BOUNDED_MEASURES = [
+    LpMeasure(0.5),
+    LpMeasure(1.0),
+    L1L2Measure(),
+    FairMeasure(2.0),
+    HuberMeasure(1.5),
+    ConcaveMeasure(lambda x: math.log2(1 + x), "log2(1+x)"),
+]
+
+
+class TestMeasureBasics:
+    @pytest.mark.parametrize("measure", BOUNDED_MEASURES, ids=lambda m: m.name)
+    def test_zero_at_zero(self, measure):
+        assert measure(0) == pytest.approx(0.0)
+
+    @pytest.mark.parametrize("measure", BOUNDED_MEASURES, ids=lambda m: m.name)
+    def test_non_decreasing(self, measure):
+        vals = [measure(x) for x in range(0, 30)]
+        assert all(b >= a - 1e-12 for a, b in zip(vals, vals[1:]))
+
+    @pytest.mark.parametrize("measure", BOUNDED_MEASURES, ids=lambda m: m.name)
+    def test_symmetric(self, measure):
+        for x in [1, 3, 7.5]:
+            assert measure(x) == pytest.approx(measure(-x))
+
+    @pytest.mark.parametrize("measure", BOUNDED_MEASURES, ids=lambda m: m.name)
+    @given(c=st.integers(1, 10_000))
+    @settings(max_examples=60, deadline=None)
+    def test_global_zeta_bounds_increments(self, measure, c):
+        assert measure.increment(c) <= measure.zeta(None) + 1e-9
+
+    @pytest.mark.parametrize("measure", BOUNDED_MEASURES, ids=lambda m: m.name)
+    def test_increment_validates(self, measure):
+        with pytest.raises(ValueError):
+            measure.increment(0)
+
+    @pytest.mark.parametrize("measure", BOUNDED_MEASURES, ids=lambda m: m.name)
+    @given(freq=st.lists(st.integers(1, 50), min_size=1, max_size=30))
+    @settings(max_examples=50, deadline=None)
+    def test_fg_lower_bound_certified(self, measure, freq):
+        """F̂_G ≤ F_G for every frequency vector with total m."""
+        m = sum(freq)
+        fg = sum(measure(f) for f in freq)
+        assert measure.fg_lower_bound(m) <= fg + 1e-9
+
+
+class TestLpMeasure:
+    def test_values(self):
+        assert LpMeasure(2.0)(3) == pytest.approx(9.0)
+        assert LpMeasure(0.5)(4) == pytest.approx(2.0)
+
+    def test_zeta_needs_linf_for_p_above_one(self):
+        m = LpMeasure(2.0)
+        with pytest.raises(ValueError):
+            m.zeta(None)
+        assert m.needs_linf_bound()
+
+    @given(z=st.integers(1, 1000), c_frac=st.floats(0.01, 1.0))
+    @settings(max_examples=80, deadline=None)
+    def test_zeta_with_linf_bound_is_valid(self, z, c_frac):
+        m = LpMeasure(1.7)
+        c = max(1, int(z * c_frac))
+        assert m.increment(c) <= m.zeta(z) + 1e-9
+
+    def test_p_one_zeta_global(self):
+        assert LpMeasure(1.0).zeta(None) == 1.0
+        assert not LpMeasure(1.0).needs_linf_bound()
+
+    def test_sub_one_fg_bound(self):
+        # F_p ≥ m^p for p < 1 (subadditivity).
+        assert LpMeasure(0.5).fg_lower_bound(100) == pytest.approx(10.0)
+
+    def test_validates_p(self):
+        with pytest.raises(ValueError):
+            LpMeasure(0.0)
+
+
+class TestMEstimators:
+    def test_l1l2_value(self):
+        m = L1L2Measure()
+        assert m(1) == pytest.approx(2 * (math.sqrt(1.5) - 1))
+        assert m.zeta(None) == pytest.approx(math.sqrt(2))
+
+    def test_fair_value(self):
+        m = FairMeasure(tau=2.0)
+        assert m(1) == pytest.approx(2.0 - 4.0 * math.log(1.5))
+        assert m.zeta(None) == 2.0
+
+    def test_huber_branches(self):
+        m = HuberMeasure(tau=2.0)
+        assert m(1) == pytest.approx(0.25)  # quadratic branch
+        assert m(5) == pytest.approx(4.0)  # linear branch
+        # Continuity at the knee.
+        assert m(2.0) == pytest.approx(1.0)
+
+    def test_tukey_saturates(self):
+        m = TukeyMeasure(tau=3.0)
+        assert m(3.0) == pytest.approx(m.saturation)
+        assert m(100.0) == pytest.approx(m.saturation)
+        assert m(1.0) < m.saturation
+
+    @given(c=st.integers(1, 500))
+    @settings(max_examples=50, deadline=None)
+    def test_tukey_zeta_valid(self, c):
+        m = TukeyMeasure(tau=7.0)
+        assert m.increment(c) <= m.zeta(None) + 1e-9
+
+    def test_validate_tau(self):
+        for cls in (FairMeasure, HuberMeasure, TukeyMeasure):
+            with pytest.raises(ValueError):
+                cls(tau=0.0)
+
+
+class TestConcaveMeasure:
+    def test_wraps_function(self):
+        m = ConcaveMeasure(lambda x: math.sqrt(x), "sqrt")
+        assert m(4) == pytest.approx(2.0)
+        assert m.zeta(None) == pytest.approx(1.0)
+        # Concave bound: F_G ≥ G(m).
+        assert m.fg_lower_bound(16) == pytest.approx(4.0)
+
+    def test_validates_g0(self):
+        with pytest.raises(ValueError):
+            ConcaveMeasure(lambda x: x + 1)
+
+    def test_validates_increasing(self):
+        with pytest.raises(ValueError):
+            ConcaveMeasure(lambda x: 0.0)

@@ -1,0 +1,74 @@
+"""Tests for the Misra–Gries summary (Theorem 3.2 guarantees)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sketches import MisraGries
+from repro.streams import zipf_stream
+
+
+class TestMisraGriesGuarantees:
+    @given(st.lists(st.integers(0, 9), min_size=1, max_size=200), st.integers(1, 8))
+    @settings(max_examples=80, deadline=None)
+    def test_estimate_sandwich(self, items, capacity):
+        """f_i − m/(k+1) ≤ est(i) ≤ f_i for every i (the MG invariant)."""
+        mg = MisraGries(capacity)
+        mg.extend(items)
+        freq = np.bincount(items, minlength=10)
+        bound = len(items) / (capacity + 1)
+        for i in range(10):
+            est = mg.estimate(i)
+            assert est <= freq[i]
+            assert est >= freq[i] - bound - 1e-9
+
+    @given(st.lists(st.integers(0, 9), min_size=1, max_size=200), st.integers(1, 8))
+    @settings(max_examples=80, deadline=None)
+    def test_linf_upper_bound_certified(self, items, capacity):
+        """‖f‖∞ ≤ Z ≤ ‖f‖∞ + m/(k+1) — the Theorem 3.4 normalizer."""
+        mg = MisraGries(capacity)
+        mg.extend(items)
+        linf = int(np.bincount(items, minlength=10).max())
+        z = mg.linf_upper_bound()
+        assert z >= linf - 1e-9
+        assert z <= linf + len(items) / (capacity + 1) + 1e-9
+
+    def test_heavy_hitters_found(self):
+        stream = zipf_stream(1000, 5000, alpha=1.5, seed=0)
+        mg = MisraGries(50)
+        mg.extend(stream)
+        freq = stream.frequencies()
+        threshold = 2 * len(stream) / 51
+        hh = mg.heavy_hitters(0)
+        for i in np.flatnonzero(freq > threshold):
+            assert int(i) in hh
+
+    def test_batched_count_update(self):
+        mg = MisraGries(2)
+        mg.update(0, count=10)
+        mg.update(1, count=5)
+        mg.update(2, count=3)  # forces decrements
+        assert mg.stream_length == 18
+        assert mg.estimate(0) >= 10 - 18 / 3 - 1e-9
+
+    def test_rejects_nonpositive_counts(self):
+        with pytest.raises(ValueError):
+            MisraGries(2).update(0, count=0)
+
+    def test_rejects_bad_capacity(self):
+        with pytest.raises(ValueError):
+            MisraGries(0)
+
+    def test_items_snapshot_is_copy(self):
+        mg = MisraGries(4)
+        mg.extend([1, 1, 2])
+        snap = mg.items()
+        snap[1] = 999
+        assert mg.estimate(1) == 2
+
+    def test_empty_summary(self):
+        mg = MisraGries(3)
+        assert mg.estimate(0) == 0
+        assert mg.linf_upper_bound() == 0.0
+        assert mg.error_bound() == 0.0

@@ -1,0 +1,135 @@
+"""Tests for multi-pass strict turnstile samplers (Theorem 1.5, App. D)."""
+
+import numpy as np
+import pytest
+
+from conftest import assert_matches_distribution
+from repro.core import (
+    MultipassL1Sampler,
+    MultipassLinfEstimator,
+    MultipassLpSampler,
+    StrictTurnstileF0Sampler,
+)
+from repro.stats import f0_target, lp_target
+from repro.streams import TurnstileStream, strict_turnstile_stream
+
+# Fixed strict turnstile stream with known final frequencies.
+TS = strict_turnstile_stream(12, 150, delete_fraction=0.35, max_delta=4, seed=11)
+FINAL = TS.frequencies()
+
+
+class TestMultipassL1:
+    def test_distribution_is_l1(self):
+        target = lp_target(FINAL, 1.0)
+
+        def run(seed):
+            return MultipassL1Sampler(TS, n=12, gamma=0.5, seed=seed).sample()
+
+        assert_matches_distribution(run, target, trials=3000)
+
+    def test_pass_count_scales_with_gamma(self):
+        fine = MultipassL1Sampler(TS, n=12, gamma=0.25, seed=0)
+        fine.sample()
+        coarse = MultipassL1Sampler(TS, n=12, gamma=1.0, seed=0)
+        coarse.sample()
+        assert coarse.passes_used <= fine.passes_used
+
+    def test_empty_stream(self):
+        empty = TurnstileStream([(0, 3), (0, -3)], n=4)
+        s = MultipassL1Sampler(empty, n=4, gamma=0.5, seed=0)
+        assert s.sample().is_empty
+
+    def test_validates_gamma(self):
+        with pytest.raises(ValueError):
+            MultipassL1Sampler(TS, n=12, gamma=0.0)
+
+
+class TestMultipassLinf:
+    @pytest.mark.parametrize("p", [1.5, 2.0])
+    def test_bound_certified(self, p):
+        est = MultipassLinfEstimator(TS, n=12, p=p, gamma=0.5)
+        z = est.estimate()
+        linf = int(FINAL.max())
+        f1 = int(FINAL.sum())
+        theta = f1 / 12 ** (1.0 - 1.0 / p)
+        assert z >= linf - 1e-9
+        assert z <= max(linf, theta) + 1e-9
+
+    def test_p_one_trivial(self):
+        est = MultipassLinfEstimator(TS, n=12, p=1.0, gamma=0.5)
+        assert est.estimate() == 1.0
+
+    def test_rejects_p_below_one(self):
+        with pytest.raises(ValueError):
+            MultipassLinfEstimator(TS, n=12, p=0.5)
+
+
+class TestMultipassLp:
+    def test_l2_distribution(self):
+        target = lp_target(FINAL, 2.0)
+
+        def run(seed):
+            s = MultipassLpSampler(TS, n=12, p=2.0, gamma=0.5, seed=seed)
+            return s.sample()
+
+        assert_matches_distribution(run, target, trials=2000, max_fail_rate=0.2)
+
+    def test_pass_budget_constant_in_stream(self):
+        s = MultipassLpSampler(TS, n=12, p=2.0, gamma=0.5, seed=0)
+        s.sample()
+        # O(1/γ) passes: normalizer + parallel L1 descent + frequency pass.
+        assert s.passes_used <= 10
+
+    def test_empty_stream(self):
+        empty = TurnstileStream([(2, 5), (2, -5)], n=4)
+        s = MultipassLpSampler(empty, n=4, p=2.0, seed=0)
+        assert s.sample().is_empty
+
+    def test_rejects_p_below_one(self):
+        with pytest.raises(ValueError):
+            MultipassLpSampler(TS, n=12, p=0.5)
+
+
+class TestStrictTurnstileF0:
+    def test_sparse_regime_via_recovery(self):
+        ups = [(3, 5), (9, 2), (9, -2), (40, 1), (7, 4), (7, -4)]
+        ts = TurnstileStream(ups, n=64)
+        target = f0_target(ts.frequencies())
+
+        def run(seed):
+            s = StrictTurnstileF0Sampler(64, seed=seed)
+            s.extend(ts)
+            return s.sample()
+
+        report = assert_matches_distribution(run, target, trials=2000)
+        assert report.fail_rate == 0.0  # recovery succeeds deterministically
+
+    def test_dense_regime(self):
+        n = 36  # sparsity budget 2√n = 14 < 20 alive items
+        ups = [(i, 1 + i % 3) for i in range(20)]
+        ts = TurnstileStream(ups, n=n)
+        target = f0_target(ts.frequencies())
+
+        def run(seed):
+            s = StrictTurnstileF0Sampler(n, delta=0.05, seed=seed)
+            s.extend(ts)
+            return s.sample()
+
+        assert_matches_distribution(run, target, trials=2000, max_fail_rate=0.1)
+
+    def test_deletions_respected(self):
+        """Deleted coordinates must never be sampled."""
+        ups = [(1, 3), (2, 2), (2, -2), (5, 1)]
+        ts = TurnstileStream(ups, n=25)
+        for seed in range(100):
+            s = StrictTurnstileF0Sampler(25, seed=seed)
+            s.extend(ts)
+            res = s.sample()
+            assert res.is_item
+            assert res.item in (1, 5)
+
+    def test_empty(self):
+        s = StrictTurnstileF0Sampler(16, seed=0)
+        s.update(3, 2)
+        s.update(3, -2)
+        assert s.sample().is_empty

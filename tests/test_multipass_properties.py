@@ -1,0 +1,91 @@
+"""Property-based tests for the multi-pass substrate (Appendix D)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.multipass import (
+    MultipassL1Sampler,
+    MultipassLinfEstimator,
+    _chunk_sums,
+)
+from repro.streams import TurnstileStream
+
+
+@st.composite
+def strict_streams(draw):
+    """Small random strict turnstile streams with a nonzero final vector."""
+    n = draw(st.integers(4, 24))
+    length = draw(st.integers(1, 40))
+    freq = np.zeros(n, dtype=np.int64)
+    ups = []
+    for __ in range(length):
+        positive = np.flatnonzero(freq)
+        delete = positive.size > 0 and draw(st.booleans())
+        if delete:
+            idx = draw(st.integers(0, positive.size - 1))
+            item = int(positive[idx])
+            delta = -draw(st.integers(1, int(freq[item])))
+        else:
+            item = draw(st.integers(0, n - 1))
+            delta = draw(st.integers(1, 5))
+        freq[item] += delta
+        ups.append((item, delta))
+    # Guarantee a nonzero final vector.
+    if not freq.any():
+        ups.append((0, 1))
+        freq[0] += 1
+    return TurnstileStream(ups, n), freq
+
+
+class TestChunkSums:
+    @given(strict_streams(), st.integers(2, 8))
+    @settings(max_examples=40, deadline=None)
+    def test_chunk_sums_partition_mass(self, case, chunks):
+        ts, freq = case
+        (sums,) = _chunk_sums(ts, [(0, ts.n)], chunks)
+        assert int(sums.sum()) == int(freq.sum())
+
+    @given(strict_streams())
+    @settings(max_examples=40, deadline=None)
+    def test_singleton_chunks_recover_frequencies(self, case):
+        ts, freq = case
+        intervals = [(i, i + 1) for i in range(ts.n)]
+        sums = _chunk_sums(ts, intervals, 1)
+        recovered = [int(s[0]) for s in sums]
+        assert recovered == freq.tolist()
+
+
+class TestLinfProperties:
+    @given(strict_streams(), st.sampled_from([1.5, 2.0, 3.0]))
+    @settings(max_examples=30, deadline=None)
+    def test_certified_on_random_streams(self, case, p):
+        ts, freq = case
+        est = MultipassLinfEstimator(ts, n=ts.n, p=p, gamma=0.5)
+        z = est.estimate()
+        linf = int(freq.max())
+        theta = float(freq.sum()) / ts.n ** (1.0 - 1.0 / p)
+        assert z >= min(linf, linf) - 1e-9
+        assert z >= linf or z >= theta - 1e-9
+        assert z <= max(linf, theta) + 1e-9
+
+
+class TestL1Properties:
+    @given(strict_streams())
+    @settings(max_examples=25, deadline=None)
+    def test_sampled_item_has_positive_frequency(self, case):
+        ts, freq = case
+        s = MultipassL1Sampler(ts, n=ts.n, gamma=0.5, seed=0)
+        res = s.sample()
+        assert res.is_item
+        assert freq[res.item] > 0
+
+    @given(strict_streams(), st.sampled_from([0.25, 0.5, 1.0]))
+    @settings(max_examples=25, deadline=None)
+    def test_pass_count_bounded_by_inverse_gamma(self, case, gamma):
+        ts, __ = case
+        s = MultipassL1Sampler(ts, n=ts.n, gamma=gamma, seed=1)
+        s.sample()
+        # Descent depth is ⌈log_{chunks}(n)⌉ ≤ ⌈1/γ⌉ + 1.
+        assert s.passes_used <= int(np.ceil(1.0 / gamma)) + 1

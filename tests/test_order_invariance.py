@@ -1,0 +1,72 @@
+"""Order invariance: the framework samplers' output distribution depends
+only on the frequency vector, not on arrival order.
+
+The reservoir's uniform-position sampling plus the telescoping correction
+is oblivious to ordering — a distributional property worth testing
+because many *other* streaming summaries (e.g. heavy-hitter sketches on
+sorted vs interleaved input) are not order-oblivious, and Appendix B's
+discussion of boundary bias shows how easily order sensitivity breaks
+perfection.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import HuberMeasure, TrulyPerfectGSampler, TrulyPerfectLpSampler
+from repro.stats import g_target, lp_target, total_variation
+from repro.stats.harness import collect_outcomes, empirical_distribution
+from repro.streams import stream_from_frequencies
+
+FREQ = np.array([1, 3, 9, 27])
+ORDERS = ["sorted", "interleaved", "random"]
+
+
+def _empirical(run, trials=2500):
+    counts, fails, __ = collect_outcomes(run, trials=trials)
+    return empirical_distribution(counts, len(FREQ)), fails / trials
+
+
+class TestOrderInvariance:
+    @pytest.mark.parametrize("order", ORDERS)
+    def test_lp_sampler_matches_target_in_every_order(self, order):
+        stream = stream_from_frequencies(FREQ, order=order, seed=1)
+        target = lp_target(FREQ, 2.0)
+
+        def run(seed):
+            return TrulyPerfectLpSampler(p=2.0, n=len(FREQ), seed=seed).run(stream)
+
+        emp, fail_rate = _empirical(run)
+        assert total_variation(emp, target) < 0.04
+        assert fail_rate < 0.06
+
+    @pytest.mark.parametrize("order", ORDERS)
+    def test_g_sampler_matches_target_in_every_order(self, order):
+        stream = stream_from_frequencies(FREQ, order=order, seed=2)
+        measure = HuberMeasure(1.0)
+        target = g_target(FREQ, measure)
+
+        def run(seed):
+            return TrulyPerfectGSampler(
+                measure, seed=seed, m_hint=int(FREQ.sum())
+            ).run(stream)
+
+        emp, fail_rate = _empirical(run)
+        assert total_variation(emp, target) < 0.04
+        assert fail_rate < 0.06
+
+    def test_pairwise_order_distributions_agree(self):
+        """Direct cross-order comparison (not just each-vs-target)."""
+        target = lp_target(FREQ, 2.0)
+        empiricals = {}
+        for order in ORDERS:
+            stream = stream_from_frequencies(FREQ, order=order, seed=3)
+
+            def run(seed, _s=stream):
+                return TrulyPerfectLpSampler(
+                    p=2.0, n=len(FREQ), seed=seed
+                ).run(_s)
+
+            empiricals[order], __ = _empirical(run, trials=2000)
+        for a in ORDERS:
+            for b in ORDERS:
+                assert total_variation(empiricals[a], empiricals[b]) < 0.06

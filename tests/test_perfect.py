@@ -1,0 +1,189 @@
+"""Tests for the perfect (γ > 0) samplers and exponential machinery
+(Appendix B)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from conftest import assert_matches_distribution
+from repro.perfect import (
+    ExponentialAssignment,
+    FastPerfectLpSampler,
+    PrecisionSamplingLpSampler,
+    WeightedMisraGries,
+    sample_p_stable,
+)
+from repro.stats import lp_target, total_variation
+from repro.stats.harness import collect_outcomes, empirical_distribution
+from repro.streams import stream_from_frequencies
+
+FREQ = np.array([1, 2, 4, 8, 16])
+STREAM = stream_from_frequencies(FREQ, order="random", seed=13)
+
+
+class TestExponentialAssignment:
+    def test_consistency(self):
+        e = ExponentialAssignment(0.5, seed=3)
+        assert e.exponential(7, 2) == e.exponential(7, 2)
+        assert e.scale(7, 2) == pytest.approx(e.exponential(7, 2) ** -2.0)
+
+    def test_distinct_keys_distinct_draws(self):
+        e = ExponentialAssignment(0.5, seed=3)
+        assert e.exponential(1, 0) != e.exponential(2, 0)
+
+    def test_argmax_exact_is_lp_distributed(self):
+        """Lemma B.3: P(argmax = i) = f_i^p/F_p — exactly."""
+        p = 0.5
+        target = lp_target(FREQ, p)
+        counts = np.zeros(len(FREQ))
+        trials = 4000
+        for seed in range(trials):
+            e = ExponentialAssignment(p, seed=seed)
+            counts[e.argmax_exact(FREQ)] += 1
+        tv = total_variation(counts / trials, target)
+        assert tv < 0.03
+
+    def test_argmax_rejects_zero_vector(self):
+        e = ExponentialAssignment(1.0, seed=0)
+        with pytest.raises(ValueError):
+            e.argmax_exact(np.zeros(3))
+
+    def test_validates_p(self):
+        with pytest.raises(ValueError):
+            ExponentialAssignment(0.0)
+
+
+class TestPStable:
+    def test_half_stable_matches_inverse_exponential_sums(self):
+        """Theorem B.10: Σ_j 1/e_j² (p=1/2) scaled by n² approaches a
+        ½-stable law; compare medians."""
+        rng = np.random.default_rng(0)
+        n_inner = 400
+        sums = []
+        for __ in range(400):
+            e = rng.exponential(1.0, size=n_inner)
+            sums.append((e**-2.0).sum() / n_inner**2)
+        stable = sample_p_stable(0.5, 4000, rng)
+        # Positive ½-stable: compare medians within a factor of 2.
+        med_sum = np.median(sums)
+        med_stable = np.median(np.abs(stable))
+        assert 0.2 < med_sum / med_stable < 5.0
+
+    def test_validates_p(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(ValueError):
+            sample_p_stable(1.0, 10, rng)
+        with pytest.raises(ValueError):
+            sample_p_stable(2.5, 10, rng)
+
+
+class TestWeightedMisraGries:
+    @given(
+        st.lists(
+            st.tuples(st.integers(0, 5), st.floats(0.0, 10.0)),
+            min_size=1,
+            max_size=80,
+        ),
+        st.integers(1, 6),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_error_bound(self, updates, capacity):
+        mg = WeightedMisraGries(capacity)
+        truth: dict[int, float] = {}
+        total = 0.0
+        for key, w in updates:
+            mg.update(key, w)
+            truth[key] = truth.get(key, 0.0) + w
+            total += w
+        bound = total / (capacity + 1)
+        for key, w in truth.items():
+            est = mg.estimate(key)
+            assert est <= w + 1e-6
+            assert est >= w - bound - 1e-6
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            WeightedMisraGries(2).update(0, -1.0)
+
+    def test_argmax(self):
+        mg = WeightedMisraGries(4)
+        mg.update(1, 5.0)
+        mg.update(2, 1.0)
+        key, est = mg.argmax()
+        assert key == 1
+        assert est == pytest.approx(5.0)
+
+    def test_empty_argmax(self):
+        assert WeightedMisraGries(2).argmax() == (None, 0.0)
+
+
+class TestFastPerfectLp:
+    def test_output_close_to_target_but_gamma_positive(self):
+        """Perfect ⇒ TV shrinks with duplication; tiny duplication shows
+        visible bias, larger duplication shrinks it."""
+        p = 0.5
+        target = lp_target(FREQ, p)
+
+        def run_for(dup):
+            def run(seed):
+                s = FastPerfectLpSampler(p, len(FREQ), duplication=dup, seed=seed)
+                return s.run(STREAM)
+
+            counts, fails, __ = collect_outcomes(run, trials=1500)
+            dist = empirical_distribution(counts, len(FREQ))
+            return total_variation(dist, target), fails / 1500
+
+        tv_small, __ = run_for(2)
+        tv_large, fail_large = run_for(32)
+        assert tv_large < 0.12
+        assert fail_large < 0.9
+
+    def test_validates_p(self):
+        with pytest.raises(ValueError):
+            FastPerfectLpSampler(1.5, 8)
+
+    def test_empty(self):
+        s = FastPerfectLpSampler(0.5, 8, seed=0)
+        assert s.sample().is_empty
+
+
+class TestPrecisionSamplingBaseline:
+    def test_output_distribution_roughly_lp(self):
+        p = 1.0
+        target = lp_target(FREQ, p)
+
+        def run(seed):
+            s = PrecisionSamplingLpSampler(
+                p, len(FREQ), duplication=4, width=512, depth=5,
+                dominance=1.5, seed=seed,
+            )
+            return s.run(STREAM)
+
+        counts, fails, __ = collect_outcomes(run, trials=1200)
+        assert sum(counts.values()) > 100  # accepts a reasonable fraction
+        dist = empirical_distribution(counts, len(FREQ))
+        # Perfect-not-truly-perfect: close, but we only demand ballpark.
+        assert total_variation(dist, target) < 0.25
+
+    def test_empty(self):
+        s = PrecisionSamplingLpSampler(1.0, 8, seed=0)
+        assert s.sample().is_empty
+
+    def test_validates_p(self):
+        with pytest.raises(ValueError):
+            PrecisionSamplingLpSampler(3.0, 8)
+
+    def test_update_cost_scales_with_duplication(self):
+        """The knob the paper's n^{O(c)} update time corresponds to."""
+        import time
+
+        def cost(dup):
+            s = PrecisionSamplingLpSampler(1.0, 64, duplication=dup, width=64,
+                                           depth=3, seed=0)
+            t0 = time.perf_counter()
+            for __ in range(300):
+                s.update(5)
+            return time.perf_counter() - t0
+
+        assert cost(16) > 2.0 * cost(1)

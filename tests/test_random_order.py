@@ -1,0 +1,138 @@
+"""Tests for random-order samplers (Appendix C) and Stirling machinery."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from conftest import assert_matches_distribution
+from repro.random_order import (
+    RandomOrderL2Sampler,
+    RandomOrderLpSampler,
+    falling_factorial,
+    stirling2,
+)
+from repro.random_order.stirling import power_as_falling_factorials
+from repro.stats import lp_target
+from repro.streams import stream_from_frequencies
+
+FREQ = np.array([2, 3, 5, 8, 12])
+M = int(FREQ.sum())
+
+
+class TestStirling:
+    @given(x=st.integers(0, 30), p=st.integers(0, 8))
+    @settings(max_examples=100, deadline=None)
+    def test_lemma_c5_identity(self, x, p):
+        """x^p = Σ_k S(p,k)·(x)_k (Lemma C.5)."""
+        assert power_as_falling_factorials(x, p) == x**p
+
+    def test_falling_factorial_values(self):
+        assert falling_factorial(5, 0) == 1
+        assert falling_factorial(5, 2) == 20
+        assert falling_factorial(3, 4) == 0  # crosses zero
+
+    def test_falling_factorial_validates(self):
+        with pytest.raises(ValueError):
+            falling_factorial(5, -1)
+
+    def test_stirling_table(self):
+        assert stirling2(3, 2) == 3
+        assert stirling2(4, 2) == 7
+        assert stirling2(5, 5) == 1
+        assert stirling2(4, 0) == 0
+
+    def test_stirling_validates(self):
+        with pytest.raises(ValueError):
+            stirling2(-1, 0)
+
+
+class TestRandomOrderL2:
+    def test_whole_stream_distribution(self):
+        """Theorem 1.6: exactly f²/F2 on random-order streams."""
+        target = lp_target(FREQ, 2.0)
+
+        def run(seed):
+            stream = stream_from_frequencies(FREQ, order="random", seed=50_000 + seed)
+            return RandomOrderL2Sampler(
+                len(FREQ), horizon=M, seed=seed
+            ).run(stream)
+
+        assert_matches_distribution(run, target, trials=5000, max_fail_rate=1 / 3)
+
+    def test_fail_probability_bounded(self):
+        fails = 0
+        trials = 600
+        for seed in range(trials):
+            stream = stream_from_frequencies(FREQ, order="random", seed=90_000 + seed)
+            res = RandomOrderL2Sampler(len(FREQ), horizon=M, seed=seed).run(stream)
+            if res.is_fail:
+                fails += 1
+        assert fails / trials <= 1 / 3 + 0.05
+
+    def test_sliding_mode_expires(self):
+        s = RandomOrderL2Sampler(4, horizon=10, sliding=True, seed=0)
+        # 30 updates of item 0 then 30 of item 1; window = 10.
+        s.extend([0] * 30)
+        s.extend([1] * 30)
+        res = s.sample()
+        if res.is_item:
+            assert res.item == 1
+
+    def test_capacity_respected(self):
+        s = RandomOrderL2Sampler(2, horizon=1000, capacity=10, seed=0)
+        s.extend([0] * 2000)  # every pair collides
+        assert s.buffer_size <= 20
+
+    def test_empty(self):
+        s = RandomOrderL2Sampler(4, horizon=10, seed=0)
+        assert s.sample().is_empty
+
+    def test_validates_horizon(self):
+        with pytest.raises(ValueError):
+            RandomOrderL2Sampler(4, horizon=1)
+
+
+class TestRandomOrderLp:
+    def test_l3_distribution(self):
+        """Theorem 1.7 for p = 3, with enough blocks for the
+        concentration regime."""
+        freq = FREQ * 4
+        m = int(freq.sum())
+        target = lp_target(freq, 3.0)
+
+        def run(seed):
+            stream = stream_from_frequencies(freq, order="random", seed=70_000 + seed)
+            return RandomOrderLpSampler(3, horizon=m, seed=seed).run(stream)
+
+        assert_matches_distribution(run, target, trials=5000, max_fail_rate=0.5)
+
+    def test_block_size_formula(self):
+        s = RandomOrderLpSampler(3, horizon=900, seed=0)
+        assert s.block_size == 30  # 900^{1/2}
+
+    def test_level_coins_are_probabilities(self):
+        """Every level-q coin α_q = S(p,q)(m)_q/m^p must be in [0, 1]."""
+        for p, horizon in [(3, 10), (4, 16), (5, 40)]:
+            s = RandomOrderLpSampler(p, horizon=horizon, seed=0)
+            assert all(0.0 <= a <= 1.0 for a in s._alpha)
+
+    def test_horizon_must_cover_p(self):
+        with pytest.raises(ValueError):
+            RandomOrderLpSampler(4, horizon=3, seed=0)
+
+    def test_rejects_non_integer_p(self):
+        with pytest.raises(ValueError):
+            RandomOrderLpSampler(2.5, horizon=100)
+
+    def test_empty(self):
+        s = RandomOrderLpSampler(3, horizon=100, seed=0)
+        assert s.sample().is_empty
+
+    def test_constant_space_under_maximal_collisions(self):
+        """The reservoir pick keeps O(1) state even when every tuple in
+        every block collides."""
+        s = RandomOrderLpSampler(3, horizon=4000, seed=0)
+        s.extend([0] * 4000)
+        assert s.insertions_seen > 1000  # plenty of insertion events...
+        assert s.sample().item == 0  # ...but only one held pick

@@ -1,0 +1,97 @@
+"""Tests for reservoir primitives (Algorithm 1 and skip-ahead jumps)."""
+
+from collections import Counter
+
+import numpy as np
+import pytest
+from scipy import stats as sps
+
+from repro.core.reservoir import KReservoir, TimestampedReservoir, skip_next_replacement
+
+
+class TestSkipNextReplacement:
+    def test_first_position_always_sampled(self):
+        rng = np.random.default_rng(0)
+        assert skip_next_replacement(0, rng) == 1
+
+    def test_always_future(self):
+        rng = np.random.default_rng(1)
+        for t in [1, 5, 100]:
+            for __ in range(200):
+                assert skip_next_replacement(t, rng) > t
+
+    def test_distribution_matches_sequential(self):
+        """P(T > u | at t) should be t/u — check via empirical CDF."""
+        rng = np.random.default_rng(2)
+        t = 10
+        draws = np.array([skip_next_replacement(t, rng) for __ in range(20000)])
+        for u in [11, 15, 20, 40, 100]:
+            expected = t / u
+            observed = float((draws > u).mean())
+            assert observed == pytest.approx(expected, abs=0.02)
+
+
+class TestTimestampedReservoir:
+    def test_uniform_over_positions(self):
+        """The held timestamp is uniform over [1, m]."""
+        m = 20
+        counts = Counter()
+        for seed in range(8000):
+            r = TimestampedReservoir(seed)
+            r.extend(range(m))  # all-distinct stream: item == position-1
+            counts[r.timestamp] += 1
+        observed = np.array([counts[t] for t in range(1, m + 1)])
+        __, pvalue = sps.chisquare(observed)
+        assert pvalue > 1e-3
+
+    def test_count_equals_forward_occurrences(self):
+        """count = f_i − j + 1 for the sampled j-th occurrence."""
+        stream = [3, 1, 3, 3, 2, 1, 3]
+        for seed in range(300):
+            r = TimestampedReservoir(seed)
+            r.extend(stream)
+            j_pos = r.timestamp - 1
+            expected = sum(1 for x in stream[j_pos:] if x == r.item)
+            assert r.count == expected
+            assert stream[j_pos] == r.item
+            assert r.count >= 1
+
+    def test_empty_stream(self):
+        r = TimestampedReservoir(0)
+        assert r.item is None
+        assert r.position == 0
+
+    def test_single_item(self):
+        r = TimestampedReservoir(0)
+        r.update(7)
+        assert r.item == 7
+        assert r.count == 1
+        assert r.timestamp == 1
+
+
+class TestKReservoir:
+    def test_holds_first_k(self):
+        r = KReservoir(5, seed=0)
+        r.extend([1, 2, 3])
+        assert sorted(r.sample()) == [1, 2, 3]
+
+    def test_sample_size_capped(self):
+        r = KReservoir(4, seed=0)
+        r.extend(range(100))
+        assert len(r.sample()) == 4
+
+    def test_uniformity(self):
+        m, k = 12, 3
+        counts = Counter()
+        for seed in range(6000):
+            r = KReservoir(k, seed=seed)
+            r.extend(range(m))
+            for item in r.sample():
+                counts[item] += 1
+        observed = np.array([counts[i] for i in range(m)])
+        __, pvalue = sps.chisquare(observed)
+        assert pvalue > 1e-3
+
+    def test_validates_k(self):
+        with pytest.raises(ValueError):
+            KReservoir(0)

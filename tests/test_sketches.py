@@ -1,0 +1,152 @@
+"""Tests for CountMin, CountSketch, AMS F2, and Fp estimation."""
+
+import numpy as np
+import pytest
+
+from repro.sketches import AmsF2, CountMin, CountSketch, FpEstimator, exact_fp
+from repro.sketches.lp_norm import theoretical_units_for_error
+from repro.streams import stream_from_frequencies, zipf_stream
+
+
+class TestCountMin:
+    def test_overestimates_never_under(self):
+        stream = zipf_stream(200, 3000, alpha=1.3, seed=0)
+        cm = CountMin(width=100, depth=4, seed=1)
+        cm.extend(stream)
+        freq = stream.frequencies()
+        for i in range(200):
+            assert cm.estimate(i) >= freq[i]
+
+    def test_error_within_epsilon_m(self):
+        stream = zipf_stream(200, 3000, alpha=1.3, seed=0)
+        cm = CountMin.from_error(epsilon=0.02, delta=0.01, seed=1)
+        cm.extend(stream)
+        freq = stream.frequencies()
+        violations = sum(
+            cm.estimate(i) > freq[i] + 0.02 * len(stream) for i in range(200)
+        )
+        assert violations <= 4  # a handful of tail failures allowed
+
+    def test_heavy_hitters(self):
+        stream = zipf_stream(100, 2000, alpha=2.0, seed=2)
+        cm = CountMin(200, 4, seed=3)
+        cm.extend(stream)
+        hh = cm.heavy_hitters(range(100), threshold=200)
+        assert 0 in hh  # rank-1 zipf item dominates
+
+    def test_total(self):
+        cm = CountMin(8, 2, seed=0)
+        cm.extend([1, 2, 3])
+        assert cm.total == 3
+
+    def test_validates_params(self):
+        with pytest.raises(ValueError):
+            CountMin(0, 1)
+        with pytest.raises(ValueError):
+            CountMin.from_error(0, 0.5)
+
+
+class TestCountSketch:
+    def test_planted_heavy_item_recovered(self):
+        cs = CountSketch(width=256, depth=5, seed=0)
+        freq = np.ones(100)
+        freq[7] = 200
+        for i, f in enumerate(freq):
+            cs.update(i, float(f))
+        est = np.array([cs.estimate(i) for i in range(100)])
+        assert abs(est[7] - 200) < 30
+        assert int(np.argmax(np.abs(est))) == 7
+
+    def test_signed_updates_cancel(self):
+        cs = CountSketch(64, 5, seed=1)
+        cs.update(3, 10.0)
+        cs.update(3, -10.0)
+        assert abs(cs.estimate(3)) < 1e-9
+
+    def test_l2_estimate(self):
+        cs = CountSketch(512, 7, seed=2)
+        freq = np.zeros(50)
+        freq[:5] = 40.0
+        for i, f in enumerate(freq):
+            if f:
+                cs.update(i, float(f))
+        true_l2 = float(np.linalg.norm(freq))
+        assert cs.l2_estimate() == pytest.approx(true_l2, rel=0.35)
+
+    def test_from_error_sizes(self):
+        cs = CountSketch.from_error(0.1, 0.05, seed=0)
+        assert cs.width >= 1 / 0.1**2
+        assert cs.depth >= 1
+
+    def test_validates_params(self):
+        with pytest.raises(ValueError):
+            CountSketch(0, 1)
+
+
+class TestAmsF2:
+    def test_estimates_f2(self):
+        stream = zipf_stream(100, 4000, alpha=1.2, seed=4)
+        ams = AmsF2(per_group=128, groups=7, seed=5)
+        ams.extend(stream)
+        true_f2 = exact_fp(stream.frequencies(), 2.0)
+        assert ams.estimate() == pytest.approx(true_f2, rel=0.3)
+
+    def test_l2_estimate_is_sqrt(self):
+        ams = AmsF2(per_group=64, groups=5, seed=6)
+        ams.extend([0] * 100)
+        assert ams.l2_estimate() == pytest.approx(100.0, rel=0.01)
+
+    def test_from_error_sizes(self):
+        ams = AmsF2.from_error(0.5, 0.1, seed=0)
+        assert ams.estimate() == 0.0
+
+    def test_validates_params(self):
+        with pytest.raises(ValueError):
+            AmsF2(0, 1)
+
+
+class TestExactFp:
+    def test_values(self):
+        assert exact_fp(np.array([1, 2, 3]), 2.0) == pytest.approx(14.0)
+        assert exact_fp(np.array([0, 0]), 1.5) == 0.0
+        assert exact_fp(np.array([-2, 2]), 2.0) == pytest.approx(8.0)
+
+    def test_fractional_p_ignores_zeros(self):
+        assert exact_fp(np.array([0, 4]), 0.5) == pytest.approx(2.0)
+
+
+class TestFpEstimator:
+    def test_estimates_f2_within_tolerance(self):
+        freq = np.full(50, 20)
+        stream = stream_from_frequencies(freq, order="random", seed=0)
+        est = FpEstimator(2.0, per_group=256, groups=5, seed=1)
+        est.extend(stream)
+        truth = exact_fp(freq, 2.0)
+        assert est.estimate() == pytest.approx(truth, rel=0.35)
+
+    def test_estimates_f_half(self):
+        freq = np.full(20, 50)
+        stream = stream_from_frequencies(freq, order="random", seed=2)
+        est = FpEstimator(0.5, per_group=256, groups=5, seed=3)
+        est.extend(stream)
+        truth = exact_fp(freq, 0.5)
+        assert est.estimate() == pytest.approx(truth, rel=0.35)
+
+    def test_empty_stream(self):
+        est = FpEstimator(2.0, per_group=4, groups=3, seed=0)
+        assert est.estimate() == 0.0
+
+    def test_lp_estimate(self):
+        est = FpEstimator(2.0, per_group=64, groups=5, seed=4)
+        est.extend([0] * 64)
+        assert est.lp_estimate() == pytest.approx(64.0, rel=0.01)
+
+    def test_validates_params(self):
+        with pytest.raises(ValueError):
+            FpEstimator(0.0)
+        with pytest.raises(ValueError):
+            FpEstimator(1.0, per_group=0)
+
+    def test_theoretical_units(self):
+        assert theoretical_units_for_error(2.0, 10_000, 0.5) >= 100
+        assert theoretical_units_for_error(0.5, 10_000, 0.5) == 4

@@ -1,0 +1,126 @@
+"""Tests for the smooth histogram framework ([BO07], Appendix A)."""
+
+import numpy as np
+import pytest
+
+from repro.sketches.lp_norm import exact_fp
+from repro.sketches.smooth_histogram import (
+    ExactSuffixFp,
+    SlidingWindowCountEstimate,
+    SlidingWindowFpEstimate,
+    SmoothHistogram,
+    expected_checkpoints,
+    fp_smoothness,
+)
+from repro.streams import zipf_stream
+
+
+class TestFpSmoothness:
+    def test_p_below_one(self):
+        alpha, beta = fp_smoothness(0.5, 0.3)
+        assert alpha == beta == 0.3
+
+    def test_p_two(self):
+        alpha, beta = fp_smoothness(2.0, 0.4)
+        assert alpha == 0.4
+        assert beta == pytest.approx((0.4 / 2.0) ** 2)
+
+    def test_validates(self):
+        with pytest.raises(ValueError):
+            fp_smoothness(2.0, 0.0)
+        with pytest.raises(ValueError):
+            fp_smoothness(0.0, 0.5)
+
+
+class TestExactSuffixFp:
+    def test_tracks_fp_incrementally(self):
+        est = ExactSuffixFp(2.0)
+        for item in [0, 0, 1, 0]:
+            est.update(item)
+        assert est.estimate() == pytest.approx(10.0)  # 3² + 1²
+
+
+class TestSmoothHistogram:
+    def test_estimate_within_alpha_of_window_truth(self):
+        """The deterministic (1 ± α) guarantee with exact inner
+        estimators — for several windows and skews."""
+        p, alpha = 2.0, 0.5
+        __, beta = fp_smoothness(p, alpha)
+        for seed, window in [(0, 64), (1, 200), (2, 333)]:
+            stream = zipf_stream(32, 800, alpha=1.3, seed=seed)
+            hist = SmoothHistogram(lambda: ExactSuffixFp(p), beta, window)
+            for item in stream:
+                hist.update(item)
+            truth = exact_fp(stream.window_frequencies(window), p)
+            est = hist.estimate()
+            assert est <= truth * (1 + 1e-9)
+            assert est >= (1 - alpha) * truth * (1 - 1e-9)
+
+    def test_checkpoint_count_logarithmic(self):
+        p, window = 1.0, 256
+        hist = SmoothHistogram(lambda: ExactSuffixFp(p), beta=0.25, window=window)
+        stream = zipf_stream(16, 3000, alpha=1.0, seed=3)
+        for item in stream:
+            hist.update(item)
+        assert hist.checkpoint_count <= expected_checkpoints(0.25, 3000)
+
+    def test_sandwich_brackets_truth(self):
+        p, window = 2.0, 100
+        __, beta = fp_smoothness(p, 0.5)
+        hist = SmoothHistogram(lambda: ExactSuffixFp(p), beta, window)
+        stream = zipf_stream(16, 500, alpha=1.1, seed=4)
+        for item in stream:
+            hist.update(item)
+        older, younger = hist.sandwich()
+        truth = exact_fp(stream.window_frequencies(window), p)
+        assert younger <= truth * (1 + 1e-9)
+        assert older >= truth * (1 - 1e-9)
+
+    def test_short_stream_is_exact(self):
+        hist = SmoothHistogram(lambda: ExactSuffixFp(2.0), beta=0.1, window=100)
+        for item in [0, 0, 1]:
+            hist.update(item)
+        assert hist.estimate() == pytest.approx(5.0)
+
+    def test_empty(self):
+        hist = SmoothHistogram(lambda: ExactSuffixFp(2.0), beta=0.1, window=10)
+        assert hist.estimate() == 0.0
+        assert hist.sandwich() == (0.0, 0.0)
+
+    def test_checkpoint_starts_sorted(self):
+        hist = SmoothHistogram(lambda: ExactSuffixFp(1.0), beta=0.2, window=50)
+        for item in zipf_stream(8, 300, seed=5):
+            hist.update(item)
+        starts = hist.checkpoint_starts()
+        assert starts == sorted(starts)
+
+    def test_validates_params(self):
+        with pytest.raises(ValueError):
+            SmoothHistogram(lambda: ExactSuffixFp(1.0), beta=0.0, window=10)
+        with pytest.raises(ValueError):
+            SmoothHistogram(lambda: ExactSuffixFp(1.0), beta=0.5, window=0)
+
+
+class TestSlidingWindowFpEstimate:
+    def test_lower_bound_property(self):
+        """F ≤ L_p(window) ≤ 2F — the Theorem A.5 contract."""
+        p, window = 2.0, 150
+        for seed in range(3):
+            stream = zipf_stream(32, 600, alpha=1.2, seed=seed)
+            est = SlidingWindowFpEstimate(p, window, alpha=0.5)
+            for item in stream:
+                est.update(item)
+            lp_true = exact_fp(stream.window_frequencies(window), p) ** (1.0 / p)
+            f = est.lp_lower_bound()
+            assert f <= lp_true * (1 + 1e-9)
+            assert lp_true <= 2.0 * f * (1 + 1e-9)
+
+
+class TestSlidingWindowCountEstimate:
+    def test_tracks_window_count(self):
+        est = SlidingWindowCountEstimate(window=64, beta=0.25)
+        stream = zipf_stream(8, 500, seed=6)
+        for item in stream:
+            est.update(item)
+        assert est.exact() == 64
+        assert est.estimate() == pytest.approx(64, rel=0.3)

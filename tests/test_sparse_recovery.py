@@ -1,0 +1,110 @@
+"""Tests for deterministic sparse recovery (Theorems D.1/D.2 substrate)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sketches import SparseRecovery, SparsityTester
+
+
+@st.composite
+def sparse_vectors(draw):
+    n = draw(st.integers(8, 60))
+    k = draw(st.integers(1, 5))
+    support_size = draw(st.integers(0, k))
+    support = draw(
+        st.lists(st.integers(0, n - 1), min_size=support_size,
+                 max_size=support_size, unique=True)
+    )
+    freqs = [
+        draw(st.integers(-50, 50).filter(lambda v: v != 0)) for __ in support
+    ]
+    return n, k, dict(zip(support, freqs))
+
+
+class TestSparseRecovery:
+    @given(sparse_vectors())
+    @settings(max_examples=60, deadline=None)
+    def test_recovers_k_sparse_exactly(self, case):
+        n, k, vec = case
+        rec = SparseRecovery(n, k)
+        for item, f in vec.items():
+            rec.update(item, f)
+        result = rec.recover()
+        assert result.success
+        assert result.as_dict() == vec
+
+    def test_zero_vector(self):
+        rec = SparseRecovery(20, 3)
+        rec.update(5, 7)
+        rec.update(5, -7)
+        assert rec.is_zero()
+        result = rec.recover()
+        assert result.success
+        assert result.support == ()
+
+    def test_update_order_irrelevant(self):
+        a = SparseRecovery(30, 3)
+        b = SparseRecovery(30, 3)
+        ups = [(1, 5), (7, -2), (1, -3), (20, 9)]
+        for item, d in ups:
+            a.update(item, d)
+        for item, d in reversed(ups):
+            b.update(item, d)
+        assert a.recover().as_dict() == b.recover().as_dict()
+
+    def test_detects_overflow_sparsity(self):
+        """Vectors with sparsity in (k, 3k] must be rejected."""
+        n, k = 64, 3
+        rec = SparseRecovery(n, k, moments=4 * k)
+        for item in range(2 * k):  # sparsity 2k > k, ≤ 3k
+            rec.update(item, 1)
+        assert not rec.recover().success
+
+    def test_extend_with_mixed_updates(self):
+        rec = SparseRecovery(16, 2)
+        rec.extend([3, 3, (5, 4)])
+        out = rec.recover()
+        assert out.as_dict() == {3: 2, 5: 4}
+
+    def test_validates_params(self):
+        with pytest.raises(ValueError):
+            SparseRecovery(10, 0)
+        with pytest.raises(ValueError):
+            SparseRecovery(10, 2, moments=2)
+        rec = SparseRecovery(10, 1)
+        with pytest.raises(ValueError):
+            rec.update(10, 1)
+
+
+class TestSparsityTester:
+    def test_accepts_sparse(self):
+        t = SparsityTester(40, 4)
+        t.extend([(1, 3), (9, -2), (17, 1)])
+        assert t.is_k_sparse()
+        assert t.recover().as_dict() == {1: 3, 9: -2, 17: 1}
+
+    def test_rejects_in_gap(self):
+        """Sparsity 2k (inside the (k, 3k] detection gap) is rejected."""
+        k = 3
+        t = SparsityTester(100, k)
+        for item in range(2 * k):
+            t.update(item, 1)
+        assert not t.is_k_sparse()
+
+    def test_rejects_dense(self):
+        t = SparsityTester(64, 2)
+        for item in range(40):
+            t.update(item, 1 + item % 3)
+        assert not t.is_k_sparse()
+
+    def test_transitions_with_deletions(self):
+        t = SparsityTester(50, 2)
+        for item in range(10):
+            t.update(item, 1)
+        assert not t.is_k_sparse()
+        for item in range(8):
+            t.update(item, -1)  # back to 2-sparse
+        assert t.is_k_sparse()
+        assert t.recover().as_dict() == {8: 1, 9: 1}

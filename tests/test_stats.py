@@ -1,0 +1,175 @@
+"""Tests for the statistics harness (repro.stats)."""
+
+import numpy as np
+import pytest
+
+from repro.core import LpMeasure, SampleResult
+from repro.core.matrix_sampler import RowL1Measure
+from repro.stats import (
+    bernoulli_accumulation,
+    chi_square_gof,
+    distinguishing_attack,
+    evaluate,
+    f0_target,
+    g_target,
+    joint_tv_upper,
+    lp_target,
+    portioned_drift,
+    row_target,
+    total_variation,
+)
+from repro.stats.distance import expected_tv_noise
+from repro.stats.harness import collect_outcomes, empirical_distribution
+
+
+class TestTargets:
+    def test_lp_target(self):
+        t = lp_target(np.array([1, 2]), 2.0)
+        assert t.tolist() == [0.2, 0.8]
+
+    def test_g_target_matches_measure(self):
+        t = g_target(np.array([2, 0, 2]), LpMeasure(1.0))
+        assert t.tolist() == [0.5, 0.0, 0.5]
+
+    def test_f0_target(self):
+        t = f0_target(np.array([5, 0, 1]))
+        assert t.tolist() == [0.5, 0.0, 0.5]
+
+    def test_row_target(self):
+        t = row_target(np.array([[1, 1], [2, 0]]), RowL1Measure())
+        assert t.tolist() == [0.5, 0.5]
+
+    def test_zero_vector_raises(self):
+        with pytest.raises(ValueError):
+            lp_target(np.zeros(3), 2.0)
+        with pytest.raises(ValueError):
+            f0_target(np.zeros(3))
+
+
+class TestDistances:
+    def test_tv_basic(self):
+        assert total_variation(np.array([1.0, 0.0]), np.array([0.0, 1.0])) == 1.0
+        assert total_variation(np.array([0.5, 0.5]), np.array([0.5, 0.5])) == 0.0
+
+    def test_tv_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            total_variation(np.ones(2), np.ones(3))
+
+    def test_chi_square_accepts_exact_counts(self):
+        probs = np.array([0.25, 0.25, 0.5])
+        counts = probs * 4000
+        stat, p = chi_square_gof(counts, probs)
+        assert stat == pytest.approx(0.0, abs=1e-9)
+        assert p == pytest.approx(1.0)
+
+    def test_chi_square_rejects_wrong_distribution(self):
+        probs = np.array([0.5, 0.5])
+        counts = np.array([900.0, 100.0])
+        __, p = chi_square_gof(counts, probs)
+        assert p < 1e-6
+
+    def test_chi_square_pools_small_cells(self):
+        probs = np.array([0.989] + [0.001] * 11)
+        counts = np.concatenate([[989.0], np.ones(11)])
+        stat, p = chi_square_gof(counts, probs)
+        assert np.isfinite(stat)
+        assert p > 0.1
+
+    def test_noise_floor_shrinks(self):
+        assert expected_tv_noise(10, 10_000) < expected_tv_noise(10, 100)
+
+
+class TestHarness:
+    def test_collect_and_empirical(self):
+        def run(seed):
+            return SampleResult.of(seed % 3)
+
+        counts, fails, empties = collect_outcomes(run, trials=300)
+        assert fails == 0 and empties == 0
+        dist = empirical_distribution(counts, 3)
+        assert dist.sum() == pytest.approx(1.0)
+        assert dist.tolist() == pytest.approx([1 / 3] * 3)
+
+    def test_evaluate_on_exact_sampler(self):
+        target = np.array([0.25, 0.75])
+        rng = np.random.default_rng(0)
+
+        def run(seed):
+            return SampleResult.of(int(rng.random() < 0.75))
+
+        report = evaluate(run, target, trials=4000)
+        assert report.chi2_pvalue > 1e-3
+        assert report.tv < 3 * report.tv_noise_floor
+        assert report.success_rate == 1.0
+
+    def test_evaluate_tracks_failures(self):
+        def run(seed):
+            if seed % 2:
+                return SampleResult.fail()
+            return SampleResult.of(0)
+
+        report = evaluate(run, np.array([1.0]), trials=100)
+        assert report.fail_rate == pytest.approx(0.5)
+
+    def test_evaluate_all_fail(self):
+        report = evaluate(lambda s: SampleResult.fail(), np.array([1.0]), trials=10)
+        assert report.successes == 0
+        assert report.tv == 1.0
+
+    def test_report_row_renders(self):
+        report = evaluate(lambda s: SampleResult.of(0), np.array([1.0]), trials=10)
+        assert "TV=" in report.row("label")
+
+
+class TestAccumulation:
+    def test_bernoulli_growth(self):
+        assert bernoulli_accumulation(0.0, 100) == 0.0
+        assert bernoulli_accumulation(0.01, 1) == pytest.approx(0.01)
+        assert bernoulli_accumulation(0.01, 200) > 0.8
+
+    def test_joint_upper_caps(self):
+        assert joint_tv_upper(0.3, 10) == 1.0
+        assert joint_tv_upper(0.01, 5) == pytest.approx(0.05)
+
+    def test_portioned_drift(self):
+        out = np.array([0.55, 0.45])
+        tgt = np.array([0.5, 0.5])
+        d = portioned_drift(out, tgt, portions=10)
+        assert d["per_portion_tv"] == pytest.approx(0.05)
+        assert d["joint_lower"] <= d["joint_upper"]
+
+    def test_validates_gamma(self):
+        with pytest.raises(ValueError):
+            bernoulli_accumulation(-0.1, 5)
+
+
+class TestAttack:
+    def test_planted_bias_detected(self):
+        rng_a = np.random.default_rng(0)
+        rng_b = np.random.default_rng(1)
+
+        def run_unbiased(seed):
+            return SampleResult.of(int(rng_a.integers(0, 10)))
+
+        def run_biased(seed):
+            if rng_b.random() < 0.3:
+                return SampleResult.of(0)
+            return SampleResult.of(int(rng_b.integers(0, 10)))
+
+        report = distinguishing_attack(
+            run_unbiased, run_biased, bias_items=[0],
+            samples_per_batch=200, batches=30, seed=2,
+        )
+        assert report.advantage > 0.8
+        assert report.mean_statistic_biased > report.mean_statistic_unbiased
+
+    def test_no_bias_no_advantage(self):
+        rng = np.random.default_rng(3)
+
+        def run(seed):
+            return SampleResult.of(int(rng.integers(0, 10)))
+
+        report = distinguishing_attack(
+            run, run, bias_items=[0], samples_per_batch=100, batches=30, seed=4
+        )
+        assert abs(report.advantage) < 0.4

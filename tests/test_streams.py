@@ -1,0 +1,130 @@
+"""Tests for the stream model (repro.streams.stream)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.streams import Stream, StreamKind, TurnstileStream, Update
+
+
+class TestUpdate:
+    def test_defaults_to_unit_insertion(self):
+        u = Update(3)
+        assert u.item == 3
+        assert u.delta == 1
+
+    def test_rejects_negative_item(self):
+        with pytest.raises(ValueError):
+            Update(-1)
+
+    def test_rejects_zero_delta(self):
+        with pytest.raises(ValueError):
+            Update(0, 0)
+
+    def test_is_hashable_and_frozen(self):
+        u = Update(1, 2)
+        assert hash(u) == hash(Update(1, 2))
+        with pytest.raises(AttributeError):
+            u.item = 5
+
+
+class TestStream:
+    def test_basic_properties(self):
+        s = Stream([0, 1, 1, 2], n=4)
+        assert len(s) == 4
+        assert s.n == 4
+        assert s.kind is StreamKind.INSERTION_ONLY
+        assert list(s) == [0, 1, 1, 2]
+        assert s[2] == 1
+
+    def test_frequencies(self):
+        s = Stream([0, 1, 1, 3, 3, 3], n=4)
+        assert s.frequencies().tolist() == [1, 2, 0, 3]
+
+    def test_window_frequencies(self):
+        s = Stream([0, 1, 1, 3, 3, 3], n=4)
+        assert s.window_frequencies(2).tolist() == [0, 0, 0, 2]
+        assert s.window_frequencies(100).tolist() == [1, 2, 0, 3]
+
+    def test_window_must_be_positive(self):
+        with pytest.raises(ValueError):
+            Stream([0], n=1).window_frequencies(0)
+
+    def test_rejects_out_of_range_items(self):
+        with pytest.raises(ValueError):
+            Stream([0, 5], n=3)
+        with pytest.raises(ValueError):
+            Stream([-1], n=3)
+
+    def test_rejects_bad_universe(self):
+        with pytest.raises(ValueError):
+            Stream([], n=0)
+
+    def test_items_are_read_only(self):
+        s = Stream([0, 1], n=2)
+        with pytest.raises(ValueError):
+            s.items[0] = 1
+
+    def test_prefix(self):
+        s = Stream([0, 1, 2, 3], n=4)
+        assert list(s.prefix(2)) == [0, 1]
+
+    def test_concat(self):
+        a = Stream([0, 1], n=3)
+        b = Stream([2], n=3)
+        assert list(a.concat(b)) == [0, 1, 2]
+
+    def test_concat_universe_mismatch(self):
+        with pytest.raises(ValueError):
+            Stream([0], n=2).concat(Stream([0], n=3))
+
+    def test_shuffled_preserves_multiset(self):
+        s = Stream([0, 0, 1, 2, 2, 2], n=3)
+        sh = s.shuffled(np.random.default_rng(0))
+        assert sh.frequencies().tolist() == s.frequencies().tolist()
+
+    @given(st.lists(st.integers(0, 9), max_size=50))
+    @settings(max_examples=50, deadline=None)
+    def test_frequencies_match_bincount(self, items):
+        s = Stream(items, n=10)
+        assert s.frequencies().tolist() == np.bincount(items, minlength=10).tolist()
+
+
+class TestTurnstileStream:
+    def test_strict_accepts_valid(self):
+        ts = TurnstileStream([(0, 2), (0, -1), (1, 3)], n=2)
+        assert ts.kind is StreamKind.STRICT_TURNSTILE
+        assert ts.frequencies().tolist() == [1, 3]
+
+    def test_strict_rejects_negativity(self):
+        with pytest.raises(ValueError, match="strict"):
+            TurnstileStream([(0, 1), (0, -2)], n=2)
+
+    def test_general_allows_negativity(self):
+        ts = TurnstileStream([(0, 1), (0, -2)], n=2, strict=False)
+        assert ts.kind is StreamKind.GENERAL_TURNSTILE
+        assert ts.frequencies().tolist() == [-1, 0]
+
+    def test_rejects_item_outside_universe(self):
+        with pytest.raises(ValueError):
+            TurnstileStream([(5, 1)], n=3)
+
+    def test_from_difference_zero(self):
+        x = [1, 0, 1]
+        ts = TurnstileStream.from_difference(x, x)
+        assert ts.frequencies().tolist() == [0, 0, 0]
+
+    def test_from_difference_nonzero(self):
+        ts = TurnstileStream.from_difference([1, 1, 0], [1, 0, 1])
+        assert ts.frequencies().tolist() == [0, 1, -1]
+
+    def test_from_difference_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            TurnstileStream.from_difference([1], [1, 0])
+
+    def test_iteration_yields_updates(self):
+        ts = TurnstileStream([(0, 2)], n=1)
+        (u,) = list(ts)
+        assert isinstance(u, Update)
+        assert (u.item, u.delta) == (0, 2)

@@ -1,0 +1,92 @@
+"""Tests for weighted reservoir sampling (the [JSTW19] substrate)."""
+
+import numpy as np
+import pytest
+from scipy import stats as sps
+
+from repro.core import WeightedL1Sampler, WeightedReservoir
+from repro.stats import total_variation
+
+
+class TestWeightedReservoir:
+    def test_holds_first_k(self):
+        r = WeightedReservoir(3, seed=0)
+        r.extend([(1, 1.0), (2, 2.0)])
+        assert {i for i, __ in r.sample()} == {1, 2}
+
+    def test_size_capped(self):
+        r = WeightedReservoir(4, seed=0)
+        r.extend((i, 1.0) for i in range(50))
+        assert len(r.sample()) == 4
+
+    def test_rejects_nonpositive_weights(self):
+        r = WeightedReservoir(2, seed=0)
+        with pytest.raises(ValueError):
+            r.update(0, 0.0)
+
+    def test_validates_k(self):
+        with pytest.raises(ValueError):
+            WeightedReservoir(0)
+
+    def test_unweighted_matches_uniform(self):
+        """All weights 1 ⇒ classic uniform reservoir."""
+        m, k = 10, 2
+        counts = np.zeros(m)
+        for seed in range(4000):
+            r = WeightedReservoir(k, seed=seed)
+            r.extend((i, 1.0) for i in range(m))
+            for item, __ in r.sample():
+                counts[item] += 1
+        __, pvalue = sps.chisquare(counts)
+        assert pvalue > 1e-3
+
+    def test_total_weight_tracked(self):
+        r = WeightedReservoir(1, seed=0)
+        r.extend([(0, 1.5), (1, 2.5)])
+        assert r.total_weight == pytest.approx(4.0)
+        assert r.count == 2
+
+    def test_bare_items_default_weight(self):
+        r = WeightedReservoir(2, seed=0)
+        r.extend([5, 6])
+        assert r.total_weight == pytest.approx(2.0)
+
+
+class TestWeightedL1Sampler:
+    def test_distribution_proportional_to_weight(self):
+        """P(i) = W_i/ΣW exactly — chi-square over 4000 trials."""
+        updates = [(0, 1.0), (1, 2.0), (2, 4.0), (3, 8.0), (0, 1.0)]
+        weights = np.array([2.0, 2.0, 4.0, 8.0])
+        target = weights / weights.sum()
+        counts = np.zeros(4)
+        trials = 12000
+        for seed in range(trials):
+            s = WeightedL1Sampler(seed=90_000 + seed)
+            res = s.run(updates)
+            counts[res.item] += 1
+        emp = counts / trials
+        assert total_variation(emp, target) < 0.03
+        __, pvalue = sps.chisquare(counts, target * trials)
+        assert pvalue > 1e-3
+
+    def test_never_fails_nonempty(self):
+        for seed in range(50):
+            s = WeightedL1Sampler(seed=seed)
+            assert s.run([(7, 0.5)]).is_item
+
+    def test_empty(self):
+        assert WeightedL1Sampler(seed=0).sample().is_empty
+
+    def test_split_weights_equal_single_update(self):
+        """Ten weight-1 updates to i ≡ one weight-10 update (L1 mass)."""
+        hits_split = 0
+        hits_single = 0
+        trials = 3000
+        for seed in range(trials):
+            split = WeightedL1Sampler(seed=seed)
+            split.extend([(0, 1.0)] * 10 + [(1, 10.0)])
+            hits_split += split.sample().item == 0
+            single = WeightedL1Sampler(seed=10**6 + seed)
+            single.extend([(0, 10.0), (1, 10.0)])
+            hits_single += single.sample().item == 0
+        assert abs(hits_split - hits_single) / trials < 0.05

@@ -1,0 +1,82 @@
+"""Tests for the Algorithm 7 sliding-window perfect Lp sampler
+(repro.perfect.window_lp)."""
+
+import numpy as np
+import pytest
+
+from repro.perfect import SlidingWindowPerfectLpSampler
+from repro.stats import lp_target, total_variation
+from repro.stats.harness import collect_outcomes, empirical_distribution
+from repro.streams import Stream, stream_from_frequencies
+
+
+class TestSlidingWindowPerfectLp:
+    def test_output_close_to_window_lp_target(self):
+        """Perfect (γ > 0): TV to the window Lp target is small but need
+        not vanish."""
+        p = 0.5
+        freq = np.array([1, 2, 4, 8, 16])
+        m = int(freq.sum())
+        target = lp_target(freq, p)
+
+        def run(seed):
+            stream = stream_from_frequencies(freq, order="random",
+                                             seed=40_000 + seed)
+            s = SlidingWindowPerfectLpSampler(
+                p, 5, window=m, duplication=16, seed=seed
+            )
+            return s.run(stream)
+
+        counts, fails, __ = collect_outcomes(run, trials=800)
+        assert sum(counts.values()) > 200
+        dist = empirical_distribution(counts, 5)
+        assert total_variation(dist, target) < 0.2
+
+    def test_expired_heavy_item_forgotten(self):
+        """An old burst outside the window must not dominate samples."""
+        p = 0.5
+        items = [0] * 300 + [1 + (i % 4) for i in range(200)]
+        stream = Stream(items, n=5)
+        zero_hits = 0
+        trials = 120
+        accepted = 0
+        for seed in range(trials):
+            s = SlidingWindowPerfectLpSampler(
+                p, 5, window=200, duplication=8, seed=seed
+            )
+            res = s.run(stream)
+            if res.is_item:
+                accepted += 1
+                zero_hits += res.item == 0
+        assert accepted > 10
+        assert zero_hits / max(accepted, 1) < 0.2
+
+    def test_fail_rate_reasonable(self):
+        p = 0.5
+        freq = np.array([3, 6, 12, 24])
+        stream = stream_from_frequencies(freq, order="random", seed=50)
+        fails = 0
+        trials = 100
+        for seed in range(trials):
+            s = SlidingWindowPerfectLpSampler(
+                p, 4, window=int(freq.sum()), duplication=8, seed=seed
+            )
+            if s.run(stream).is_fail:
+                fails += 1
+        assert fails / trials < 0.8  # constant success probability
+
+    def test_empty_stream(self):
+        s = SlidingWindowPerfectLpSampler(0.5, 4, window=10, seed=0)
+        assert s.sample().is_empty
+
+    def test_validates_params(self):
+        with pytest.raises(ValueError):
+            SlidingWindowPerfectLpSampler(1.5, 4, window=10)
+        with pytest.raises(ValueError):
+            SlidingWindowPerfectLpSampler(0.5, 4, window=0)
+
+    def test_rolling_mass_matches_window(self):
+        s = SlidingWindowPerfectLpSampler(0.5, 8, window=5, duplication=2,
+                                          seed=1)
+        s.extend([0, 1, 2, 3, 4, 5, 6])
+        assert len(s._recent_weights) == 5

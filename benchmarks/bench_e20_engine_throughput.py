@@ -1,0 +1,108 @@
+"""E20 — engine throughput: scalar vs batched vs sharded ingestion.
+
+Claims: (a) the engine's vectorized ``update_batch`` kernel ingests a
+zipf(1.2) stream of 10^6 updates into a ``SamplerPool`` at ≥ 10× the
+scalar ``update()`` loop's throughput (the skip-ahead structure means a
+chunk costs a few whole-array passes plus O(heap events) Python work);
+(b) batching is free — for a fixed seed the batched pool's final state
+is bitwise identical to the scalar loop's; (c) sharding (K = 8) keeps
+exactness: the merged shard output passes the distribution test against
+the single-sampler target.
+
+Scale knobs (for CI smoke runs): ``ENGINE_BENCH_M`` (stream length,
+default 10^6; the ≥10× assertion relaxes to ≥3× below full scale) and
+``ENGINE_BENCH_TRIALS`` (distribution-check trials, default 300).
+"""
+
+import os
+import time
+
+import numpy as np
+
+from conftest import write_table
+from repro.core.g_sampler import SamplerPool
+from repro.engine import ShardedSamplerEngine, ingest
+from repro.stats import assert_matches_distribution, lp_target
+from repro.streams import zipf_stream
+
+M = int(os.environ.get("ENGINE_BENCH_M", 10**6))
+TRIALS = int(os.environ.get("ENGINE_BENCH_TRIALS", 300))
+N = 10**5
+INSTANCES = 64
+SHARDS = 8
+CHUNK = 1 << 16
+
+
+def _throughput_experiment():
+    items = np.asarray(zipf_stream(n=N, m=M, alpha=1.2, seed=0).items)
+    lines = []
+    rates = {}
+
+    t0 = time.perf_counter()
+    scalar_pool = SamplerPool(INSTANCES, seed=1)
+    for item in items.tolist():
+        scalar_pool.update(item)
+    elapsed = time.perf_counter() - t0
+    rates["scalar"] = M / elapsed
+
+    t0 = time.perf_counter()
+    batched_pool = SamplerPool(INSTANCES, seed=1)
+    ingest(batched_pool, items, chunk_size=CHUNK)
+    elapsed = time.perf_counter() - t0
+    rates["batched"] = M / elapsed
+
+    t0 = time.perf_counter()
+    engine = ShardedSamplerEngine(
+        {"kind": "pool", "instances": INSTANCES}, shards=SHARDS, seed=1
+    )
+    engine.ingest(items, chunk_size=CHUNK)
+    elapsed = time.perf_counter() - t0
+    rates["sharded"] = M / elapsed
+
+    for mode, rate in rates.items():
+        lines.append(
+            f"{mode:<8s} m={M:<9d} throughput={rate/1e6:8.2f}M updates/s"
+        )
+    speedup = rates["batched"] / rates["scalar"]
+    lines.append(f"batched/scalar speedup: {speedup:.1f}x")
+    identical = scalar_pool.finalize() == batched_pool.finalize()
+    lines.append(f"batched state bitwise-identical to scalar: {identical}")
+    return lines, speedup, identical
+
+
+def test_e20_engine_throughput(benchmark):
+    lines, speedup, identical = benchmark.pedantic(
+        _throughput_experiment, rounds=1, iterations=1
+    )
+    benchmark.extra_info["speedup"] = speedup
+    required = 10.0 if M >= 10**6 else 3.0
+    assert identical, "batched ingestion must reproduce the scalar state exactly"
+    assert speedup >= required, (
+        f"batched ingestion only {speedup:.1f}x scalar (need ≥ {required}x at m={M})"
+    )
+    write_table("E20", "Engine throughput: scalar vs batched vs sharded", lines)
+
+
+def test_e20_sharded_exactness(benchmark):
+    """Sharded (K=8) merged output vs the single-sampler L2 target."""
+    stream = zipf_stream(n=32, m=1600, alpha=1.2, seed=11)
+    target = lp_target(stream.frequencies(), 2.0)
+
+    def run(seed):
+        engine = ShardedSamplerEngine(
+            {"kind": "lp", "p": 2.0, "n": 32, "instances": 64},
+            shards=SHARDS,
+            seed=seed,
+        )
+        engine.ingest(stream.items)
+        return engine.sample()
+
+    def check():
+        return assert_matches_distribution(run, target, trials=TRIALS)
+
+    report = benchmark.pedantic(check, rounds=1, iterations=1)
+    write_table(
+        "E20b",
+        "Sharded engine exactness (K=8, p=2)",
+        [report.row(f"sharded L2 K={SHARDS}")],
+    )

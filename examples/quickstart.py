@@ -10,6 +10,8 @@ from repro import (
     L1L2Measure,
     TrulyPerfectGSampler,
     TrulyPerfectLpSampler,
+    build_sampler,
+    ingest,
     zipf_stream,
 )
 from repro.core import TrulyPerfectF0Sampler
@@ -42,11 +44,19 @@ def main() -> None:
     res = f0.run(stream)
     print(f"F0 sample: item {res.item} with f={res.metadata['frequency']}")
 
+    # --- The engine way: config-driven construction + batched replay ---
+    eng_sampler = build_sampler({"kind": "lp", "p": 2.0, "n": stream.n, "seed": 4})
+    ingest(eng_sampler, stream)  # vectorized update_batch under the hood
+    res = eng_sampler.sample()
+    print(f"engine-built L2 sample: item {res.item}")
+
     # --- Verify exactness statistically (this is the whole point!) ---
     target = lp_target(freq, 2.0)
 
     def run(seed):
-        return TrulyPerfectLpSampler(p=2.0, n=stream.n, seed=seed).run(stream)
+        sampler = TrulyPerfectLpSampler(p=2.0, n=stream.n, seed=seed)
+        ingest(sampler, stream)
+        return sampler.sample()
 
     report = evaluate(run, target, trials=400)
     print("\nexactness check over 400 independent samplers:")

@@ -27,6 +27,19 @@ Package map (see DESIGN.md for the full inventory):
 * :mod:`repro.streams` — stream model, generators, ground truth.
 * :mod:`repro.lowerbound` — Theorem 1.2's reduction, executable.
 * :mod:`repro.stats` — exactness validation harness.
+* :mod:`repro.engine` — serving-grade layer: batched ingestion,
+  mergeable/serializable sampler state, sharded engine, config-driven
+  construction.
+
+Engine quick start::
+
+    from repro.engine import ShardedSamplerEngine, ingest
+
+    engine = ShardedSamplerEngine(
+        {"kind": "lp", "p": 2.0, "n": stream.n}, shards=8, seed=0
+    )
+    engine.ingest(stream.items)        # vectorized, hash-partitioned
+    result = engine.sample()           # exact global Lp sample
 """
 
 from repro.core import (
@@ -63,6 +76,18 @@ from repro.streams import (
     uniform_stream,
     zipf_stream,
 )
+from repro.engine import (
+    BatchIngestor,
+    MergeableState,
+    ShardedSamplerEngine,
+    UniversePartitioner,
+    build_measure,
+    build_sampler,
+    ingest,
+    load_state,
+    merged,
+    save_state,
+)
 
 __version__ = "1.0.0"
 
@@ -97,4 +122,14 @@ __all__ = [
     "TurnstileStream",
     "uniform_stream",
     "zipf_stream",
+    "BatchIngestor",
+    "MergeableState",
+    "ShardedSamplerEngine",
+    "UniversePartitioner",
+    "build_measure",
+    "build_sampler",
+    "ingest",
+    "load_state",
+    "merged",
+    "save_state",
 ]

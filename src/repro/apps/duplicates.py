@@ -12,6 +12,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.core.f0_sampler import TrulyPerfectF0Sampler
+from repro.engine.batch import ingest
 
 __all__ = ["find_duplicate"]
 
@@ -38,7 +39,8 @@ def find_duplicate(
         sampler = TrulyPerfectF0Sampler(
             n, delta=0.1, seed=int(rng.integers(2**31))
         )
-        res = sampler.run(stream)
+        ingest(sampler, stream)  # batched replay via update_batch
+        res = sampler.sample()
         if res.is_item and res.metadata.get("frequency", 0) >= 2:
             return res.item
     return None

@@ -16,6 +16,7 @@ from collections import Counter
 import numpy as np
 
 from repro.core.lp_sampler import TrulyPerfectLpSampler
+from repro.engine.batch import ingest
 
 __all__ = ["HeavyHitterReport", "find_heavy_hitters"]
 
@@ -73,7 +74,8 @@ def find_heavy_hitters(
         sampler = TrulyPerfectLpSampler(
             p=p, n=n, delta=0.1, seed=int(rng.integers(2**31))
         )
-        res = sampler.run(stream)
+        ingest(sampler, stream)  # batched replay via update_batch
+        res = sampler.sample()
         if res.is_item:
             counts[res.item] += 1
         else:

@@ -51,6 +51,10 @@ class FGEstimator:
     def extend(self, items) -> None:
         self._pool.extend(items)
 
+    def update_batch(self, items) -> None:
+        """Vectorized ingestion (see ``SamplerPool.update_batch``)."""
+        self._pool.update_batch(items)
+
     def estimate(self, measure: Measure) -> float:
         """Unbiased estimate of ``F_G`` for ``measure``."""
         finals = self._pool.finalize()

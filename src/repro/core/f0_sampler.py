@@ -46,7 +46,8 @@ class Algorithm5F0Sampler:
     sampled index is reported together with ``f_i`` (Theorem 5.2).
     """
 
-    __slots__ = ("_n", "_threshold", "_first", "_overflowed", "_s_set", "_counts", "_rng")
+    __slots__ = ("_n", "_threshold", "_first", "_overflowed", "_s_set", "_counts",
+                 "_rng", "_t")
 
     def __init__(self, n: int, seed: int | np.random.Generator | None = None) -> None:
         if n < 1:
@@ -63,11 +64,17 @@ class Algorithm5F0Sampler:
         self._first: dict[int, None] = {}
         self._overflowed = False
         self._counts: dict[int, int] = {}
+        self._t = 0
 
     @property
     def threshold(self) -> int:
         """The ``√n`` cut-off between the T and S regimes."""
         return self._threshold
+
+    @property
+    def position(self) -> int:
+        """Number of updates processed."""
+        return self._t
 
     @property
     def space_words(self) -> int:
@@ -76,6 +83,7 @@ class Algorithm5F0Sampler:
     def update(self, item: int) -> None:
         if not 0 <= item < self._n:
             raise ValueError(f"item {item} outside universe [0, {self._n})")
+        self._t += 1
         # An item is provably *new* at its first arrival: it is in neither
         # T nor the counted part of S.  (Later arrivals of an untracked
         # item re-trigger the overflow flag, which is harmless.)
@@ -91,6 +99,115 @@ class Algorithm5F0Sampler:
     def extend(self, items) -> None:
         for item in items:
             self.update(item)
+
+    @staticmethod
+    def chunk_pairs(arr: np.ndarray) -> list[tuple[int, int]]:
+        """``(item, chunk occurrences)`` pairs in first-appearance order —
+        the distinct-item digest :meth:`ingest_pairs` consumes.  Computed
+        once per chunk and shared across amplification copies."""
+        uniq, first_at, occurrences = np.unique(
+            arr, return_index=True, return_counts=True
+        )
+        order = np.argsort(first_at, kind="stable")
+        return list(zip(uniq[order].tolist(), occurrences[order].tolist()))
+
+    def ingest_pairs(self, pairs: list[tuple[int, int]], length: int) -> None:
+        """Apply a chunk digest (from :meth:`chunk_pairs`) of a chunk of
+        ``length`` already-validated items."""
+        for item, __ in pairs:
+            seen = item in self._first or self._counts.get(item, 0) > 0
+            if not seen:
+                if len(self._first) < self._threshold:
+                    self._first[item] = None
+                else:
+                    self._overflowed = True
+        for item, count in pairs:
+            if item in self._first or item in self._s_set:
+                self._counts[item] = self._counts.get(item, 0) + count
+        self._t += length
+
+    def update_batch(self, items) -> None:
+        """Vectorized chunk ingestion — bitwise identical to the scalar
+        loop (no randomness is consumed by updates).
+
+        Membership of ``T ∪ S`` only ever turns *on* for an item (at its
+        first arrival), so per-position work collapses to: adopt new
+        distinct items in first-appearance order, then add whole-chunk
+        occurrence counts for every tracked item.
+        """
+        arr = np.asarray(items, dtype=np.int64)
+        if arr.size == 0:
+            return
+        if int(arr.min()) < 0 or int(arr.max()) >= self._n:
+            raise ValueError(f"items outside universe [0, {self._n})")
+        self.ingest_pairs(self.chunk_pairs(arr), int(arr.size))
+
+    def snapshot(self) -> dict:
+        n_counts = len(self._counts)
+        return {
+            "kind": "algorithm5_f0",
+            "n": self._n,
+            "position": self._t,
+            "overflowed": self._overflowed,
+            "s_set": np.fromiter(self._s_set, dtype=np.int64, count=len(self._s_set)),
+            "first": np.fromiter(self._first.keys(), dtype=np.int64, count=len(self._first)),
+            "count_keys": np.fromiter(self._counts.keys(), dtype=np.int64, count=n_counts),
+            "count_vals": np.fromiter(self._counts.values(), dtype=np.int64, count=n_counts),
+            "rng_state": self._rng.bit_generator.state,
+        }
+
+    def restore(self, state: dict) -> None:
+        if state.get("kind") != "algorithm5_f0":
+            raise ValueError(f"not an algorithm5_f0 snapshot: {state.get('kind')!r}")
+        if int(state["n"]) != self._n:
+            raise ValueError(f"snapshot is for n={state['n']}, sampler has n={self._n}")
+        self._t = int(state["position"])
+        self._overflowed = bool(state["overflowed"])
+        self._s_set = set(int(x) for x in state["s_set"])
+        self._first = {int(x): None for x in state["first"]}
+        self._counts = {
+            int(k): int(v) for k, v in zip(state["count_keys"], state["count_vals"])
+        }
+        rng = np.random.default_rng()
+        rng.bit_generator.state = state["rng_state"]
+        self._rng = rng
+
+    def merge(self, other: "Algorithm5F0Sampler") -> None:
+        """Absorb a copy fed a *disjoint* partition of the universe.
+
+        Requires an identical random subset ``S`` (construct shard copies
+        from the same seed).  The result is the exact state of one copy
+        run over the concatenation self‖other: ``other``'s ``T`` entries
+        append in first-appearance order until ``T`` fills (an overflowed
+        ``other`` always carries a full table, so no adopted-item order
+        information is ever missing), and dropped entries keep their
+        counts only when ``S`` would have tracked them.
+        """
+        if not isinstance(other, Algorithm5F0Sampler):
+            raise TypeError(
+                f"cannot merge Algorithm5F0Sampler with {type(other).__name__}"
+            )
+        if other._n != self._n:
+            raise ValueError(f"universe sizes differ: {self._n} vs {other._n}")
+        if other._s_set != self._s_set:
+            raise ValueError(
+                "merge requires identical random subsets S — construct the "
+                "shard samplers from the same seed"
+            )
+        self._t += other._t
+        dropped: set[int] = set()
+        for item in other._first:
+            if len(self._first) < self._threshold:
+                self._first[item] = None
+            else:
+                self._overflowed = True
+                if item not in self._s_set:
+                    dropped.add(item)
+        self._overflowed = self._overflowed or other._overflowed
+        for item, count in other._counts.items():
+            if item in dropped:
+                continue  # untracked in the single-stream run
+            self._counts[item] = self._counts.get(item, 0) + count
 
     def sample(self) -> SampleResult:
         if not self._counts and not self._overflowed:
@@ -132,6 +249,11 @@ class TrulyPerfectF0Sampler:
         return len(self._copies)
 
     @property
+    def position(self) -> int:
+        """Number of updates processed."""
+        return self._copies[0].position
+
+    @property
     def space_words(self) -> int:
         return sum(c.space_words for c in self._copies)
 
@@ -142,6 +264,58 @@ class TrulyPerfectF0Sampler:
     def extend(self, items) -> None:
         for item in items:
             self.update(item)
+
+    def update_batch(self, items) -> None:
+        """Vectorized chunk ingestion, bitwise identical to the scalar
+        loop (updates consume no randomness).  The chunk's distinct-item
+        digest is computed once and shared by all amplification copies —
+        the dominant O(L log L) cost does not scale with ``copies``."""
+        arr = np.asarray(items, dtype=np.int64)
+        if arr.size == 0:
+            return
+        n = self._copies[0]._n
+        if int(arr.min()) < 0 or int(arr.max()) >= n:
+            raise ValueError(f"items outside universe [0, {n})")
+        pairs = Algorithm5F0Sampler.chunk_pairs(arr)
+        for copy in self._copies:
+            copy.ingest_pairs(pairs, int(arr.size))
+
+    def snapshot(self) -> dict:
+        return {
+            "kind": "truly_perfect_f0",
+            "copies": {str(i): c.snapshot() for i, c in enumerate(self._copies)},
+        }
+
+    def restore(self, state: dict) -> None:
+        if state.get("kind") != "truly_perfect_f0":
+            raise ValueError(f"not a truly_perfect_f0 snapshot: {state.get('kind')!r}")
+        copies = state["copies"]
+        if len(copies) != len(self._copies):
+            raise ValueError(
+                f"snapshot has {len(copies)} copies, sampler has {len(self._copies)}"
+            )
+        for i, copy in enumerate(self._copies):
+            copy.restore(copies[str(i)])
+        # Construction shares one generator across copies; restore the
+        # sharing so post-restore replay stays deterministic.
+        shared = self._copies[0]._rng
+        for copy in self._copies:
+            copy._rng = shared
+
+    def merge(self, other: "TrulyPerfectF0Sampler") -> None:
+        """Copy-wise merge over a disjoint universe partition; shard
+        samplers must be constructed from the same seed so each pair of
+        copies shares its random subset ``S``."""
+        if not isinstance(other, TrulyPerfectF0Sampler):
+            raise TypeError(
+                f"cannot merge TrulyPerfectF0Sampler with {type(other).__name__}"
+            )
+        if len(other._copies) != len(self._copies):
+            raise ValueError(
+                f"copy counts differ: {len(self._copies)} vs {len(other._copies)}"
+            )
+        for mine, theirs in zip(self._copies, other._copies):
+            mine.merge(theirs)
 
     def sample(self) -> SampleResult:
         result = SampleResult.fail()
@@ -166,15 +340,22 @@ class RandomOracleF0Sampler:
     can be tracked alongside.
     """
 
-    __slots__ = ("_h", "_min_item", "_min_val", "_count")
+    __slots__ = ("_h", "_min_item", "_min_val", "_count", "_t")
 
     def __init__(self, n: int, seed: int | np.random.Generator | None = None) -> None:
         self._h = random_oracle_hash(n, seed)
         self._min_item: int | None = None
         self._min_val = math.inf
         self._count = 0
+        self._t = 0
+
+    @property
+    def position(self) -> int:
+        """Number of updates processed."""
+        return self._t
 
     def update(self, item: int) -> None:
+        self._t += 1
         val = self._h[item]
         if val < self._min_val:
             self._min_val = val
@@ -186,6 +367,65 @@ class RandomOracleF0Sampler:
     def extend(self, items) -> None:
         for item in items:
             self.update(item)
+
+    def update_batch(self, items) -> None:
+        """Vectorized chunk ingestion, identical to the scalar loop.
+
+        The argmin item over a chunk is a single vectorized reduction;
+        its tracked frequency counts occurrences from its first arrival,
+        which is its full chunk count when it dethrones the incumbent.
+        """
+        arr = np.asarray(items, dtype=np.int64)
+        if arr.size == 0:
+            return
+        self._t += int(arr.size)
+        vals = self._h[arr]
+        best = int(np.argmin(vals))
+        if vals[best] < self._min_val:
+            self._min_val = float(vals[best])
+            self._min_item = int(arr[best])
+            self._count = int(np.count_nonzero(arr == self._min_item))
+        elif self._min_item is not None:
+            self._count += int(np.count_nonzero(arr == self._min_item))
+
+    def snapshot(self) -> dict:
+        return {
+            "kind": "random_oracle_f0",
+            "position": self._t,
+            "min_item": -1 if self._min_item is None else self._min_item,
+            "min_val": self._min_val if math.isfinite(self._min_val) else None,
+            "count": self._count,
+            "oracle": self._h,
+        }
+
+    def restore(self, state: dict) -> None:
+        if state.get("kind") != "random_oracle_f0":
+            raise ValueError(f"not a random_oracle_f0 snapshot: {state.get('kind')!r}")
+        self._t = int(state["position"])
+        min_item = int(state["min_item"])
+        self._min_item = None if min_item < 0 else min_item
+        self._min_val = math.inf if state["min_val"] is None else float(state["min_val"])
+        self._count = int(state["count"])
+        self._h = np.asarray(state["oracle"], dtype=np.float64)
+
+    def merge(self, other: "RandomOracleF0Sampler") -> None:
+        """Keep the globally smallest hash value.
+
+        Exact for samplers fed *disjoint* partitions of the universe:
+        all hash values are i.i.d. uniform (whether the shards share one
+        oracle table or drew independent ones), so the global argmin is
+        uniform over the union support.  A merged sampler should be
+        treated as query-only unless the shards share one oracle table.
+        """
+        if not isinstance(other, RandomOracleF0Sampler):
+            raise TypeError(
+                f"cannot merge RandomOracleF0Sampler with {type(other).__name__}"
+            )
+        self._t += other._t
+        if other._min_val < self._min_val:
+            self._min_val = other._min_val
+            self._min_item = other._min_item
+            self._count = other._count
 
     def sample(self) -> SampleResult:
         if self._min_item is None:

@@ -163,6 +163,215 @@ class SamplerPool:
         for item in items:
             self.update(item)
 
+    def update_batch(self, items) -> None:
+        """Vectorized ingestion of a whole chunk of items.
+
+        Between heap events nothing changes which items are tracked, so
+        the per-item work collapses to counting occurrences of tracked
+        items inside each inter-event segment — done with one stable
+        argsort of the chunk plus ``searchsorted`` range queries.  Heap
+        events themselves (amortized ``O(R log m)`` over the stream) are
+        replayed in exactly the scalar order, drawing the skip-ahead
+        replacement jumps from the same RNG stream, so for a fixed seed
+        the post-batch state is *bitwise identical* to the scalar
+        ``update()`` loop.
+        """
+        arr = np.ascontiguousarray(np.asarray(items, dtype=np.int64))
+        if arr.ndim != 1:
+            raise ValueError("update_batch expects a 1-d sequence of items")
+        length = int(arr.size)
+        if length == 0:
+            return
+        t0 = self._t
+        end = t0 + length
+        heap = self._heap
+        counts = self._counts
+        refs = self._refs
+        # accrued[i]: chunk offset up to which occurrences of i are
+        # already reflected in counts[i].  Successive settle ranges of one
+        # item are disjoint (accrued only advances), so slice-restricted
+        # vectorized counting does at most one full chunk scan per tracked
+        # item — and only items touched by a heap event are settled here.
+        accrued = dict.fromkeys(counts, 0)
+
+        def settle(item: int, upto: int) -> None:
+            start = accrued[item]
+            if start < upto:
+                hits = int(np.count_nonzero(arr[start:upto] == item))
+                if hits:
+                    counts[item] += hits
+                accrued[item] = upto
+
+        while heap and heap[0][0] <= end:
+            time, idx = heapq.heappop(heap)
+            self._heap_events += 1
+            off = time - t0 - 1  # chunk offset of the replacement position
+            item = int(arr[off])
+            old = self._items[idx]
+            if old is not None:
+                if refs[old] == 1:
+                    # Last holder: the shared counter dies with it, so the
+                    # settle (and its occurrence scan) can be skipped.
+                    del refs[old]
+                    del counts[old]
+                    del accrued[old]
+                else:
+                    settle(old, off)
+                    refs[old] -= 1
+            self._items[idx] = item
+            if item in refs:
+                refs[item] += 1
+                settle(item, off)
+            else:
+                refs[item] = 1
+                counts[item] = 0
+                accrued[item] = off  # the occurrence at `off` accrues later
+            self._offsets[idx] = counts[item]
+            self._timestamps[idx] = time
+            heapq.heappush(heap, (skip_next_replacement(time, self._rng), idx))
+        # Final flush.  Items untouched by any heap event (the common case
+        # in steady state) all need the same full-chunk occurrence count —
+        # one bincount pass (or a searchsorted pass when the universe is
+        # too large to bincount) instead of a scan per item.
+        whole = [i for i, a in accrued.items() if a == 0]
+        if whole:
+            top = int(arr.max())
+            if 0 <= int(arr.min()) and top < max(1 << 20, 4 * length):
+                occ_all = np.bincount(arr, minlength=top + 1)
+                for item in whole:
+                    # Tracked items adopted in earlier chunks may exceed
+                    # this chunk's max value.
+                    hits = int(occ_all[item]) if item <= top else 0
+                    if hits:
+                        counts[item] += hits
+            else:
+                tracked = np.array(whole, dtype=np.int64)
+                tracked.sort()
+                slot = tracked.searchsorted(arr)
+                np.minimum(slot, tracked.size - 1, out=slot)
+                occ = np.bincount(slot[tracked[slot] == arr], minlength=tracked.size)
+                for j, item in enumerate(tracked.tolist()):
+                    if occ[j]:
+                        counts[item] += int(occ[j])
+        for item, a in accrued.items():
+            if a != 0:
+                settle(item, length)
+        self._t = end
+
+    def snapshot(self) -> dict:
+        """Checkpoint the full pool state as a dict of arrays + scalars.
+
+        The layout is plain (NumPy arrays, ints, and the RNG state dict)
+        so :mod:`repro.engine.state` can serialize it to bytes without
+        pickling.  Includes the RNG state: a restored pool continues the
+        stream bitwise-identically.
+        """
+        heap = sorted(self._heap)
+        n_tracked = len(self._counts)
+        return {
+            "kind": "sampler_pool",
+            "instances": self._r,
+            "position": self._t,
+            "heap_events": self._heap_events,
+            "items": np.array(
+                [-1 if x is None else x for x in self._items], dtype=np.int64
+            ),
+            "offsets": np.asarray(self._offsets, dtype=np.int64),
+            "timestamps": np.asarray(self._timestamps, dtype=np.int64),
+            "heap_times": np.array([h[0] for h in heap], dtype=np.int64),
+            "heap_slots": np.array([h[1] for h in heap], dtype=np.int64),
+            "count_keys": np.fromiter(self._counts.keys(), dtype=np.int64, count=n_tracked),
+            "count_vals": np.fromiter(self._counts.values(), dtype=np.int64, count=n_tracked),
+            "ref_keys": np.fromiter(self._refs.keys(), dtype=np.int64, count=len(self._refs)),
+            "ref_vals": np.fromiter(self._refs.values(), dtype=np.int64, count=len(self._refs)),
+            "rng_state": self._rng.bit_generator.state,
+        }
+
+    def restore(self, state: dict) -> None:
+        """Overwrite this pool's state from a :meth:`snapshot` dict."""
+        if state.get("kind") != "sampler_pool":
+            raise ValueError(f"not a sampler_pool snapshot: {state.get('kind')!r}")
+        self._r = int(state["instances"])
+        self._t = int(state["position"])
+        self._heap_events = int(state["heap_events"])
+        self._items = [None if x < 0 else int(x) for x in state["items"]]
+        self._offsets = [int(x) for x in state["offsets"]]
+        self._timestamps = [int(x) for x in state["timestamps"]]
+        heap = [
+            (int(t), int(i))
+            for t, i in zip(state["heap_times"], state["heap_slots"])
+        ]
+        heapq.heapify(heap)
+        self._heap = heap
+        self._counts = {
+            int(k): int(v) for k, v in zip(state["count_keys"], state["count_vals"])
+        }
+        self._refs = {
+            int(k): int(v) for k, v in zip(state["ref_keys"], state["ref_vals"])
+        }
+        rng = np.random.default_rng()
+        rng.bit_generator.state = state["rng_state"]
+        self._rng = rng
+
+    @classmethod
+    def from_snapshot(cls, state: dict) -> "SamplerPool":
+        pool = cls(int(state["instances"]))
+        pool.restore(state)
+        return pool
+
+    def merge(self, other: "SamplerPool") -> None:
+        """Absorb a pool that ingested a *disjoint* partition of the
+        universe (items of the two substreams must not overlap — a hash
+        partition guarantees this; overlapping supports silently break the
+        forward-count semantics).
+
+        Merged instance ``k`` keeps this pool's ``k``-th instance with
+        probability ``m₁/(m₁+m₂)``, else adopts ``other``'s — i.e. a
+        uniform position over the concatenated stream.  Because item
+        supports are disjoint, a kept instance's forward count in its own
+        substream *is* its forward count in any interleaving, so the
+        merged pool is distributed exactly as one pool run over the
+        concatenation (the mergeability behind the sharded engine).
+        Replacement times are redrawn at the merged length — valid since
+        a reservoir's next-replacement law depends only on its position.
+        """
+        if not isinstance(other, SamplerPool):
+            raise TypeError(f"cannot merge SamplerPool with {type(other).__name__}")
+        if other._r != self._r:
+            raise ValueError(
+                f"instance counts differ: {self._r} vs {other._r}"
+            )
+        m1, m2 = self._t, other._t
+        if m2 == 0:
+            return
+        total = m1 + m2
+        mine = self.finalize()
+        theirs = other.finalize()
+        picks: list[tuple[int, int, int]] = []
+        for k in range(self._r):
+            if m1 > 0 and self._rng.random() < m1 / total:
+                picks.append(mine[k])
+            else:
+                item, count, ts = theirs[k]
+                picks.append((item, count, m1 + ts))
+        counts: dict[int, int] = {}
+        refs: dict[int, int] = {}
+        for item, count, __ in picks:
+            refs[item] = refs.get(item, 0) + 1
+            counts[item] = max(counts.get(item, 0), count)
+        for k, (item, count, ts) in enumerate(picks):
+            self._items[k] = item
+            self._offsets[k] = counts[item] - count
+            self._timestamps[k] = ts
+        self._counts = counts
+        self._refs = refs
+        self._t = total
+        self._heap = [
+            (skip_next_replacement(total, self._rng), idx) for idx in range(self._r)
+        ]
+        heapq.heapify(self._heap)
+        self._heap_events += other._heap_events
+
     def finalize(self) -> list[tuple[int, int, int]]:
         """Per-instance ``(item, count, timestamp)`` triples.
 
@@ -266,6 +475,51 @@ class TrulyPerfectGSampler:
 
     def extend(self, items) -> None:
         self._pool.extend(items)
+
+    def update_batch(self, items) -> None:
+        """Vectorized ingestion — see :meth:`SamplerPool.update_batch`."""
+        self._pool.update_batch(items)
+
+    def snapshot(self) -> dict:
+        """Checkpoint pool + RNG state (the measure is construction-time
+        configuration, not state — rebuild via the engine registry; its
+        name is recorded so a mismatched restore fails loudly)."""
+        return {
+            "kind": "truly_perfect_g",
+            "measure": self._measure.name,
+            "delta": self._delta,
+            "pool": self._pool.snapshot(),
+        }
+
+    def restore(self, state: dict) -> None:
+        if state.get("kind") != "truly_perfect_g":
+            raise ValueError(f"not a truly_perfect_g snapshot: {state.get('kind')!r}")
+        if state.get("measure") != self._measure.name:
+            raise ValueError(
+                f"snapshot is for measure {state.get('measure')!r}, sampler "
+                f"has {self._measure.name!r}"
+            )
+        self._delta = float(state["delta"])
+        self._pool.restore(state["pool"])
+        self._rng = self._pool._rng
+
+    def merge(self, other: "TrulyPerfectGSampler") -> None:
+        """Absorb a sampler run over a disjoint universe partition.
+
+        Exact under the same contract as :meth:`SamplerPool.merge`; the
+        two samplers must use the same measure.
+        """
+        if not isinstance(other, TrulyPerfectGSampler):
+            raise TypeError(
+                f"cannot merge TrulyPerfectGSampler with {type(other).__name__}"
+            )
+        if type(other._measure) is not type(self._measure) or (
+            other._measure.name != self._measure.name
+        ):
+            raise ValueError(
+                f"measures differ: {self._measure.name} vs {other._measure.name}"
+            )
+        self._pool.merge(other._pool)
 
     def _zeta(self) -> float:
         return self._measure.zeta(None)

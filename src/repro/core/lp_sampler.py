@@ -126,6 +126,61 @@ class TrulyPerfectLpSampler:
         for item in items:
             self.update(item)
 
+    def update_batch(self, items) -> None:
+        """Vectorized ingestion of a chunk of items.
+
+        The pool path is bitwise identical to the scalar loop for a fixed
+        seed; the Misra–Gries path uses weighted per-distinct updates, so
+        for ``p > 1`` the certified normalizer ζ may differ slightly from
+        the scalar run — the *conditional output distribution* is exactly
+        the target either way (any certified ζ is), only the FAIL rate
+        can shift marginally.
+        """
+        arr = np.asarray(items, dtype=np.int64)
+        self._pool.update_batch(arr)
+        if self._mg is not None:
+            self._mg.update_batch(arr)
+
+    def snapshot(self) -> dict:
+        state = {
+            "kind": "truly_perfect_lp",
+            "p": self._p,
+            "n": self._n,
+            "pool": self._pool.snapshot(),
+        }
+        if self._mg is not None:
+            state["mg"] = self._mg.snapshot()
+        return state
+
+    def restore(self, state: dict) -> None:
+        if state.get("kind") != "truly_perfect_lp":
+            raise ValueError(f"not a truly_perfect_lp snapshot: {state.get('kind')!r}")
+        if float(state["p"]) != self._p:
+            raise ValueError(f"snapshot is for p={state['p']}, sampler has p={self._p}")
+        self._n = int(state["n"])
+        self._pool.restore(state["pool"])
+        self._rng = self._pool._rng
+        if self._mg is not None:
+            self._mg.restore(state["mg"])
+
+    def merge(self, other: "TrulyPerfectLpSampler") -> None:
+        """Absorb a sampler fed a *disjoint* partition of the universe.
+
+        Pool merge is exact under the partition contract (see
+        :meth:`repro.core.g_sampler.SamplerPool.merge`); the merged
+        Misra–Gries summary certifies ``max_shards ‖f‖∞`` globally, so
+        the rejection step stays truly perfect.
+        """
+        if not isinstance(other, TrulyPerfectLpSampler):
+            raise TypeError(
+                f"cannot merge TrulyPerfectLpSampler with {type(other).__name__}"
+            )
+        if other._p != self._p:
+            raise ValueError(f"p differs: {self._p} vs {other._p}")
+        self._pool.merge(other._pool)
+        if self._mg is not None:
+            self._mg.merge(other._mg)
+
     def normalizer(self) -> float:
         """The certified ζ for the rejection step at the current time."""
         if self._p <= 1:

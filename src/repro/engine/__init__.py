@@ -1,0 +1,67 @@
+"""repro.engine — the serving-grade ingestion layer.
+
+The reference samplers in :mod:`repro.core` are per-item Python loops;
+this subsystem turns them into a pipeline that moves at NumPy speed and
+scales out without giving up the *truly perfect* guarantee:
+
+* :mod:`repro.engine.batch` — chunked, vectorized ingestion
+  (:func:`ingest`, :class:`BatchIngestor`) over the samplers'
+  ``update_batch`` kernels;
+* :mod:`repro.engine.state` — the :class:`MergeableState` protocol
+  (``snapshot``/``restore``/``merge``) and a compact no-pickle bytes
+  format for checkpointing and shipping sampler state;
+* :mod:`repro.engine.partition` — deterministic vectorized universe
+  partitioning;
+* :mod:`repro.engine.shard` — :class:`ShardedSamplerEngine`, K shards
+  merged into one exact global sample;
+* :mod:`repro.engine.registry` — :func:`build_sampler` /
+  :func:`build_measure`, config-driven construction.
+"""
+
+from repro.engine.batch import (
+    DEFAULT_CHUNK_SIZE,
+    BatchIngestor,
+    ingest,
+    supports_batch,
+)
+from repro.engine.partition import UniversePartitioner
+from repro.engine.registry import (
+    build_measure,
+    build_sampler,
+    measure_names,
+    register_measure,
+    register_sampler,
+    sampler_kinds,
+)
+from repro.engine.shard import ShardedSamplerEngine
+from repro.engine.state import (
+    MergeableState,
+    load_state,
+    merged,
+    save_state,
+    state_from_bytes,
+    state_to_bytes,
+    supports_merge,
+)
+
+__all__ = [
+    "DEFAULT_CHUNK_SIZE",
+    "BatchIngestor",
+    "ingest",
+    "supports_batch",
+    "UniversePartitioner",
+    "build_measure",
+    "build_sampler",
+    "measure_names",
+    "register_measure",
+    "register_sampler",
+    "sampler_kinds",
+    "ShardedSamplerEngine",
+    "MergeableState",
+    "load_state",
+    "merged",
+    "save_state",
+    "state_from_bytes",
+    "state_to_bytes",
+    "supports_merge",
+]

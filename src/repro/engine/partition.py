@@ -1,0 +1,97 @@
+"""Universe partitioning for the sharded engine.
+
+A shard layout must be a *function of the item alone* — every occurrence
+of an item has to land on the same shard, or the shards' forward counts
+(and hence the merged sampler's rejection weights) are wrong.  Two
+vectorized strategies are provided:
+
+* ``modulo`` — ``item % shards``; transparent, but correlates with any
+  arithmetic structure in the item ids;
+* ``hash`` — multiply–shift hashing (Dietzfelbinger et al.): multiply by
+  a seeded odd 64-bit constant and keep the top bits, which scrambles
+  structured id spaces before the modulo.
+
+Both are deterministic given ``(strategy, shards, seed)``, so a stream
+replayed anywhere partitions identically — the property the merge layer
+and the exactness tests rely on.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["UniversePartitioner"]
+
+_STRATEGIES = ("hash", "modulo")
+
+
+class UniversePartitioner:
+    """Deterministic, vectorized item → shard assignment.
+
+    Parameters
+    ----------
+    shards:
+        Number of shards ``K ≥ 1``.
+    strategy:
+        ``"hash"`` (default) or ``"modulo"``.
+    seed:
+        Seeds the multiply–shift constant; ignored for ``"modulo"``.
+    """
+
+    __slots__ = ("_shards", "_strategy", "_seed", "_multiplier")
+
+    def __init__(self, shards: int, strategy: str = "hash", seed: int = 0) -> None:
+        if shards < 1:
+            raise ValueError(f"need at least one shard, got {shards}")
+        if strategy not in _STRATEGIES:
+            raise ValueError(f"unknown strategy {strategy!r}; choose from {_STRATEGIES}")
+        self._shards = shards
+        self._strategy = strategy
+        self._seed = seed
+        rng = np.random.default_rng(seed)
+        # Odd multiplier — multiply-shift needs it to be a bijection.
+        self._multiplier = np.uint64(int(rng.integers(1 << 63, 1 << 64, dtype=np.uint64)) | 1)
+
+    @property
+    def shards(self) -> int:
+        return self._shards
+
+    @property
+    def strategy(self) -> str:
+        return self._strategy
+
+    @property
+    def seed(self) -> int:
+        return self._seed
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, UniversePartitioner):
+            return NotImplemented
+        return (
+            self._shards == other._shards
+            and self._strategy == other._strategy
+            and self._seed == other._seed
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"UniversePartitioner(shards={self._shards}, "
+            f"strategy={self._strategy!r}, seed={self._seed})"
+        )
+
+    def assign(self, items) -> np.ndarray:
+        """Shard id of each item, vectorized."""
+        arr = np.asarray(items, dtype=np.int64)
+        if self._shards == 1:
+            return np.zeros(arr.shape, dtype=np.int64)
+        if self._strategy == "modulo":
+            return arr % self._shards
+        mixed = arr.astype(np.uint64) * self._multiplier
+        return ((mixed >> np.uint64(32)).astype(np.int64)) % self._shards
+
+    def split(self, items) -> list[np.ndarray]:
+        """Partition a chunk into per-shard subchunks, preserving the
+        within-shard arrival order (the only order the samplers see)."""
+        arr = np.asarray(items, dtype=np.int64)
+        ids = self.assign(arr)
+        return [arr[ids == k] for k in range(self._shards)]

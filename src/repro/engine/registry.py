@@ -1,0 +1,256 @@
+"""Config-driven sampler construction.
+
+Apps, examples, benchmarks, and the shard coordinator all need samplers
+built from declarative descriptions rather than hand-written constructor
+calls — a config dict travels over the wire, a constructor call does
+not.  Two factories:
+
+* ``build_measure({"name": "huber", "tau": 2.0})`` → a ``Measure``;
+* ``build_sampler({"kind": "lp", "p": 2.0, "n": 4096, "seed": 7})`` →
+  a ready sampler.
+
+Both validate eagerly: unknown kinds and unknown keys raise ``ValueError``
+listing the alternatives, so a typo'd config fails at build time, not as
+a silently-default sampler.  ``register_sampler`` / ``register_measure``
+extend the registries (plug-in measures, experimental samplers) without
+touching this module.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+
+from repro.core.f0_sampler import (
+    Algorithm5F0Sampler,
+    BoundedMeasureSampler,
+    RandomOracleF0Sampler,
+    TrulyPerfectF0Sampler,
+)
+from repro.core.g_sampler import SamplerPool, TrulyPerfectGSampler
+from repro.core.lp_sampler import TrulyPerfectLpSampler
+from repro.core.measures import (
+    BoundedMeasure,
+    CauchyMeasure,
+    FairMeasure,
+    GemanMcClureMeasure,
+    HuberMeasure,
+    L1L2Measure,
+    LpMeasure,
+    Measure,
+    TukeyMeasure,
+)
+from repro.sliding_window import (
+    SlidingWindowF0Sampler,
+    SlidingWindowGSampler,
+    SlidingWindowLpSampler,
+)
+
+__all__ = [
+    "build_measure",
+    "build_sampler",
+    "register_measure",
+    "register_sampler",
+    "sampler_kinds",
+    "measure_names",
+    "SHARD_SHARED_SEED_KINDS",
+]
+
+#: Sampler kinds whose shard copies must be constructed from the *same*
+#: seed so their shared randomness (random subsets S, min-hash oracles)
+#: lines up for merging; every other kind wants independent shard seeds.
+SHARD_SHARED_SEED_KINDS = frozenset({"f0", "oracle-f0", "algorithm5-f0"})
+
+
+def _measure_lp(cfg: dict) -> Measure:
+    return LpMeasure(float(cfg.pop("p")))
+
+
+def _measure_with_tau(cls: type, default: float) -> Callable[[dict], Measure]:
+    def build(cfg: dict) -> Measure:
+        return cls(float(cfg.pop("tau", default)))
+
+    return build
+
+
+_MEASURES: dict[str, Callable[[dict], Measure]] = {
+    "lp": _measure_lp,
+    "l1l2": lambda cfg: L1L2Measure(),
+    "fair": _measure_with_tau(FairMeasure, 1.0),
+    "huber": _measure_with_tau(HuberMeasure, 1.0),
+    "cauchy": _measure_with_tau(CauchyMeasure, 1.0),
+    "tukey": _measure_with_tau(TukeyMeasure, 5.0),
+    "geman-mcclure": _measure_with_tau(GemanMcClureMeasure, 1.0),
+}
+
+
+def measure_names() -> tuple[str, ...]:
+    return tuple(sorted(_MEASURES))
+
+
+def register_measure(name: str, builder: Callable[[dict], Measure]) -> None:
+    """Add a measure builder; ``builder(cfg)`` must ``pop`` every key it
+    consumes (leftover keys are reported as errors)."""
+    _MEASURES[name] = builder
+
+
+def build_measure(spec) -> Measure:
+    """Build a measure from ``{"name": ..., **params}`` (a ``Measure``
+    instance passes through unchanged)."""
+    if isinstance(spec, Measure):
+        return spec
+    if not isinstance(spec, dict):
+        raise TypeError(f"measure spec must be a dict or Measure, got {type(spec).__name__}")
+    cfg = dict(spec)
+    name = cfg.pop("name", None)
+    if name not in _MEASURES:
+        raise ValueError(
+            f"unknown measure {name!r}; known: {', '.join(measure_names())}"
+        )
+    try:
+        measure = _MEASURES[name](cfg)
+    except KeyError as missing:
+        raise ValueError(
+            f"measure {name!r} requires key {missing}"
+        ) from None
+    if cfg:
+        raise ValueError(f"unknown keys for measure {name!r}: {sorted(cfg)}")
+    return measure
+
+
+def _pop_common(cfg: dict) -> dict:
+    return {
+        "delta": float(cfg.pop("delta", 0.05)),
+        "seed": cfg.pop("seed", None),
+    }
+
+
+def _build_g(cfg: dict):
+    common = _pop_common(cfg)
+    return TrulyPerfectGSampler(
+        build_measure(cfg.pop("measure")),
+        instances=cfg.pop("instances", None),
+        m_hint=cfg.pop("m_hint", None),
+        **common,
+    )
+
+
+def _build_lp(cfg: dict):
+    common = _pop_common(cfg)
+    return TrulyPerfectLpSampler(
+        p=float(cfg.pop("p")),
+        n=int(cfg.pop("n")),
+        m_hint=cfg.pop("m_hint", None),
+        instances=cfg.pop("instances", None),
+        **common,
+    )
+
+
+def _build_f0(cfg: dict):
+    common = _pop_common(cfg)
+    return TrulyPerfectF0Sampler(n=int(cfg.pop("n")), **common)
+
+
+def _build_oracle_f0(cfg: dict):
+    return RandomOracleF0Sampler(n=int(cfg.pop("n")), seed=cfg.pop("seed", None))
+
+
+def _build_algorithm5_f0(cfg: dict):
+    return Algorithm5F0Sampler(n=int(cfg.pop("n")), seed=cfg.pop("seed", None))
+
+
+def _build_pool(cfg: dict):
+    return SamplerPool(instances=int(cfg.pop("instances")), seed=cfg.pop("seed", None))
+
+
+def _build_bounded(cfg: dict):
+    common = _pop_common(cfg)
+    measure = build_measure(cfg.pop("measure"))
+    if not isinstance(measure, BoundedMeasure):
+        raise ValueError(
+            f"kind 'bounded' needs a bounded measure, got {measure.name}"
+        )
+    return BoundedMeasureSampler(
+        measure, n=int(cfg.pop("n")), oracle=bool(cfg.pop("oracle", True)), **common
+    )
+
+
+def _build_sw_g(cfg: dict):
+    common = _pop_common(cfg)
+    return SlidingWindowGSampler(
+        build_measure(cfg.pop("measure")),
+        window=int(cfg.pop("window")),
+        instances=cfg.pop("instances", None),
+        **common,
+    )
+
+
+def _build_sw_lp(cfg: dict):
+    common = _pop_common(cfg)
+    return SlidingWindowLpSampler(
+        p=float(cfg.pop("p")),
+        window=int(cfg.pop("window")),
+        instances=cfg.pop("instances", None),
+        alpha=float(cfg.pop("alpha", 0.5)),
+        **common,
+    )
+
+
+def _build_sw_f0(cfg: dict):
+    common = _pop_common(cfg)
+    return SlidingWindowF0Sampler(
+        n=int(cfg.pop("n")), window=int(cfg.pop("window")), **common
+    )
+
+
+_SAMPLERS: dict[str, Callable[[dict], object]] = {
+    "g": _build_g,
+    "lp": _build_lp,
+    "f0": _build_f0,
+    "oracle-f0": _build_oracle_f0,
+    "algorithm5-f0": _build_algorithm5_f0,
+    "pool": _build_pool,
+    "bounded": _build_bounded,
+    "sw-g": _build_sw_g,
+    "sw-lp": _build_sw_lp,
+    "sw-f0": _build_sw_f0,
+}
+
+
+def sampler_kinds() -> tuple[str, ...]:
+    return tuple(sorted(_SAMPLERS))
+
+
+def register_sampler(kind: str, builder: Callable[[dict], object]) -> None:
+    """Add a sampler builder; ``builder(cfg)`` must ``pop`` every key it
+    consumes (leftover keys are reported as errors)."""
+    _SAMPLERS[kind] = builder
+
+
+def build_sampler(config: dict):
+    """Build a sampler from a config dict, e.g.::
+
+        build_sampler({"kind": "lp", "p": 2.0, "n": 4096, "seed": 7})
+        build_sampler({"kind": "g", "measure": {"name": "huber"}, "seed": 0})
+        build_sampler({"kind": "sw-f0", "n": 1024, "window": 500})
+
+    The ``kind`` key selects the builder; every other key is passed to
+    the sampler's constructor.  Unknown kinds and leftover keys raise
+    ``ValueError``.
+    """
+    if not isinstance(config, dict):
+        raise TypeError(f"sampler config must be a dict, got {type(config).__name__}")
+    cfg = dict(config)
+    kind = cfg.pop("kind", None)
+    if kind not in _SAMPLERS:
+        raise ValueError(
+            f"unknown sampler kind {kind!r}; known: {', '.join(sampler_kinds())}"
+        )
+    try:
+        sampler = _SAMPLERS[kind](cfg)
+    except KeyError as missing:
+        raise ValueError(
+            f"sampler kind {kind!r} requires key {missing}"
+        ) from None
+    if cfg:
+        raise ValueError(f"unknown keys for sampler kind {kind!r}: {sorted(cfg)}")
+    return sampler

@@ -1,0 +1,186 @@
+"""The shard coordinator: K independent samplers behind one façade.
+
+``ShardedSamplerEngine`` hash-partitions the universe across ``K``
+sampler shards.  Ingestion splits each batch by shard (vectorized) and
+feeds the per-shard subchunks through the batched kernels — the layout
+is embarrassingly parallel, each shard touching only its own state, so
+the per-shard loop can be handed to threads or processes unchanged.
+
+Sampling is where true perfection has to survive aggregation, and it
+does, with *zero* distributional error: pool-based shards merge by
+keeping each instance slot from shard ``s`` with probability
+``m_s / Σ m_j`` — i.e. a uniformly random position of the concatenated
+stream — and because every item lives on exactly one shard, the kept
+instance's forward count and the merged normalizer (max over shard
+Misra–Gries bounds) are the globally correct certified quantities.  The
+F_G-weighting happens implicitly: a shard wins an instance slot in
+proportion to its stream mass, and the usual rejection step then turns
+position mass into ``G``-mass exactly as in the single-stream proof.
+F0 shards merge by their own exact rules (shared random subsets /
+min-hash).  Queries run on a deep-copied fold, so the live shards keep
+ingesting afterwards.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.types import SampleResult
+from repro.engine.batch import DEFAULT_CHUNK_SIZE, ingest
+from repro.engine.partition import UniversePartitioner
+from repro.engine.registry import SHARD_SHARED_SEED_KINDS, build_sampler
+from repro.engine.state import merged, supports_merge
+
+__all__ = ["ShardedSamplerEngine"]
+
+
+class ShardedSamplerEngine:
+    """K hash-partitioned sampler shards with exact merged sampling.
+
+    Parameters
+    ----------
+    config:
+        Sampler config for :func:`repro.engine.registry.build_sampler`;
+        each shard gets its own sampler built from it.  Seeds are
+        derived per shard — independently for pool-based samplers,
+        shared for F0 kinds (whose merge rule needs common random
+        subsets).
+    shards:
+        Number of shards ``K ≥ 1``.
+    partitioner:
+        Optional :class:`UniversePartitioner`; defaults to multiply-shift
+        hashing seeded from ``seed``.
+    seed:
+        Seeds the partitioner and the per-shard sampler seeds.
+    """
+
+    def __init__(
+        self,
+        config: dict,
+        shards: int = 8,
+        partitioner: UniversePartitioner | None = None,
+        seed: int | None = None,
+    ) -> None:
+        if shards < 1:
+            raise ValueError(f"need at least one shard, got {shards}")
+        self._config = dict(config)
+        self._kind = self._config.get("kind")
+        if partitioner is None:
+            partitioner = UniversePartitioner(shards, seed=0 if seed is None else seed)
+        elif partitioner.shards != shards:
+            raise ValueError(
+                f"partitioner has {partitioner.shards} shards, engine wants {shards}"
+            )
+        self._partitioner = partitioner
+        root = np.random.SeedSequence(seed)
+        if self._kind in SHARD_SHARED_SEED_KINDS:
+            shared = np.random.default_rng(root).integers(2**31)
+            shard_seeds = [int(shared)] * shards
+        else:
+            shard_seeds = [int(s.generate_state(1)[0]) for s in root.spawn(shards)]
+        self._samplers = []
+        for shard_seed in shard_seeds:
+            cfg = dict(self._config)
+            cfg["seed"] = shard_seed
+            self._samplers.append(build_sampler(cfg))
+        if not supports_merge(self._samplers[0]):
+            raise ValueError(
+                f"sampler kind {self._kind!r} does not implement the "
+                "MergeableState protocol required for sharded sampling"
+            )
+
+    @property
+    def shards(self) -> int:
+        return len(self._samplers)
+
+    @property
+    def partitioner(self) -> UniversePartitioner:
+        return self._partitioner
+
+    @property
+    def samplers(self) -> list:
+        """The live shard samplers (mutating them is on you)."""
+        return list(self._samplers)
+
+    @property
+    def position(self) -> int:
+        """Total updates ingested across all shards."""
+        return sum(s.position for s in self._samplers)
+
+    def shard_of(self, item: int) -> int:
+        return int(self._partitioner.assign(np.asarray([item]))[0])
+
+    def update(self, item: int) -> None:
+        """Scalar convenience path (route one item)."""
+        self._samplers[self.shard_of(item)].update(item)
+
+    def ingest(self, items, chunk_size: int = DEFAULT_CHUNK_SIZE) -> int:
+        """Split a batch by shard and feed each sampler its subchunk;
+        returns the number of items ingested."""
+        total = 0
+        for shard, subchunk in enumerate(self._partitioner.split(items)):
+            if subchunk.size:
+                total += ingest(self._samplers[shard], subchunk, chunk_size=chunk_size)
+        return total
+
+    def merged_sampler(self):
+        """Fold all shard states into one fresh merged sampler (shards
+        are left untouched and keep ingesting)."""
+        return merged(self._samplers)
+
+    def sample(self) -> SampleResult:
+        """One truly perfect global sample from the merged shard states.
+
+        Note the merged copy's RNG starts from shard 0's current state:
+        repeated calls without further ingestion replay the same coins.
+        Build independent engines (or ingest between calls) for
+        independent samples.
+        """
+        return self.merged_sampler().sample()
+
+    def snapshot(self) -> dict:
+        return {
+            "kind": "sharded_engine",
+            "sampler_kind": self._kind,
+            "partition": {
+                "shards": self._partitioner.shards,
+                "strategy": self._partitioner.strategy,
+                "seed": self._partitioner.seed,
+            },
+            "shards": {str(i): s.snapshot() for i, s in enumerate(self._samplers)},
+        }
+
+    def restore(self, state: dict) -> None:
+        if state.get("kind") != "sharded_engine":
+            raise ValueError(f"not a sharded_engine snapshot: {state.get('kind')!r}")
+        if state.get("sampler_kind") != self._kind:
+            raise ValueError(
+                f"snapshot is for sampler kind {state.get('sampler_kind')!r}, "
+                f"engine has {self._kind!r}"
+            )
+        part = state["partition"]
+        restored = UniversePartitioner(
+            int(part["shards"]), strategy=str(part["strategy"]), seed=int(part["seed"])
+        )
+        if restored != self._partitioner:
+            raise ValueError("snapshot partition layout differs from engine's")
+        shard_states = state["shards"]
+        if len(shard_states) != len(self._samplers):
+            raise ValueError(
+                f"snapshot has {len(shard_states)} shards, engine has "
+                f"{len(self._samplers)}"
+            )
+        for i, sampler in enumerate(self._samplers):
+            sampler.restore(shard_states[str(i)])
+
+    def merge(self, other: "ShardedSamplerEngine") -> None:
+        """Shard-wise merge of two engines with identical layouts (e.g.
+        the same engine config fed from two sites)."""
+        if not isinstance(other, ShardedSamplerEngine):
+            raise TypeError(
+                f"cannot merge ShardedSamplerEngine with {type(other).__name__}"
+            )
+        if other._partitioner != self._partitioner:
+            raise ValueError("engines partition the universe differently")
+        for mine, theirs in zip(self._samplers, other._samplers):
+            mine.merge(theirs)

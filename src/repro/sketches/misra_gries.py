@@ -12,6 +12,8 @@ additive error into the sampler's distribution, breaking true perfection.
 
 from __future__ import annotations
 
+import numpy as np
+
 __all__ = ["MisraGries"]
 
 
@@ -49,31 +51,91 @@ class MisraGries:
             raise ValueError("Misra-Gries accepts positive insertions only")
         self._m += count
         counters = self._counters
-        if item in counters:
-            counters[item] += count
-            return
-        if len(counters) < self._capacity:
-            counters[item] = count
-            return
-        # Summary full: decrement everyone by the largest amount that keeps
-        # the new item's residual count, evicting exhausted counters.
-        decrement = min(count, min(counters.values()))
-        remaining = count - decrement
-        dead = []
-        for key in counters:
-            counters[key] -= decrement
-            if counters[key] == 0:
-                dead.append(key)
-        for key in dead:
-            del counters[key]
-        if remaining > 0:
-            # Recurse at most O(log count) times; for unit updates this
-            # branch never recurses.
-            self.update(item, remaining)
+        while True:
+            if item in counters:
+                counters[item] += count
+                return
+            if len(counters) < self._capacity:
+                counters[item] = count
+                return
+            # Summary full: decrement everyone by the largest amount that
+            # keeps the new item's residual count, evicting exhausted
+            # counters.  At most O(log count) rounds; unit updates never
+            # loop.
+            decrement = min(count, min(counters.values()))
+            dead = []
+            for key in counters:
+                counters[key] -= decrement
+                if counters[key] == 0:
+                    dead.append(key)
+            for key in dead:
+                del counters[key]
+            count -= decrement
+            if count == 0:
+                return
 
     def extend(self, items) -> None:
         for item in items:
             self.update(item)
+
+    def update_batch(self, items) -> None:
+        """Ingest a chunk via per-distinct-item weighted updates.
+
+        The resulting summary can differ from the unit-update run (the
+        decrement schedule depends on arrival grouping) but the
+        deterministic sandwich ``f_i − m/(k+1) ≤ est(i) ≤ f_i`` — all the
+        samplers ever rely on — holds for any weighted update order.
+        """
+        arr = np.asarray(items, dtype=np.int64)
+        if arr.size == 0:
+            return
+        uniq, cnts = np.unique(arr, return_counts=True)
+        for item, count in zip(uniq.tolist(), cnts.tolist()):
+            self.update(item, count)
+
+    def merge(self, other: "MisraGries") -> None:
+        """Absorb another summary ([ACHPWY12] mergeable-summaries style).
+
+        Counters are summed, then the ``(capacity+1)``-th largest value is
+        subtracted from all (evicting the non-positive) — the per-item
+        undercount is at most ``m₁/(k+1) + m₂/(k+1) = m/(k+1)``, so the
+        certified ``linf_upper_bound`` survives merging.
+        """
+        if not isinstance(other, MisraGries):
+            raise TypeError(f"cannot merge MisraGries with {type(other).__name__}")
+        if other._capacity != self._capacity:
+            raise ValueError(
+                f"capacities differ: {self._capacity} vs {other._capacity}"
+            )
+        merged = self._counters
+        for item, count in other._counters.items():
+            merged[item] = merged.get(item, 0) + count
+        self._m += other._m
+        if len(merged) > self._capacity:
+            cut = sorted(merged.values(), reverse=True)[self._capacity]
+            self._counters = {
+                item: count - cut for item, count in merged.items() if count > cut
+            }
+
+    def snapshot(self) -> dict:
+        """Checkpoint as plain arrays + scalars (see repro.engine.state)."""
+        size = len(self._counters)
+        return {
+            "kind": "misra_gries",
+            "capacity": self._capacity,
+            "stream_length": self._m,
+            "keys": np.fromiter(self._counters.keys(), dtype=np.int64, count=size),
+            "vals": np.fromiter(self._counters.values(), dtype=np.int64, count=size),
+        }
+
+    def restore(self, state: dict) -> None:
+        if state.get("kind") != "misra_gries":
+            raise ValueError(f"not a misra_gries snapshot: {state.get('kind')!r}")
+        self._capacity = int(state["capacity"])
+        self._m = int(state["stream_length"])
+        self._counters = {
+            int(k): int(v) for k, v in zip(state["keys"], state["vals"])
+        }
 
     def estimate(self, item: int) -> int:
         """Lower-bound estimate of ``f_item`` (0 if not tracked)."""

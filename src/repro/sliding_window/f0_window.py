@@ -112,6 +112,41 @@ class SlidingWindowF0Sampler:
         for item in items:
             self.update(item)
 
+    def update_batch(self, items) -> None:
+        """Chunk ingestion, bitwise identical to the scalar loop (updates
+        consume no randomness).
+
+        The per-copy random-subset bookkeeping collapses to one
+        last-occurrence computation per distinct chunk item; the LRU
+        recency table is order-sensitive and replays sequentially (dict
+        operations only).
+        """
+        arr = np.asarray(items, dtype=np.int64)
+        if arr.size == 0:
+            return
+        if int(arr.min()) < 0 or int(arr.max()) >= self._n:
+            raise ValueError(f"items outside universe [0, {self._n})")
+        t0 = self._t
+        recent = self._recent
+        t = t0
+        for item in arr.tolist():
+            t += 1
+            if item in recent:
+                del recent[item]
+            recent[item] = t
+            if len(recent) > self._threshold + 1:
+                __, ts = recent.popitem(last=False)
+                self._evict_horizon = max(self._evict_horizon, ts)
+        self._t = t
+        # Last occurrence of each distinct chunk item: np.unique on the
+        # reversed chunk returns *first* indices in the reversed order.
+        uniq, rev_first = np.unique(arr[::-1], return_index=True)
+        last_pos = arr.size - rev_first
+        for item, pos in zip(uniq.tolist(), last_pos.tolist()):
+            for copy in self._copies:
+                if item in copy.s_set:
+                    copy.last_seen[item] = t0 + int(pos)
+
     def _active_recent(self) -> list[int]:
         window_start = self._t - self._window
         return [i for i, ts in self._recent.items() if ts > window_start]

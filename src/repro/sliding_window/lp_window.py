@@ -129,6 +129,33 @@ class SlidingWindowLpSampler:
         for item in items:
             self.update(item)
 
+    def update_batch(self, items) -> None:
+        """Vectorized ingestion (pools batched; the smooth histogram's
+        checkpoint schedule is inherently per-update, so it replays
+        scalar).  Distributionally equivalent to the scalar loop — see
+        :meth:`SlidingWindowGSampler.update_batch`."""
+        arr = np.asarray(items, dtype=np.int64)
+        if arr.ndim != 1:
+            raise ValueError("update_batch expects a 1-d sequence of items")
+        start = 0
+        length = int(arr.size)
+        while start < length:
+            if self._t % self._window == 0:
+                self._generations.append(
+                    _Generation(SamplerPool(self._instances, self._rng), self._t)
+                )
+                if len(self._generations) > 2:
+                    self._generations.pop(0)
+            step = min(length - start, self._window - self._t % self._window)
+            segment = arr[start:start + step]
+            for gen in self._generations:
+                gen.pool.update_batch(segment)
+            if self._hist is not None:
+                for item in segment.tolist():
+                    self._hist.update(item)
+            self._t += step
+            start += step
+
     def normalizer(self) -> float:
         """Certified ζ for the active window's frequencies.
 

@@ -106,6 +106,36 @@ class SlidingWindowGSampler:
         for item in items:
             self.update(item)
 
+    def update_batch(self, items) -> None:
+        """Vectorized ingestion: the chunk is split at generation
+        boundaries (every ``W`` updates) and each segment goes through
+        the pools' batched path.
+
+        Distributionally equivalent to the scalar loop — the generations
+        share one RNG stream, and batching hands each pool a different
+        (but still i.i.d.) subsequence of draws than the interleaved
+        scalar order, so states are not bitwise comparable across the
+        two paths (they are for single-pool samplers).
+        """
+        arr = np.asarray(items, dtype=np.int64)
+        if arr.ndim != 1:
+            raise ValueError("update_batch expects a 1-d sequence of items")
+        start = 0
+        length = int(arr.size)
+        while start < length:
+            if self._t % self._window == 0:
+                self._generations.append(
+                    _Generation(SamplerPool(self._instances, self._rng), self._t)
+                )
+                if len(self._generations) > 2:
+                    self._generations.pop(0)
+            step = min(length - start, self._window - self._t % self._window)
+            segment = arr[start:start + step]
+            for gen in self._generations:
+                gen.pool.update_batch(segment)
+            self._t += step
+            start += step
+
     def _covering_generation(self) -> _Generation | None:
         """The oldest kept generation — its substream covers the window."""
         if not self._generations:

@@ -21,6 +21,7 @@ from repro.stats.distance import (
 )
 from repro.stats.harness import (
     EvaluationReport,
+    assert_matches_distribution,
     collect_outcomes,
     empirical_distribution,
     evaluate,
@@ -44,6 +45,7 @@ __all__ = [
     "expected_tv_noise",
     "total_variation",
     "EvaluationReport",
+    "assert_matches_distribution",
     "collect_outcomes",
     "empirical_distribution",
     "evaluate",

@@ -22,6 +22,7 @@ __all__ = [
     "empirical_distribution",
     "EvaluationReport",
     "evaluate",
+    "assert_matches_distribution",
 ]
 
 
@@ -85,6 +86,40 @@ class EvaluationReport:
             f"fail={self.fail_rate:6.1%} TV={self.tv:.4f} "
             f"(noise≈{self.tv_noise_floor:.4f}) chi2 p={self.chi2_pvalue:.3f}"
         )
+
+
+def assert_matches_distribution(
+    run: Callable[[int], SampleResult],
+    target: np.ndarray,
+    trials: int,
+    min_pvalue: float = 1e-3,
+    tv_factor: float = 3.0,
+    max_fail_rate: float | None = None,
+    seed_offset: int = 0,
+) -> EvaluationReport:
+    """Assert the sampler's conditional output equals ``target``.
+
+    The workhorse exactness check: statistical assertions use *fixed
+    seeds*, so every run is deterministic; it demands both a healthy χ²
+    p-value and a TV distance within a small multiple of the Monte-Carlo
+    noise floor — the two signatures of a truly perfect sampler.  Raises
+    ``AssertionError`` with a diagnostic message on violation.
+    """
+    report = evaluate(run, target, trials=trials, seed_offset=seed_offset)
+    assert report.successes > 0, "sampler never returned an item"
+    assert report.chi2_pvalue >= min_pvalue, (
+        f"chi-square rejects exactness: p={report.chi2_pvalue:.2e}, "
+        f"TV={report.tv:.4f} (noise {report.tv_noise_floor:.4f})"
+    )
+    assert report.tv <= tv_factor * report.tv_noise_floor, (
+        f"TV {report.tv:.4f} exceeds {tv_factor}x noise floor "
+        f"{report.tv_noise_floor:.4f}"
+    )
+    if max_fail_rate is not None:
+        assert report.fail_rate <= max_fail_rate, (
+            f"fail rate {report.fail_rate:.3f} exceeds {max_fail_rate}"
+        )
+    return report
 
 
 def evaluate(

@@ -1,46 +1,15 @@
-"""Shared test helpers.
+"""Shared pytest fixtures.
 
-Statistical assertions use *fixed seeds*, so every run is deterministic;
-thresholds were chosen with comfortable margin over the values observed at
-those seeds.  ``assert_matches_distribution`` is the workhorse: it demands
-both a healthy χ² p-value and a TV distance within a small multiple of the
-Monte-Carlo noise floor — the two signatures of a truly perfect sampler.
+Helper *functions* live in :mod:`helpers` (``tests/helpers.py``) — keeping
+conftest fixture-only avoids the classic pitfall where two top-level
+``conftest.py`` modules (here: tests/ and benchmarks/) shadow each other
+in ``sys.modules`` and break ``from conftest import ...``.
 """
 
 from __future__ import annotations
 
 import numpy as np
 import pytest
-
-from repro.stats import evaluate
-from repro.stats.harness import EvaluationReport
-
-
-def assert_matches_distribution(
-    run,
-    target: np.ndarray,
-    trials: int,
-    min_pvalue: float = 1e-3,
-    tv_factor: float = 3.0,
-    max_fail_rate: float | None = None,
-    seed_offset: int = 0,
-) -> EvaluationReport:
-    """Assert the sampler's conditional output equals ``target``."""
-    report = evaluate(run, target, trials=trials, seed_offset=seed_offset)
-    assert report.successes > 0, "sampler never returned an item"
-    assert report.chi2_pvalue >= min_pvalue, (
-        f"chi-square rejects exactness: p={report.chi2_pvalue:.2e}, "
-        f"TV={report.tv:.4f} (noise {report.tv_noise_floor:.4f})"
-    )
-    assert report.tv <= tv_factor * report.tv_noise_floor, (
-        f"TV {report.tv:.4f} exceeds {tv_factor}x noise floor "
-        f"{report.tv_noise_floor:.4f}"
-    )
-    if max_fail_rate is not None:
-        assert report.fail_rate <= max_fail_rate, (
-            f"fail rate {report.fail_rate:.3f} exceeds {max_fail_rate}"
-        )
-    return report
 
 
 @pytest.fixture

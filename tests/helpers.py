@@ -1,0 +1,15 @@
+"""Shared test helpers (a proper importable module, *not* conftest).
+
+``assert_matches_distribution`` lives in :mod:`repro.stats.harness` so
+benchmarks and examples can use the same exactness check; this module
+re-exports it for tests.  Import it as ``from helpers import
+assert_matches_distribution`` — ``conftest.py`` is reserved for fixtures
+(pytest imports conftest modules under a shared name, so library code in
+them collides across directories).
+"""
+
+from __future__ import annotations
+
+from repro.stats import assert_matches_distribution
+
+__all__ = ["assert_matches_distribution"]

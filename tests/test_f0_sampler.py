@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from conftest import assert_matches_distribution
+from helpers import assert_matches_distribution
 from repro.core import (
     Algorithm5F0Sampler,
     RandomOracleF0Sampler,

@@ -6,7 +6,7 @@ import math
 import numpy as np
 import pytest
 
-from conftest import assert_matches_distribution
+from helpers import assert_matches_distribution
 from repro.core import (
     ConcaveMeasure,
     FairMeasure,

@@ -4,7 +4,7 @@
 import numpy as np
 import pytest
 
-from conftest import assert_matches_distribution
+from helpers import assert_matches_distribution
 from repro.core import TrulyPerfectLpSampler, lp_instance_bound
 from repro.stats import lp_target
 from repro.streams import stream_from_frequencies

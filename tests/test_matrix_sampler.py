@@ -4,7 +4,7 @@ Theorem 3.7)."""
 import numpy as np
 import pytest
 
-from conftest import assert_matches_distribution
+from helpers import assert_matches_distribution
 from repro.core import RowL1Measure, RowL2Measure, TrulyPerfectMatrixSampler
 from repro.stats import row_target
 

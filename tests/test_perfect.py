@@ -6,7 +6,7 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from conftest import assert_matches_distribution
+from helpers import assert_matches_distribution
 from repro.perfect import (
     ExponentialAssignment,
     FastPerfectLpSampler,

@@ -1,84 +1,105 @@
-"""Sliding-window analytics: trending items over the last W events.
+"""Sliding-window analytics: a multi-resolution live dashboard.
 
 Social-media / event-detection scenario (Section 1's sliding-window
-motivation): only the most recent ``W`` events matter.  A sliding-window
-L2 sampler surfaces currently-trending items; the smooth histogram tracks
-the window's F2 ("how bursty is the moment?"); and the windowed F0
-sampler answers "pick any currently-active topic, uniformly".
+motivation), upgraded to *time-based* windows: operations wants the same
+questions answered over the last 30 seconds, 2 minutes, and 10 minutes
+simultaneously —
+
+* "what's trending right now?"  → truly perfect L2 sample (window mass
+  quadratically amplifies bursting topics);
+* "pick any currently-active topic, uniformly" → windowed F0 sample;
+* "how bursty is the moment?" → exact window F2 per resolution (oracle).
+
+One `WindowBank` ingests the whole timestamped firehose in batches and
+serves every rung; the stream's arrival clock is bursty, so time windows
+and count windows genuinely disagree (during the burst a time window
+holds ~8x the usual update count).
 
 Run:  python examples/sliding_window_analytics.py
 """
 
 import numpy as np
 
-from repro import (
-    SlidingWindowF0Sampler,
-    SlidingWindowLpSampler,
-)
+from repro import WindowBank
 from repro.sketches.lp_norm import exact_fp
-from repro.sketches.smooth_histogram import (
-    ExactSuffixFp,
-    SmoothHistogram,
-    fp_smoothness,
-)
-from repro.streams import Stream
+from repro.streams import TimestampedStream
 
 N_TOPICS = 128
-WINDOW = 2_000
+LADDER = (30.0, 120.0, 600.0)  # 30 s / 2 min / 10 min
 
 
-def make_bursty_stream(seed: int = 0) -> Stream:
-    """Three phases: background chatter, a burst on topic 7, recovery."""
+def make_bursty_feed(seed: int = 0) -> TimestampedStream:
+    """Background chatter at 20 ev/s, a 60-second burst on topic 7 at
+    160 ev/s, then recovery — timestamps carry the story."""
     rng = np.random.default_rng(seed)
-    phase1 = rng.integers(0, N_TOPICS, size=3_000)
-    burst = np.where(rng.random(2_000) < 0.6, 7, rng.integers(0, N_TOPICS, 2_000))
-    phase3 = rng.integers(0, N_TOPICS, size=1_000)
-    return Stream(np.concatenate([phase1, burst, phase3]), N_TOPICS)
+    phases = []
+    clock = 0.0
+    for rate, seconds, burst_topic in (
+        (20.0, 600.0, None),      # 10 min of background
+        (160.0, 60.0, 7),         # 1 min burst on topic 7
+        (20.0, 180.0, None),      # 3 min recovery
+    ):
+        m = int(rate * seconds)
+        gaps = rng.exponential(scale=1.0 / rate, size=m)
+        ts = clock + np.cumsum(gaps)
+        clock = float(ts[-1])
+        items = rng.integers(0, N_TOPICS, size=m)
+        if burst_topic is not None:
+            items = np.where(rng.random(m) < 0.6, burst_topic, items)
+        phases.append((items, ts))
+    items = np.concatenate([p[0] for p in phases])
+    ts = np.concatenate([p[1] for p in phases])
+    return TimestampedStream(items, ts, N_TOPICS)
 
 
 def main() -> None:
-    stream = make_bursty_stream()
-    lp = SlidingWindowLpSampler(2.0, window=WINDOW, instances=150, seed=1)
-    f0 = SlidingWindowF0Sampler(N_TOPICS, window=WINDOW, seed=2)
-    __, beta = fp_smoothness(2.0, 0.5)
-    hist = SmoothHistogram(lambda: ExactSuffixFp(2.0), beta, WINDOW)
+    feed = make_bursty_feed()
+    bank = WindowBank(
+        LADDER, p=2.0, n=N_TOPICS, instances=200, expected_rate=20.0, seed=1
+    )
 
-    checkpoints = [3_000, 4_500, 6_000]
-    for t, item in enumerate(stream, 1):
-        lp.update(item)
-        f0.update(item)
-        hist.update(item)
-        if t in checkpoints:
-            wfreq = stream.prefix(t).window_frequencies(WINDOW)
-            true_f2 = exact_fp(wfreq, 2.0)
-            res = lp.sample()
+    # Dashboard ticks: pre-burst, mid-burst, and after recovery.
+    ticks = [590.0, 640.0, 820.0]
+    cursor = 0
+    for tick in ticks:
+        upto = int(np.searchsorted(feed.timestamps, tick, side="right"))
+        bank.update_batch(feed.items[cursor:upto], feed.timestamps[cursor:upto])
+        cursor = upto
+        print(f"t={tick:7.1f}s  (ingested {bank.position} events)")
+        for horizon in LADDER:
+            wfreq = feed.window_frequencies(horizon, now=bank.now)
+            f2 = exact_fp(wfreq, 2.0)
+            f0 = int((wfreq > 0).sum())
+            res = bank.sample(horizon)
             trending = res.item if res.is_item else "-"
-            any_active = f0.sample().item
+            active = bank.sample_distinct(horizon)
+            uniform = active.item if active.is_item else "-"
             print(
-                f"t={t:>5d}  window-F2 est={hist.estimate():>12.0f} "
-                f"(true {true_f2:>12.0f})  "
-                f"L2 trending sample: {trending!s:>4s}  "
-                f"uniform active topic: {any_active}"
+                f"    window {horizon:5.0f}s  F0={f0:3d}  F2={f2:>10.0f}  "
+                f"L2 trending: {trending!s:>4s}  uniform active: {uniform!s:>4s}"
             )
     print(
-        "\nduring the burst (t=4500) the L2 sample concentrates on topic 7 "
-        "because its window mass is quadratically amplified; afterwards "
-        "the window forgets the burst — exactly and provably, since "
-        "expired updates carry zero sampling mass."
+        "\nmid-burst (t=640) the 30s rung concentrates its L2 samples on "
+        "topic 7 — its window mass is quadratically amplified — while the "
+        "10-minute rung still averages the burst away; after recovery the "
+        "short windows forget it exactly and provably, since expired "
+        "updates carry zero sampling mass."
     )
-    # Quantify: burst-phase hit rate of topic 7 across many samplers.
-    prefix = stream.prefix(4_500)
+
+    # Quantify: mid-burst hit rate of topic 7 on the finest rung.
+    prefix = feed.prefix_until(640.0)
     hits = 0
     trials = 40
     for seed in range(trials):
-        s = SlidingWindowLpSampler(2.0, window=WINDOW, instances=150, seed=seed)
-        res = s.run(prefix)
+        b = WindowBank((30.0,), p=2.0, instances=200, seed=seed)
+        b.update_batch(prefix.items, prefix.timestamps)
+        res = b.sample(30.0)
         hits += res.is_item and res.item == 7
-    wfreq = prefix.window_frequencies(WINDOW)
+    wfreq = prefix.window_frequencies(30.0)
     mass = wfreq[7] ** 2 / exact_fp(wfreq, 2.0)
     print(
-        f"burst check: topic-7 L2 mass={mass:.2f}, sampled {hits}/{trials} "
-        f"times"
+        f"burst check (30s rung): topic-7 L2 mass={mass:.2f}, "
+        f"sampled {hits}/{trials} times"
     )
 
 

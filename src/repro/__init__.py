@@ -19,7 +19,10 @@ Package map (see DESIGN.md for the full inventory):
 
 * :mod:`repro.core` — the paper's contribution: Framework 1.3, Lp / G /
   matrix / F0 samplers, multi-pass strict turnstile reductions.
-* :mod:`repro.sliding_window` — Algorithms 4 & 6, windowed F0.
+* :mod:`repro.sliding_window` — Algorithms 4 & 6, windowed F0
+  (count-based windows: "the last W updates").
+* :mod:`repro.windows` — time-based sliding windows ("the last H
+  seconds") at multiple resolutions, engine-integrated.
 * :mod:`repro.random_order` — Algorithms 9 & 10.
 * :mod:`repro.perfect` — γ > 0 baselines (Appendix B, JW18-style).
 * :mod:`repro.sketches` — Misra-Gries, CountSketch, AMS, smooth
@@ -69,11 +72,19 @@ from repro.sliding_window import (
     SlidingWindowGSampler,
     SlidingWindowLpSampler,
 )
+from repro.windows import (
+    TimeWindowF0Sampler,
+    TimeWindowGSampler,
+    TimeWindowLpSampler,
+    WindowBank,
+)
 from repro.random_order import RandomOrderL2Sampler, RandomOrderLpSampler
 from repro.streams import (
     Stream,
+    TimestampedStream,
     TurnstileStream,
     uniform_stream,
+    with_arrivals,
     zipf_stream,
 )
 from repro.engine import (
@@ -116,11 +127,17 @@ __all__ = [
     "SlidingWindowGSampler",
     "SlidingWindowLpSampler",
     "SlidingWindowF0Sampler",
+    "TimeWindowGSampler",
+    "TimeWindowLpSampler",
+    "TimeWindowF0Sampler",
+    "WindowBank",
     "RandomOrderL2Sampler",
     "RandomOrderLpSampler",
     "Stream",
+    "TimestampedStream",
     "TurnstileStream",
     "uniform_stream",
+    "with_arrivals",
     "zipf_stream",
     "BatchIngestor",
     "MergeableState",

@@ -134,6 +134,13 @@ class SamplerPool:
         """Total replacements processed — O(R log m) in expectation."""
         return self._heap_events
 
+    def replacement_positions(self) -> list[int]:
+        """Per-instance position (1-based) of the currently sampled
+        occurrence — the third component of :meth:`finalize`, exposed
+        separately so wrappers (the time-window samplers) can map
+        positions to wall-clock timestamps right after an ingest step."""
+        return list(self._timestamps)
+
     def update(self, item: int) -> None:
         self._t += 1
         t = self._t
@@ -319,7 +326,7 @@ class SamplerPool:
         pool.restore(state)
         return pool
 
-    def merge(self, other: "SamplerPool") -> None:
+    def merge(self, other: "SamplerPool") -> list[bool]:
         """Absorb a pool that ingested a *disjoint* partition of the
         universe (items of the two substreams must not overlap — a hash
         partition guarantees this; overlapping supports silently break the
@@ -334,6 +341,10 @@ class SamplerPool:
         concatenation (the mergeability behind the sharded engine).
         Replacement times are redrawn at the merged length — valid since
         a reservoir's next-replacement law depends only on its position.
+
+        Returns the per-instance pick mask (``True`` where this pool's
+        instance was kept) so wrappers carrying side-channel per-instance
+        state (e.g. wall-clock adoption times) can merge it consistently.
         """
         if not isinstance(other, SamplerPool):
             raise TypeError(f"cannot merge SamplerPool with {type(other).__name__}")
@@ -343,15 +354,18 @@ class SamplerPool:
             )
         m1, m2 = self._t, other._t
         if m2 == 0:
-            return
+            return [True] * self._r
         total = m1 + m2
         mine = self.finalize()
         theirs = other.finalize()
+        kept_self: list[bool] = []
         picks: list[tuple[int, int, int]] = []
         for k in range(self._r):
             if m1 > 0 and self._rng.random() < m1 / total:
+                kept_self.append(True)
                 picks.append(mine[k])
             else:
+                kept_self.append(False)
                 item, count, ts = theirs[k]
                 picks.append((item, count, m1 + ts))
         counts: dict[int, int] = {}
@@ -371,6 +385,7 @@ class SamplerPool:
         ]
         heapq.heapify(self._heap)
         self._heap_events += other._heap_events
+        return kept_self
 
     def finalize(self) -> list[tuple[int, int, int]]:
         """Per-instance ``(item, count, timestamp)`` triples.

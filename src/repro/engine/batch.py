@@ -47,30 +47,62 @@ def _as_array(items) -> np.ndarray:
     return arr
 
 
-def ingest(sampler, items, chunk_size: int = DEFAULT_CHUNK_SIZE) -> int:
-    """Feed ``items`` (array, ``repro.streams.Stream``, or iterable) into
-    ``sampler`` in chunks; returns the number of items ingested."""
+def ingest(
+    sampler,
+    items,
+    chunk_size: int = DEFAULT_CHUNK_SIZE,
+    timestamps=None,
+) -> int:
+    """Feed ``items`` (array, ``repro.streams.Stream`` /
+    ``TimestampedStream``, or iterable) into ``sampler`` in chunks;
+    returns the number of items ingested.
+
+    Timestamped ingestion (the :mod:`repro.windows` samplers) happens
+    when ``items`` is a ``TimestampedStream`` or ``timestamps`` is given
+    explicitly: chunks carry ``(items, timestamps)`` pairs into
+    ``update_batch(items, ts)`` / ``update(item, ts)``.
+    """
     if chunk_size < 1:
         raise ValueError(f"chunk_size must be ≥ 1, got {chunk_size}")
-    if not isinstance(items, np.ndarray) and isinstance(items, Iterable) and (
-        getattr(items, "items", None) is None
-    ) and not hasattr(items, "__len__"):
-        # A true one-shot iterable (generator): buffer it chunk by chunk.
-        total = 0
-        ingestor = BatchIngestor(sampler, chunk_size=chunk_size)
-        for item in items:
-            ingestor.push(int(item))
-            total += 1
-        ingestor.flush()
-        return total
+    if timestamps is None:
+        timestamps = getattr(items, "timestamps", None)
+    if timestamps is None:
+        if not isinstance(items, np.ndarray) and isinstance(items, Iterable) and (
+            getattr(items, "items", None) is None
+        ) and not hasattr(items, "__len__"):
+            # A true one-shot iterable (generator): buffer it chunk by chunk.
+            total = 0
+            ingestor = BatchIngestor(sampler, chunk_size=chunk_size)
+            for item in items:
+                ingestor.push(int(item))
+                total += 1
+            ingestor.flush()
+            return total
+        arr = _as_array(items)
+        if supports_batch(sampler):
+            for start in range(0, arr.size, chunk_size):
+                sampler.update_batch(arr[start:start + chunk_size])
+        else:
+            update = sampler.update
+            for item in arr.tolist():
+                update(item)
+        return int(arr.size)
     arr = _as_array(items)
+    ts = np.asarray(timestamps, dtype=np.float64)
+    if ts.ndim != 1 or ts.size != arr.size:
+        raise ValueError(
+            f"timestamps must be a 1-d array matching items "
+            f"({arr.size} items, {ts.size} timestamps)"
+        )
     if supports_batch(sampler):
         for start in range(0, arr.size, chunk_size):
-            sampler.update_batch(arr[start:start + chunk_size])
+            sampler.update_batch(
+                arr[start:start + chunk_size], ts[start:start + chunk_size]
+            )
     else:
         update = sampler.update
-        for item in arr.tolist():
-            update(item)
+        for item, when in zip(arr.tolist(), ts.tolist()):
+            update(item, when)
     return int(arr.size)
 
 

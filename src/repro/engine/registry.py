@@ -18,6 +18,7 @@ touching this module.
 
 from __future__ import annotations
 
+import difflib
 from collections.abc import Callable
 
 from repro.core.f0_sampler import (
@@ -44,6 +45,12 @@ from repro.sliding_window import (
     SlidingWindowGSampler,
     SlidingWindowLpSampler,
 )
+from repro.windows import (
+    TimeWindowF0Sampler,
+    TimeWindowGSampler,
+    TimeWindowLpSampler,
+    WindowBank,
+)
 
 __all__ = [
     "build_measure",
@@ -58,7 +65,22 @@ __all__ = [
 #: Sampler kinds whose shard copies must be constructed from the *same*
 #: seed so their shared randomness (random subsets S, min-hash oracles)
 #: lines up for merging; every other kind wants independent shard seeds.
-SHARD_SHARED_SEED_KINDS = frozenset({"f0", "oracle-f0", "algorithm5-f0"})
+#: (``window_bank`` is deliberately absent: its pool members want
+#: independent shard seeds while its F0 members share via the config's
+#: ``f0_seed`` key, which the engine never rewrites — and auto-derives
+#: from its own seed when the config has ``n`` but no ``f0_seed``.)
+SHARD_SHARED_SEED_KINDS = frozenset({"f0", "oracle-f0", "algorithm5-f0", "tw_f0"})
+
+
+def _unknown_name_error(role: str, name, known: tuple[str, ...]) -> ValueError:
+    """A loud, actionable error for a typo'd registry name: lists every
+    registered alternative and, when one is close, suggests it."""
+    message = f"unknown {role} {name!r}; known: {', '.join(known)}"
+    if isinstance(name, str):
+        close = difflib.get_close_matches(name, known, n=1)
+        if close:
+            message += f" (did you mean {close[0]!r}?)"
+    return ValueError(message)
 
 
 def _measure_lp(cfg: dict) -> Measure:
@@ -103,9 +125,7 @@ def build_measure(spec) -> Measure:
     cfg = dict(spec)
     name = cfg.pop("name", None)
     if name not in _MEASURES:
-        raise ValueError(
-            f"unknown measure {name!r}; known: {', '.join(measure_names())}"
-        )
+        raise _unknown_name_error("measure", name, measure_names())
     try:
         measure = _MEASURES[name](cfg)
     except KeyError as missing:
@@ -202,6 +222,50 @@ def _build_sw_f0(cfg: dict):
     )
 
 
+def _build_tw_g(cfg: dict):
+    common = _pop_common(cfg)
+    return TimeWindowGSampler(
+        build_measure(cfg.pop("measure")),
+        horizon=float(cfg.pop("horizon")),
+        instances=cfg.pop("instances", None),
+        expected_window_count=cfg.pop("expected_window_count", None),
+        **common,
+    )
+
+
+def _build_tw_lp(cfg: dict):
+    common = _pop_common(cfg)
+    return TimeWindowLpSampler(
+        p=float(cfg.pop("p")),
+        horizon=float(cfg.pop("horizon")),
+        instances=cfg.pop("instances", None),
+        expected_window_count=cfg.pop("expected_window_count", None),
+        **common,
+    )
+
+
+def _build_tw_f0(cfg: dict):
+    common = _pop_common(cfg)
+    return TimeWindowF0Sampler(
+        n=int(cfg.pop("n")), horizon=float(cfg.pop("horizon")), **common
+    )
+
+
+def _build_window_bank(cfg: dict):
+    common = _pop_common(cfg)
+    measure = cfg.pop("measure", None)
+    return WindowBank(
+        cfg.pop("resolutions"),
+        measure=build_measure(measure) if measure is not None else None,
+        p=cfg.pop("p", None),
+        n=cfg.pop("n", None),
+        instances=cfg.pop("instances", None),
+        expected_rate=cfg.pop("expected_rate", None),
+        f0_seed=cfg.pop("f0_seed", None),
+        **common,
+    )
+
+
 _SAMPLERS: dict[str, Callable[[dict], object]] = {
     "g": _build_g,
     "lp": _build_lp,
@@ -213,6 +277,10 @@ _SAMPLERS: dict[str, Callable[[dict], object]] = {
     "sw-g": _build_sw_g,
     "sw-lp": _build_sw_lp,
     "sw-f0": _build_sw_f0,
+    "tw_g": _build_tw_g,
+    "tw_lp": _build_tw_lp,
+    "tw_f0": _build_tw_f0,
+    "window_bank": _build_window_bank,
 }
 
 
@@ -242,9 +310,7 @@ def build_sampler(config: dict):
     cfg = dict(config)
     kind = cfg.pop("kind", None)
     if kind not in _SAMPLERS:
-        raise ValueError(
-            f"unknown sampler kind {kind!r}; known: {', '.join(sampler_kinds())}"
-        )
+        raise _unknown_name_error("sampler kind", kind, sampler_kinds())
     try:
         sampler = _SAMPLERS[kind](cfg)
     except KeyError as missing:

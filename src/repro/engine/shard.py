@@ -73,6 +73,18 @@ class ShardedSamplerEngine:
             )
         self._partitioner = partitioner
         root = np.random.SeedSequence(seed)
+        if (
+            self._kind == "window_bank"
+            and self._config.get("n") is not None
+            and self._config.get("f0_seed") is None
+        ):
+            # A bank's F0 members merge only when their random subsets
+            # match across shards; pool members still want independent
+            # per-shard seeds.  Derive one shared f0_seed from the
+            # engine seed so a sharded bank works out of the box.
+            self._config["f0_seed"] = int(
+                np.random.default_rng(np.random.SeedSequence(seed)).integers(2**31)
+            )
         if self._kind in SHARD_SHARED_SEED_KINDS:
             shared = np.random.default_rng(root).integers(2**31)
             shard_seeds = [int(shared)] * shards
@@ -110,17 +122,55 @@ class ShardedSamplerEngine:
     def shard_of(self, item: int) -> int:
         return int(self._partitioner.assign(np.asarray([item]))[0])
 
-    def update(self, item: int) -> None:
-        """Scalar convenience path (route one item)."""
-        self._samplers[self.shard_of(item)].update(item)
+    def update(self, item: int, timestamp: float | None = None) -> None:
+        """Scalar convenience path (route one item; ``timestamp`` for
+        time-windowed sampler kinds)."""
+        sampler = self._samplers[self.shard_of(item)]
+        if timestamp is None:
+            sampler.update(item)
+        else:
+            sampler.update(item, timestamp)
 
-    def ingest(self, items, chunk_size: int = DEFAULT_CHUNK_SIZE) -> int:
+    def ingest(
+        self,
+        items,
+        chunk_size: int = DEFAULT_CHUNK_SIZE,
+        timestamps=None,
+    ) -> int:
         """Split a batch by shard and feed each sampler its subchunk;
-        returns the number of items ingested."""
+        returns the number of items ingested.
+
+        Pass a ``TimestampedStream`` (or an explicit ``timestamps``
+        array) to feed time-windowed sampler kinds — each shard receives
+        its items *with* their arrival times, so every shard's window
+        boundaries line up on the shared wall clock.
+        """
+        if timestamps is None:
+            timestamps = getattr(items, "timestamps", None)
+        if timestamps is None:
+            total = 0
+            for shard, subchunk in enumerate(self._partitioner.split(items)):
+                if subchunk.size:
+                    total += ingest(
+                        self._samplers[shard], subchunk, chunk_size=chunk_size
+                    )
+            return total
+        inner = getattr(items, "items", None)
+        arr = np.asarray(inner if inner is not None else items, dtype=np.int64)
+        ts = np.asarray(timestamps, dtype=np.float64)
+        if arr.ndim != 1 or ts.shape != arr.shape:
+            raise ValueError("items and timestamps must be matching 1-d arrays")
+        assignment = self._partitioner.assign(arr)
         total = 0
-        for shard, subchunk in enumerate(self._partitioner.split(items)):
-            if subchunk.size:
-                total += ingest(self._samplers[shard], subchunk, chunk_size=chunk_size)
+        for shard in range(len(self._samplers)):
+            mask = assignment == shard
+            if mask.any():
+                total += ingest(
+                    self._samplers[shard],
+                    arr[mask],
+                    chunk_size=chunk_size,
+                    timestamps=ts[mask],
+                )
         return total
 
     def merged_sampler(self):
@@ -128,15 +178,17 @@ class ShardedSamplerEngine:
         are left untouched and keep ingesting)."""
         return merged(self._samplers)
 
-    def sample(self) -> SampleResult:
+    def sample(self, **kwargs) -> SampleResult:
         """One truly perfect global sample from the merged shard states.
 
-        Note the merged copy's RNG starts from shard 0's current state:
-        repeated calls without further ingestion replay the same coins.
-        Build independent engines (or ingest between calls) for
-        independent samples.
+        Keyword arguments pass through to the merged sampler's
+        ``sample`` (e.g. ``now=`` for time-windowed kinds).  Note the
+        merged copy's RNG starts from shard 0's current state: repeated
+        calls without further ingestion replay the same coins.  Build
+        independent engines (or ingest between calls) for independent
+        samples.
         """
-        return self.merged_sampler().sample()
+        return self.merged_sampler().sample(**kwargs)
 
     def snapshot(self) -> dict:
         return {

@@ -147,6 +147,68 @@ class SlidingWindowF0Sampler:
                 if item in copy.s_set:
                     copy.last_seen[item] = t0 + int(pos)
 
+    def snapshot(self) -> dict:
+        """Checkpoint the LRU table (order matters — stored oldest
+        first), eviction horizon, and S-copies.  ``last_seen`` maps are
+        serialized in canonical (sorted) key order so scalar- and
+        batch-ingested states snapshot identically."""
+        copies = {}
+        for i, copy in enumerate(self._copies):
+            seen = sorted(copy.last_seen.items())
+            copies[str(i)] = {
+                "s_set": np.fromiter(sorted(copy.s_set), dtype=np.int64),
+                "seen_keys": np.fromiter(
+                    (k for k, __ in seen), dtype=np.int64, count=len(seen)
+                ),
+                "seen_vals": np.fromiter(
+                    (v for __, v in seen), dtype=np.int64, count=len(seen)
+                ),
+            }
+        return {
+            "kind": "sw_f0",
+            "n": self._n,
+            "window": self._window,
+            "position": self._t,
+            "evict_horizon": self._evict_horizon,
+            "recent_keys": np.fromiter(
+                self._recent.keys(), dtype=np.int64, count=len(self._recent)
+            ),
+            "recent_vals": np.fromiter(
+                self._recent.values(), dtype=np.int64, count=len(self._recent)
+            ),
+            "copies": copies,
+            "rng_state": self._rng.bit_generator.state,
+        }
+
+    def restore(self, state: dict) -> None:
+        if state.get("kind") != "sw_f0":
+            raise ValueError(f"not a sw_f0 snapshot: {state.get('kind')!r}")
+        if int(state["n"]) != self._n or int(state["window"]) != self._window:
+            raise ValueError(
+                f"snapshot is for n={state['n']}, window={state['window']}; "
+                f"sampler has n={self._n}, window={self._window}"
+            )
+        self._t = int(state["position"])
+        self._evict_horizon = int(state["evict_horizon"])
+        self._recent = OrderedDict(
+            (int(k), int(v))
+            for k, v in zip(state["recent_keys"], state["recent_vals"])
+        )
+        entries = state["copies"]
+        copies = []
+        for i in range(len(entries)):
+            entry = entries[str(i)]
+            copy = _WindowCopy(set(int(x) for x in entry["s_set"]))
+            copy.last_seen = {
+                int(k): int(v)
+                for k, v in zip(entry["seen_keys"], entry["seen_vals"])
+            }
+            copies.append(copy)
+        self._copies = copies
+        rng = np.random.default_rng()
+        rng.bit_generator.state = state["rng_state"]
+        self._rng = rng
+
     def _active_recent(self) -> list[int]:
         window_start = self._t - self._window
         return [i for i, ts in self._recent.items() if ts > window_start]

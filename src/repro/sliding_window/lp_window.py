@@ -156,6 +156,54 @@ class SlidingWindowLpSampler:
             self._t += step
             start += step
 
+    def snapshot(self) -> dict:
+        """Checkpoint generations, smooth histogram, and RNG state (see
+        :meth:`SlidingWindowGSampler.snapshot` for the sharing and the
+        no-merge caveat)."""
+        state = {
+            "kind": "sw_lp",
+            "p": self._p,
+            "window": self._window,
+            "alpha": self._alpha,
+            "instances": self._instances,
+            "position": self._t,
+            "generations": {
+                str(i): {"start": gen.start, "pool": gen.pool.snapshot()}
+                for i, gen in enumerate(self._generations)
+            },
+            "rng_state": self._rng.bit_generator.state,
+        }
+        if self._hist is not None:
+            state["hist"] = self._hist.snapshot()
+        return state
+
+    def restore(self, state: dict) -> None:
+        if state.get("kind") != "sw_lp":
+            raise ValueError(f"not a sw_lp snapshot: {state.get('kind')!r}")
+        if float(state["p"]) != self._p or int(state["window"]) != self._window:
+            raise ValueError(
+                f"snapshot has p={state['p']}, window={state['window']}; "
+                f"sampler has p={self._p}, window={self._window}"
+            )
+        self._alpha = float(state["alpha"])
+        self._instances = int(state["instances"])
+        self._t = int(state["position"])
+        rng = np.random.default_rng()
+        rng.bit_generator.state = state["rng_state"]
+        self._rng = rng
+        generations: list[_Generation] = []
+        entries = state["generations"]
+        for i in range(len(entries)):
+            entry = entries[str(i)]
+            pool = SamplerPool.from_snapshot(entry["pool"])
+            pool._rng = rng  # re-establish the shared stream
+            generations.append(_Generation(pool, int(entry["start"])))
+        self._generations = generations
+        if self._hist is not None:
+            self._hist.restore(state["hist"])
+        elif "hist" in state:
+            raise ValueError("snapshot carries a histogram but p ≤ 1 needs none")
+
     def normalizer(self) -> float:
         """Certified ζ for the active window's frequencies.
 

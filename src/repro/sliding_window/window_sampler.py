@@ -142,6 +142,57 @@ class SlidingWindowGSampler:
             return None
         return self._generations[0]
 
+    def snapshot(self) -> dict:
+        """Checkpoint generations + RNG state.
+
+        The generations' pools share the sampler's RNG object, so the
+        pool snapshots record the same RNG state redundantly; restore
+        re-establishes the sharing, making the restored sampler continue
+        bitwise-identically.  (Count-based windows snapshot and restore
+        but do *not* merge: "the last W updates" of a sharded stream is
+        undefined without a global arrival order — use
+        :mod:`repro.windows` for mergeable, time-based windows.)
+        """
+        return {
+            "kind": "sw_g",
+            "measure": self._measure.name,
+            "window": self._window,
+            "instances": self._instances,
+            "position": self._t,
+            "generations": {
+                str(i): {"start": gen.start, "pool": gen.pool.snapshot()}
+                for i, gen in enumerate(self._generations)
+            },
+            "rng_state": self._rng.bit_generator.state,
+        }
+
+    def restore(self, state: dict) -> None:
+        if state.get("kind") != "sw_g":
+            raise ValueError(f"not a sw_g snapshot: {state.get('kind')!r}")
+        if state.get("measure") != self._measure.name:
+            raise ValueError(
+                f"snapshot is for measure {state.get('measure')!r}, sampler "
+                f"has {self._measure.name!r}"
+            )
+        if int(state["window"]) != self._window:
+            raise ValueError(
+                f"snapshot has window={state['window']}, sampler has "
+                f"{self._window}"
+            )
+        self._instances = int(state["instances"])
+        self._t = int(state["position"])
+        rng = np.random.default_rng()
+        rng.bit_generator.state = state["rng_state"]
+        self._rng = rng
+        generations: list[_Generation] = []
+        entries = state["generations"]
+        for i in range(len(entries)):
+            entry = entries[str(i)]
+            pool = SamplerPool.from_snapshot(entry["pool"])
+            pool._rng = rng  # re-establish the shared stream
+            generations.append(_Generation(pool, int(entry["start"])))
+        self._generations = generations
+
     def sample(self) -> SampleResult:
         """Rejection step over the covering generation's instances.
 

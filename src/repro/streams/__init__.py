@@ -27,6 +27,13 @@ from repro.streams.frequency import (
     FrequencyVector,
     WindowedFrequency,
 )
+from repro.streams.timestamped import (
+    TimestampedStream,
+    bursty_arrivals,
+    poisson_arrivals,
+    uniform_arrivals,
+    with_arrivals,
+)
 from repro.streams.generators import (
     adversarial_order_stream,
     constant_stream,
@@ -45,8 +52,13 @@ from repro.streams.generators import (
 __all__ = [
     "Stream",
     "StreamKind",
+    "TimestampedStream",
     "TurnstileStream",
     "Update",
+    "bursty_arrivals",
+    "poisson_arrivals",
+    "uniform_arrivals",
+    "with_arrivals",
     "FrequencyVector",
     "WindowedFrequency",
     "adversarial_order_stream",

@@ -1,0 +1,263 @@
+"""Timestamped (wall-clock) streams and arrival-process generators.
+
+The sliding-window constructions of Section 4 are stated over *count*
+windows ("the last ``W`` updates"), but serving traffic is measured in
+*time* windows ("the last five minutes").  :class:`TimestampedStream`
+pairs an insertion-only item sequence with a non-decreasing array of
+arrival timestamps, giving :mod:`repro.windows` the substrate it samples
+over, and gives tests the exact time-window ground truth
+(:meth:`TimestampedStream.window_frequencies`).
+
+Arrival processes are generated separately from item values so any
+existing workload generator composes with any traffic shape:
+
+* :func:`uniform_arrivals` — a constant-rate clock (one update every
+  ``1/rate`` seconds);
+* :func:`poisson_arrivals` — i.i.d. exponential inter-arrival gaps, the
+  memoryless baseline for request traffic;
+* :func:`bursty_arrivals` — a two-state modulated Poisson process
+  alternating geometric-length runs of base-rate and burst-rate
+  traffic, the regime where time windows and count windows disagree
+  most (a count window reaches far into quiet history during a burst).
+
+:func:`with_arrivals` glues a :class:`~repro.streams.Stream` to a
+generated clock in one call.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator, Sequence
+
+import numpy as np
+
+from repro.streams.stream import Stream
+
+__all__ = [
+    "TimestampedStream",
+    "uniform_arrivals",
+    "poisson_arrivals",
+    "bursty_arrivals",
+    "with_arrivals",
+]
+
+
+def _rng(seed: int | np.random.Generator | None) -> np.random.Generator:
+    if isinstance(seed, np.random.Generator):
+        return seed
+    return np.random.default_rng(seed)
+
+
+class TimestampedStream:
+    """An insertion-only stream whose updates carry arrival timestamps.
+
+    Parameters
+    ----------
+    items:
+        Coordinate updates in ``[0, n)``, one insertion each.
+    timestamps:
+        Arrival time of each update, in seconds.  Must be non-negative
+        and non-decreasing (ties are allowed — batched arrivals).
+    n:
+        Universe size.
+
+    The object is immutable; iterating yields ``(item, timestamp)``
+    pairs.
+    """
+
+    __slots__ = ("_stream", "_timestamps")
+
+    def __init__(
+        self,
+        items: Sequence[int] | np.ndarray,
+        timestamps: Sequence[float] | np.ndarray,
+        n: int,
+    ) -> None:
+        stream = Stream(items, n)
+        ts = np.asarray(timestamps, dtype=np.float64)
+        if ts.ndim != 1:
+            raise ValueError("timestamps must form a 1-d sequence")
+        if ts.size != len(stream):
+            raise ValueError(
+                f"{len(stream)} items but {ts.size} timestamps"
+            )
+        if ts.size:
+            if float(ts[0]) < 0:
+                raise ValueError("timestamps must be non-negative")
+            if np.any(np.diff(ts) < 0):
+                raise ValueError("timestamps must be non-decreasing")
+        ts.setflags(write=False)
+        self._stream = stream
+        self._timestamps = ts
+
+    @property
+    def n(self) -> int:
+        """Universe size."""
+        return self._stream.n
+
+    @property
+    def items(self) -> np.ndarray:
+        """Read-only array of the stream's items."""
+        return self._stream.items
+
+    @property
+    def timestamps(self) -> np.ndarray:
+        """Read-only array of arrival timestamps (seconds)."""
+        return self._timestamps
+
+    @property
+    def stream(self) -> Stream:
+        """The underlying order-only :class:`~repro.streams.Stream`."""
+        return self._stream
+
+    @property
+    def start_time(self) -> float:
+        """Timestamp of the first update (0.0 when empty)."""
+        return float(self._timestamps[0]) if self._timestamps.size else 0.0
+
+    @property
+    def end_time(self) -> float:
+        """Timestamp of the last update (0.0 when empty)."""
+        return float(self._timestamps[-1]) if self._timestamps.size else 0.0
+
+    @property
+    def duration(self) -> float:
+        """``end_time − start_time``."""
+        return self.end_time - self.start_time
+
+    def __len__(self) -> int:
+        return len(self._stream)
+
+    def __iter__(self) -> Iterator[tuple[int, float]]:
+        return zip(self._stream.items.tolist(), self._timestamps.tolist())
+
+    def __repr__(self) -> str:
+        return (
+            f"TimestampedStream(m={len(self)}, n={self.n}, "
+            f"span=[{self.start_time:.3f}, {self.end_time:.3f}])"
+        )
+
+    def prefix(self, t: int) -> "TimestampedStream":
+        """The stream truncated to its first ``t`` updates."""
+        return TimestampedStream(
+            self._stream.items[:t], self._timestamps[:t], self.n
+        )
+
+    def prefix_until(self, now: float) -> "TimestampedStream":
+        """All updates with timestamp ≤ ``now``."""
+        cut = int(np.searchsorted(self._timestamps, now, side="right"))
+        return self.prefix(cut)
+
+    def active_slice(self, horizon: float, now: float | None = None) -> np.ndarray:
+        """Items with timestamp in the window ``(now − horizon, now]``."""
+        if horizon <= 0:
+            raise ValueError(f"horizon must be positive, got {horizon}")
+        if now is None:
+            now = self.end_time
+        lo = int(np.searchsorted(self._timestamps, now - horizon, side="right"))
+        hi = int(np.searchsorted(self._timestamps, now, side="right"))
+        return self._stream.items[lo:hi]
+
+    def window_frequencies(
+        self, horizon: float, now: float | None = None
+    ) -> np.ndarray:
+        """Exact frequency vector of the time window ``(now − horizon, now]``
+        — the ground truth :mod:`repro.windows` samplers are validated
+        against."""
+        active = self.active_slice(horizon, now)
+        return np.bincount(active, minlength=self.n).astype(np.int64)
+
+
+def uniform_arrivals(m: int, rate: float, *, start: float = 0.0) -> np.ndarray:
+    """``m`` arrivals at a constant ``rate`` per second, starting at
+    ``start`` (the first arrival lands at ``start + 1/rate``)."""
+    if rate <= 0:
+        raise ValueError(f"rate must be positive, got {rate}")
+    if start < 0:
+        raise ValueError(f"start must be non-negative, got {start}")
+    return start + np.arange(1, m + 1, dtype=np.float64) / rate
+
+
+def poisson_arrivals(
+    m: int,
+    rate: float,
+    *,
+    start: float = 0.0,
+    seed: int | np.random.Generator | None = None,
+) -> np.ndarray:
+    """``m`` Poisson-process arrivals (exponential gaps, mean ``1/rate``)."""
+    if rate <= 0:
+        raise ValueError(f"rate must be positive, got {rate}")
+    if start < 0:
+        raise ValueError(f"start must be non-negative, got {start}")
+    gaps = _rng(seed).exponential(scale=1.0 / rate, size=m)
+    return start + np.cumsum(gaps)
+
+
+def bursty_arrivals(
+    m: int,
+    base_rate: float,
+    burst_rate: float,
+    *,
+    mean_run: int = 200,
+    start: float = 0.0,
+    seed: int | np.random.Generator | None = None,
+) -> np.ndarray:
+    """A two-state modulated Poisson clock: geometric-length runs
+    (mean ``mean_run`` updates) alternate between ``base_rate`` and
+    ``burst_rate``.
+
+    During a burst the same number of updates spans a much shorter wall
+    interval, so a time window holds many more updates than usual — the
+    load shape the :class:`repro.windows.WindowBank` instance-count
+    slack has to absorb.
+    """
+    if base_rate <= 0 or burst_rate <= 0:
+        raise ValueError("rates must be positive")
+    if mean_run < 1:
+        raise ValueError(f"mean_run must be ≥ 1, got {mean_run}")
+    if start < 0:
+        raise ValueError(f"start must be non-negative, got {start}")
+    rng = _rng(seed)
+    gaps = np.empty(m, dtype=np.float64)
+    filled = 0
+    bursting = False
+    while filled < m:
+        run = min(int(rng.geometric(1.0 / mean_run)), m - filled)
+        rate = burst_rate if bursting else base_rate
+        gaps[filled:filled + run] = rng.exponential(scale=1.0 / rate, size=run)
+        filled += run
+        bursting = not bursting
+    return start + np.cumsum(gaps)
+
+
+def with_arrivals(
+    stream: Stream,
+    *,
+    process: str = "poisson",
+    rate: float = 1000.0,
+    start: float = 0.0,
+    seed: int | np.random.Generator | None = None,
+    **kwargs,
+) -> TimestampedStream:
+    """Attach a generated arrival clock to an existing stream.
+
+    ``process`` is one of ``"uniform"``, ``"poisson"``, ``"bursty"``
+    (extra keyword arguments go to the arrival generator; ``"bursty"``
+    reads ``rate`` as the base rate and needs ``burst_rate``).
+    """
+    m = len(stream)
+    if process == "uniform":
+        ts = uniform_arrivals(m, rate, start=start, **kwargs)
+    elif process == "poisson":
+        ts = poisson_arrivals(m, rate, start=start, seed=seed, **kwargs)
+    elif process == "bursty":
+        burst_rate = kwargs.pop("burst_rate", 10.0 * rate)
+        ts = bursty_arrivals(
+            m, rate, burst_rate, start=start, seed=seed, **kwargs
+        )
+    else:
+        raise ValueError(
+            f"unknown arrival process {process!r}; "
+            "known: bursty, poisson, uniform"
+        )
+    return TimestampedStream(stream.items, ts, stream.n)

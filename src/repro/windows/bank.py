@@ -1,0 +1,321 @@
+"""WindowBank — one ingest path, a ladder of time-window samplers.
+
+Production dashboards ask the same questions at several horizons at once
+("uniques and trending items over the last 1m / 5m / 1h").  A
+:class:`WindowBank` owns one time-window sampler family per ladder rung
+and feeds them all from a single batched ingest call:
+
+* a G- or Lp-sampler per horizon (trending items, moment-weighted
+  sampling) — exactly one of ``measure`` / ``p`` selects the family;
+* optionally an F0 sampler per horizon (uniform over active items) when
+  the universe size ``n`` is given.
+
+When the ladder *nests* (every horizon is an integer multiple of the
+finest), all samplers' generation boundaries are multiples of the finest
+horizon, so the bank splits each incoming chunk **once** at the finest
+resolution's bucket crossings and hands every sampler pre-segmented
+spans — the boundary scan is shared across the ladder instead of
+repeated per sampler.  Non-nesting ladders fall back to per-sampler
+segmentation, which is still a single vectorized pass each.
+
+All member RNG streams derive deterministically from one root seed, so
+batched ingestion is bitwise identical to the scalar loop and snapshots
+restore exactly.  The bank is itself a :class:`MergeableState`: shard
+banks over a disjoint universe partition merge member-wise (pass a
+shared ``f0_seed`` so the F0 members' random subsets line up across
+shards — the bank's analogue of the engine's shared-seed F0 rule).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.measures import Measure
+from repro.core.types import SampleResult
+from repro.windows.chunking import as_timed_chunk, bucket_cuts
+from repro.windows.f0 import TimeWindowF0Sampler
+from repro.windows.time_window import (
+    TimeWindowGSampler,
+    TimeWindowLpSampler,
+    _derive_root,
+)
+
+__all__ = ["WindowBank"]
+
+
+def _ladder_nests(resolutions: tuple[float, ...]) -> bool:
+    """Whether every horizon is an integer multiple of the finest."""
+    finest = resolutions[0]
+    for horizon in resolutions[1:]:
+        ratio = horizon / finest
+        if abs(ratio - round(ratio)) > 1e-9:
+            return False
+    return True
+
+
+class WindowBank:
+    """A bank of time-window samplers over a resolution ladder.
+
+    Parameters
+    ----------
+    resolutions:
+        Window horizons in seconds, e.g. ``(60, 300, 3600)``; sorted
+        ascending internally.
+    measure / p:
+        Exactly one selects the pool-sampler family per rung: a
+        :class:`~repro.core.measures.Measure` builds
+        :class:`TimeWindowGSampler` rungs, a float ``p ≥ 1`` builds
+        :class:`TimeWindowLpSampler` rungs.
+    n:
+        Universe size; when given, each rung also gets a
+        :class:`TimeWindowF0Sampler` ("uniform over active items").
+    instances:
+        Instances per pool sampler (defaults per sampler otherwise).
+    expected_rate:
+        Expected arrivals per second; sizes each rung's default
+        instance count at its own expected window occupancy.
+    f0_seed:
+        Separate seed for the F0 members' random subsets.  Give every
+        shard of a sharded deployment the *same* ``f0_seed`` (the
+        pool members still want independent per-shard ``seed``\\ s).
+    """
+
+    def __init__(
+        self,
+        resolutions,
+        *,
+        measure: Measure | None = None,
+        p: float | None = None,
+        n: int | None = None,
+        instances: int | None = None,
+        delta: float = 0.05,
+        expected_rate: float | None = None,
+        seed: int | np.random.Generator | None = None,
+        f0_seed: int | None = None,
+    ) -> None:
+        horizons = tuple(sorted(float(h) for h in resolutions))
+        if not horizons:
+            raise ValueError("need at least one resolution")
+        if any(h <= 0 for h in horizons):
+            raise ValueError("resolutions must be positive")
+        if len(set(horizons)) != len(horizons):
+            raise ValueError(f"duplicate resolutions in {horizons}")
+        if (measure is None) == (p is None):
+            raise ValueError("give exactly one of measure= or p=")
+        if n is None and f0_seed is not None:
+            raise ValueError("f0_seed needs n= (no F0 members otherwise)")
+        self._resolutions = horizons
+        self._nests = _ladder_nests(horizons)
+        self._n = n
+        self._root = _derive_root(seed)
+        self._f0_seed = f0_seed
+        self._pool_samplers: dict[float, TimeWindowGSampler | TimeWindowLpSampler] = {}
+        self._f0_samplers: dict[float, TimeWindowF0Sampler] = {}
+        for i, horizon in enumerate(horizons):
+            expected = (
+                max(1, round(expected_rate * horizon))
+                if expected_rate is not None
+                else None
+            )
+            member_seed = np.random.default_rng([self._root, 2, i])
+            if measure is not None:
+                self._pool_samplers[horizon] = TimeWindowGSampler(
+                    measure,
+                    horizon,
+                    instances=instances,
+                    delta=delta,
+                    expected_window_count=expected,
+                    seed=member_seed,
+                )
+            else:
+                self._pool_samplers[horizon] = TimeWindowLpSampler(
+                    p,
+                    horizon,
+                    instances=instances,
+                    delta=delta,
+                    expected_window_count=expected,
+                    seed=member_seed,
+                )
+            if n is not None:
+                f0_member_seed = (
+                    np.random.default_rng([int(f0_seed) % 2**63, 3, i])
+                    if f0_seed is not None
+                    else np.random.default_rng([self._root, 3, i])
+                )
+                self._f0_samplers[horizon] = TimeWindowF0Sampler(
+                    n, horizon, delta=delta, seed=f0_member_seed
+                )
+
+    # -- properties ---------------------------------------------------------
+    @property
+    def resolutions(self) -> tuple[float, ...]:
+        """The ladder horizons, ascending."""
+        return self._resolutions
+
+    @property
+    def nests(self) -> bool:
+        """Whether the ladder shares generation boundaries (every horizon
+        a multiple of the finest)."""
+        return self._nests
+
+    @property
+    def has_f0(self) -> bool:
+        return bool(self._f0_samplers)
+
+    @property
+    def position(self) -> int:
+        """Total updates ingested."""
+        finest = self._pool_samplers[self._resolutions[0]]
+        return finest.position
+
+    @property
+    def now(self) -> float:
+        """Timestamp of the newest ingested update."""
+        finest = self._pool_samplers[self._resolutions[0]]
+        return finest.now
+
+    def pool_sampler(self, horizon: float):
+        """The G/Lp member at ``horizon`` (exact match required)."""
+        try:
+            return self._pool_samplers[float(horizon)]
+        except KeyError:
+            raise ValueError(
+                f"no rung at horizon {horizon!r}; ladder: {self._resolutions}"
+            ) from None
+
+    def f0_sampler(self, horizon: float) -> TimeWindowF0Sampler:
+        """The F0 member at ``horizon`` (requires construction with n=)."""
+        if not self._f0_samplers:
+            raise ValueError("bank was built without n=, it has no F0 members")
+        try:
+            return self._f0_samplers[float(horizon)]
+        except KeyError:
+            raise ValueError(
+                f"no rung at horizon {horizon!r}; ladder: {self._resolutions}"
+            ) from None
+
+    # -- ingestion ----------------------------------------------------------
+    def update(self, item: int, timestamp: float) -> None:
+        # Validate before touching ANY member: a rejected update must
+        # leave the bank consistent (pool members have no universe check
+        # of their own, so the F0 members' range error would otherwise
+        # fire only after the pools already ingested the item).
+        if self._n is not None and not 0 <= item < self._n:
+            raise ValueError(f"item {item} outside universe [0, {self._n})")
+        for sampler in self._pool_samplers.values():
+            sampler.update(item, timestamp)
+        for sampler in self._f0_samplers.values():
+            sampler.update(item, timestamp)
+
+    def extend(self, pairs) -> None:
+        for item, ts in pairs:
+            self.update(item, ts)
+
+    def update_batch(self, items, timestamps) -> None:
+        """One vectorized pass feeding every rung.
+
+        With a nesting ladder the chunk is segmented once at the finest
+        horizon's bucket boundaries (a superset of every rung's
+        boundaries), and each pool sampler consumes pre-split spans; F0
+        members take the whole chunk (they have no generations).
+
+        Validation (shapes, universe membership, clock monotonicity)
+        happens before any member is touched, so a rejected chunk
+        leaves the whole bank unchanged and retryable.
+        """
+        arr, ts = as_timed_chunk(items, timestamps, self.now, n=self._n)
+        if arr.size == 0:
+            return
+        if not self._nests:
+            for sampler in self._pool_samplers.values():
+                sampler.update_batch(arr, ts)
+        else:
+            __, cuts = bucket_cuts(ts, self._resolutions[0])
+            spans = [
+                (arr[a:b], ts[a:b]) for a, b in zip(cuts[:-1], cuts[1:]) if a != b
+            ]
+            for horizon, sampler in self._pool_samplers.items():
+                for seg_items, seg_ts in spans:
+                    # Nesting makes every rung's buckets constant per
+                    # span *mathematically*; floating-point floor
+                    # division can still disagree at a boundary, so
+                    # verify on the span's (monotone) endpoints and
+                    # fall back to the sampler's own splitting when a
+                    # span straddles — keeping the batched path bitwise
+                    # equal to the scalar loop unconditionally.
+                    first = int(seg_ts[0] // horizon)
+                    last = int(seg_ts[-1] // horizon)
+                    if first == last:
+                        sampler._ingest_span(seg_items, seg_ts, first)
+                    else:
+                        sampler.update_batch(seg_items, seg_ts)
+        for sampler in self._f0_samplers.values():
+            sampler.update_batch(arr, ts)
+
+    # -- queries ------------------------------------------------------------
+    def sample(self, horizon: float, now: float | None = None) -> SampleResult:
+        """One truly perfect G/Lp sample over the rung's active window."""
+        return self.pool_sampler(horizon).sample(now=now)
+
+    def sample_distinct(self, horizon: float, now: float | None = None) -> SampleResult:
+        """One uniform sample of the rung's active distinct items."""
+        return self.f0_sampler(horizon).sample(now=now)
+
+    def sample_all(self, now: float | None = None) -> dict[float, SampleResult]:
+        """One G/Lp sample per rung, finest first."""
+        return {
+            horizon: self.sample(horizon, now=now)
+            for horizon in self._resolutions
+        }
+
+    # -- mergeable state ----------------------------------------------------
+    def snapshot(self) -> dict:
+        return {
+            "kind": "window_bank",
+            "resolutions": list(self._resolutions),
+            "root": self._root,
+            "pool": {
+                str(i): self._pool_samplers[h].snapshot()
+                for i, h in enumerate(self._resolutions)
+            },
+            "f0": {
+                str(i): self._f0_samplers[h].snapshot()
+                for i, h in enumerate(self._resolutions)
+                if h in self._f0_samplers
+            },
+        }
+
+    def restore(self, state: dict) -> None:
+        if state.get("kind") != "window_bank":
+            raise ValueError(f"not a window_bank snapshot: {state.get('kind')!r}")
+        theirs = tuple(float(h) for h in state["resolutions"])
+        if theirs != self._resolutions:
+            raise ValueError(
+                f"snapshot ladder {theirs} differs from bank's {self._resolutions}"
+            )
+        if len(state["f0"]) != len(self._f0_samplers):
+            raise ValueError(
+                "snapshot and bank disagree on F0 members (was the bank "
+                "built with the same n=?)"
+            )
+        self._root = int(state["root"])
+        for i, horizon in enumerate(self._resolutions):
+            self._pool_samplers[horizon].restore(state["pool"][str(i)])
+            if horizon in self._f0_samplers:
+                self._f0_samplers[horizon].restore(state["f0"][str(i)])
+
+    def merge(self, other: "WindowBank") -> None:
+        """Member-wise merge of two banks fed disjoint universe
+        partitions over the same wall clock."""
+        if not isinstance(other, WindowBank):
+            raise TypeError(f"cannot merge WindowBank with {type(other).__name__}")
+        if other._resolutions != self._resolutions:
+            raise ValueError(
+                f"ladders differ: {self._resolutions} vs {other._resolutions}"
+            )
+        if set(other._f0_samplers) != set(self._f0_samplers):
+            raise ValueError("banks disagree on F0 members")
+        for horizon in self._resolutions:
+            self._pool_samplers[horizon].merge(other._pool_samplers[horizon])
+            if horizon in self._f0_samplers:
+                self._f0_samplers[horizon].merge(other._f0_samplers[horizon])

@@ -24,6 +24,12 @@ from repro.sliding_window import (
     SlidingWindowGSampler,
     SlidingWindowLpSampler,
 )
+from repro.windows import (
+    TimeWindowF0Sampler,
+    TimeWindowGSampler,
+    TimeWindowLpSampler,
+    WindowBank,
+)
 
 
 class TestBuildMeasure:
@@ -78,6 +84,25 @@ class TestBuildSampler:
             ),
             ({"kind": "sw-lp", "p": 2.0, "window": 50}, SlidingWindowLpSampler),
             ({"kind": "sw-f0", "n": 128, "window": 50}, SlidingWindowF0Sampler),
+            (
+                {
+                    "kind": "tw_g",
+                    "measure": {"name": "l1l2"},
+                    "horizon": 60.0,
+                    "expected_window_count": 500,
+                },
+                TimeWindowGSampler,
+            ),
+            (
+                {"kind": "tw_lp", "p": 2.0, "horizon": 60.0, "instances": 16},
+                TimeWindowLpSampler,
+            ),
+            ({"kind": "tw_f0", "n": 128, "horizon": 60.0}, TimeWindowF0Sampler),
+            (
+                {"kind": "window_bank", "resolutions": [60, 300], "p": 2.0,
+                 "n": 128, "instances": 16},
+                WindowBank,
+            ),
         ],
     )
     def test_builds_every_kind(self, config, cls):
@@ -92,6 +117,20 @@ class TestBuildSampler:
     def test_unknown_kind_lists_alternatives(self):
         with pytest.raises(ValueError, match="oracle-f0"):
             build_sampler({"kind": "nope"})
+        # The listing includes the windowed kinds and never a bare
+        # KeyError escapes.
+        with pytest.raises(ValueError, match="window_bank"):
+            build_sampler({"kind": "nope"})
+        with pytest.raises(ValueError, match="known:"):
+            build_sampler({})  # kind missing entirely
+
+    def test_unknown_kind_suggests_close_match(self):
+        with pytest.raises(ValueError, match="did you mean 'tw_g'"):
+            build_sampler({"kind": "tw-g"})
+        with pytest.raises(ValueError, match="did you mean 'window_bank'"):
+            build_sampler({"kind": "windowbank"})
+        with pytest.raises(ValueError, match="did you mean 'huber'"):
+            build_measure({"name": "huberr"})
 
     def test_unknown_keys_rejected(self):
         with pytest.raises(ValueError, match="pee"):

@@ -21,6 +21,11 @@ from repro.engine.state import (
     supports_merge,
 )
 from repro.sketches.misra_gries import MisraGries
+from repro.sliding_window import (
+    SlidingWindowF0Sampler,
+    SlidingWindowGSampler,
+    SlidingWindowLpSampler,
+)
 from repro.stats import f0_target, g_target, lp_target
 from repro.streams import uniform_stream, zipf_stream
 
@@ -103,6 +108,85 @@ class TestSnapshotRestore:
         assert supports_merge(TrulyPerfectF0Sampler(16, seed=0))
         assert isinstance(SamplerPool(2, seed=0), MergeableState)
         assert not supports_merge(object())
+
+
+class TestSlidingWindowSnapshotRestore:
+    """Count-based sliding-window samplers checkpoint and restore
+    bitwise (they don't merge — "the last W updates" of a sharded
+    stream has no global arrival order; time-based windows in
+    repro.windows do)."""
+
+    def test_sw_g_roundtrip_continues_bitwise(self):
+        items = np.asarray(zipf_stream(48, 5000, alpha=1.2, seed=31).items)
+        a = SlidingWindowGSampler(L1L2Measure(), window=800, instances=24, seed=5)
+        a.extend(items[:2500])
+        b = SlidingWindowGSampler(L1L2Measure(), window=800, instances=24, seed=88)
+        load_state(b, save_state(a))
+        a.extend(items[2500:])
+        b.extend(items[2500:])
+        assert state_to_bytes(a.snapshot()) == state_to_bytes(b.snapshot())
+        assert a.sample().item == b.sample().item
+
+    def test_sw_g_restore_rejects_mismatch(self):
+        a = SlidingWindowGSampler(L1L2Measure(), window=100, instances=4, seed=0)
+        wrong_window = SlidingWindowGSampler(
+            L1L2Measure(), window=200, instances=4, seed=0
+        )
+        with pytest.raises(ValueError, match="window"):
+            wrong_window.restore(a.snapshot())
+        wrong_measure = SlidingWindowGSampler(
+            LpMeasure(1.0), window=100, instances=4, seed=0
+        )
+        with pytest.raises(ValueError, match="measure"):
+            wrong_measure.restore(a.snapshot())
+
+    def test_sw_lp_roundtrip_restores_histogram(self):
+        items = np.asarray(zipf_stream(48, 4000, alpha=1.3, seed=32).items)
+        a = SlidingWindowLpSampler(2.0, window=700, instances=48, seed=6)
+        a.update_batch(items[:2000])
+        b = SlidingWindowLpSampler(2.0, window=700, instances=48, seed=13)
+        load_state(b, save_state(a))
+        assert b.normalizer() == a.normalizer()
+        assert b.histogram_checkpoints == a.histogram_checkpoints
+        a.update_batch(items[2000:])
+        b.update_batch(items[2000:])
+        assert state_to_bytes(a.snapshot()) == state_to_bytes(b.snapshot())
+        assert b.normalizer() == a.normalizer()
+
+    def test_sw_lp_p1_roundtrip_has_no_histogram(self):
+        a = SlidingWindowLpSampler(1.0, window=50, instances=8, seed=1)
+        a.update_batch(np.arange(40))
+        state = a.snapshot()
+        assert "hist" not in state
+        b = SlidingWindowLpSampler(1.0, window=50, instances=8, seed=2)
+        b.restore(state)
+        assert b.position == 40
+
+    def test_sw_f0_roundtrip_continues_bitwise(self):
+        items = np.asarray(zipf_stream(80, 4000, alpha=1.0, seed=33).items)
+        a = SlidingWindowF0Sampler(80, window=600, seed=7)
+        a.update_batch(items[:2000])
+        b = SlidingWindowF0Sampler(80, window=600, seed=55)
+        load_state(b, save_state(a))
+        a.update_batch(items[2000:])
+        b.update_batch(items[2000:])
+        assert state_to_bytes(a.snapshot()) == state_to_bytes(b.snapshot())
+        assert a.sample().item == b.sample().item
+
+    def test_sw_f0_restore_rejects_mismatch(self):
+        a = SlidingWindowF0Sampler(64, window=100, seed=0)
+        b = SlidingWindowF0Sampler(128, window=100, seed=0)
+        with pytest.raises(ValueError):
+            b.restore(a.snapshot())
+
+    def test_sw_samplers_support_snapshot_protocol(self):
+        for sampler in (
+            SlidingWindowGSampler(L1L2Measure(), window=10, instances=2, seed=0),
+            SlidingWindowLpSampler(2.0, window=10, instances=2, seed=0),
+            SlidingWindowF0Sampler(16, window=10, seed=0),
+        ):
+            buf = save_state(sampler)
+            assert state_from_bytes(buf)["kind"] == sampler.snapshot()["kind"]
 
 
 class TestPoolMergeExactness:

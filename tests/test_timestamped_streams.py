@@ -1,0 +1,132 @@
+"""TimestampedStream model + arrival-process generators."""
+
+import numpy as np
+import pytest
+
+from repro.streams import (
+    Stream,
+    TimestampedStream,
+    bursty_arrivals,
+    poisson_arrivals,
+    uniform_arrivals,
+    with_arrivals,
+    zipf_stream,
+)
+
+
+class TestTimestampedStream:
+    def test_basic_properties(self):
+        ts = TimestampedStream([3, 1, 4, 1], [0.5, 1.0, 1.0, 2.5], n=8)
+        assert len(ts) == 4
+        assert ts.n == 8
+        assert ts.start_time == 0.5
+        assert ts.end_time == 2.5
+        assert ts.duration == 2.0
+        assert list(ts) == [(3, 0.5), (1, 1.0), (4, 1.0), (1, 2.5)]
+        assert "TimestampedStream" in repr(ts)
+
+    def test_empty_stream(self):
+        ts = TimestampedStream([], [], n=4)
+        assert len(ts) == 0
+        assert ts.start_time == 0.0 and ts.end_time == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="timestamps"):
+            TimestampedStream([1, 2], [0.0], n=4)
+        with pytest.raises(ValueError, match="non-decreasing"):
+            TimestampedStream([1, 2], [1.0, 0.5], n=4)
+        with pytest.raises(ValueError, match="non-negative"):
+            TimestampedStream([1, 2], [-1.0, 0.5], n=4)
+        with pytest.raises(ValueError, match="1-d"):
+            TimestampedStream([1, 2], [[0.0], [1.0]], n=4)
+        with pytest.raises(ValueError):  # item outside universe
+            TimestampedStream([9], [0.0], n=4)
+
+    def test_window_frequencies_exact(self):
+        ts = TimestampedStream(
+            [0, 1, 0, 2, 0], [1.0, 2.0, 3.0, 4.0, 5.0], n=4
+        )
+        # window (2, 5]: items at t=3,4,5 → {0:2, 2:1}
+        assert ts.window_frequencies(3.0).tolist() == [2, 0, 1, 0]
+        # explicit now: window (1, 4] → items at t=2,3,4
+        assert ts.window_frequencies(3.0, now=4.0).tolist() == [1, 1, 1, 0]
+        # horizon covering everything
+        assert ts.window_frequencies(100.0).tolist() == [3, 1, 1, 0]
+        with pytest.raises(ValueError):
+            ts.window_frequencies(0.0)
+
+    def test_window_boundary_is_half_open(self):
+        ts = TimestampedStream([0, 1], [1.0, 2.0], n=2)
+        # window (1.0, 2.0]: the update AT now−horizon is expired.
+        assert ts.window_frequencies(1.0).tolist() == [0, 1]
+
+    def test_prefix_and_prefix_until(self):
+        ts = TimestampedStream([0, 1, 2], [1.0, 2.0, 3.0], n=4)
+        assert ts.prefix(2).items.tolist() == [0, 1]
+        assert ts.prefix_until(2.5).items.tolist() == [0, 1]
+        assert ts.prefix_until(3.0).items.tolist() == [0, 1, 2]
+
+    def test_underlying_stream(self):
+        ts = TimestampedStream([0, 1], [1.0, 2.0], n=4)
+        assert isinstance(ts.stream, Stream)
+        assert ts.stream.frequencies().tolist() == [1, 1, 0, 0]
+
+
+class TestArrivalProcesses:
+    def test_uniform_rate(self):
+        ts = uniform_arrivals(100, rate=10.0)
+        assert ts.shape == (100,)
+        gaps = np.diff(ts)
+        assert np.allclose(gaps, 0.1)
+        assert np.isclose(ts[0], 0.1)
+
+    def test_poisson_is_seeded_and_monotone(self):
+        a = poisson_arrivals(500, rate=100.0, seed=7)
+        b = poisson_arrivals(500, rate=100.0, seed=7)
+        assert np.array_equal(a, b)
+        assert np.all(np.diff(a) >= 0)
+        # mean gap ≈ 1/rate
+        assert 0.5 / 100.0 < np.diff(a).mean() < 2.0 / 100.0
+
+    def test_bursty_alternates_rates(self):
+        ts = bursty_arrivals(
+            4000, base_rate=10.0, burst_rate=1000.0, mean_run=500, seed=3
+        )
+        assert np.all(np.diff(ts) >= 0)
+        gaps = np.diff(ts)
+        # Both regimes show up: some gaps near 1/10, some near 1/1000.
+        assert gaps.max() > 10 * gaps.min()
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            uniform_arrivals(10, rate=0.0)
+        with pytest.raises(ValueError):
+            poisson_arrivals(10, rate=-1.0)
+        with pytest.raises(ValueError):
+            bursty_arrivals(10, base_rate=0.0, burst_rate=1.0)
+        with pytest.raises(ValueError):
+            bursty_arrivals(10, base_rate=1.0, burst_rate=1.0, mean_run=0)
+        with pytest.raises(ValueError):
+            uniform_arrivals(10, rate=1.0, start=-5.0)
+
+
+class TestWithArrivals:
+    def test_glues_clock_to_stream(self):
+        stream = zipf_stream(32, 1000, alpha=1.1, seed=0)
+        ts = with_arrivals(stream, process="poisson", rate=50.0, seed=1)
+        assert np.array_equal(ts.items, stream.items)
+        assert len(ts) == 1000
+        a = with_arrivals(stream, process="poisson", rate=50.0, seed=1)
+        assert np.array_equal(ts.timestamps, a.timestamps)
+
+    def test_all_processes(self):
+        stream = zipf_stream(16, 200, alpha=1.0, seed=0)
+        for process in ("uniform", "poisson", "bursty"):
+            ts = with_arrivals(stream, process=process, rate=10.0, seed=2)
+            assert len(ts) == 200
+            assert np.all(np.diff(ts.timestamps) >= 0)
+
+    def test_unknown_process(self):
+        stream = zipf_stream(16, 10, alpha=1.0, seed=0)
+        with pytest.raises(ValueError, match="poisson"):
+            with_arrivals(stream, process="fractal")

@@ -1,0 +1,312 @@
+"""WindowBank: ladder construction, shared-boundary batching (bitwise
+identical to scalar), multi-resolution queries, mergeable state, and the
+registry / sharded-engine integration."""
+
+import numpy as np
+import pytest
+
+from helpers import assert_matches_distribution
+from repro.core.measures import HuberMeasure, LpMeasure
+from repro.engine import ShardedSamplerEngine, build_sampler
+from repro.engine.state import save_state, load_state, state_to_bytes
+from repro.stats import lp_target
+from repro.streams import with_arrivals, zipf_stream
+from repro.windows import (
+    TimeWindowF0Sampler,
+    TimeWindowGSampler,
+    TimeWindowLpSampler,
+    WindowBank,
+)
+
+LADDER = (10.0, 30.0, 60.0)
+
+
+def bursty_fixture(n=32, m=4000, seed=5):
+    return with_arrivals(
+        zipf_stream(n, m, alpha=1.2, seed=seed),
+        process="bursty",
+        rate=40.0,
+        burst_rate=300.0,
+        seed=seed + 1,
+    )
+
+
+class TestConstruction:
+    def test_ladder_is_sorted(self):
+        bank = WindowBank([60.0, 10.0, 30.0], p=2.0, seed=0)
+        assert bank.resolutions == (10.0, 30.0, 60.0)
+
+    def test_nesting_detection(self):
+        assert WindowBank([10.0, 30.0, 60.0], p=2.0, seed=0).nests
+        assert not WindowBank([10.0, 25.0], p=2.0, seed=0).nests
+
+    def test_family_selection(self):
+        g = WindowBank([10.0], measure=HuberMeasure(1.0), seed=0)
+        assert isinstance(g.pool_sampler(10.0), TimeWindowGSampler)
+        lp = WindowBank([10.0], p=2.0, seed=0)
+        assert isinstance(lp.pool_sampler(10.0), TimeWindowLpSampler)
+        with pytest.raises(ValueError, match="exactly one"):
+            WindowBank([10.0], seed=0)
+        with pytest.raises(ValueError, match="exactly one"):
+            WindowBank([10.0], p=2.0, measure=HuberMeasure(1.0), seed=0)
+
+    def test_f0_members_need_n(self):
+        bank = WindowBank([10.0], p=2.0, seed=0)
+        assert not bank.has_f0
+        with pytest.raises(ValueError, match="n="):
+            bank.f0_sampler(10.0)
+        with pytest.raises(ValueError, match="f0_seed"):
+            WindowBank([10.0], p=2.0, f0_seed=7, seed=0)
+        with_f0 = WindowBank([10.0], p=2.0, n=64, seed=0)
+        assert isinstance(with_f0.f0_sampler(10.0), TimeWindowF0Sampler)
+
+    def test_bad_ladders(self):
+        with pytest.raises(ValueError):
+            WindowBank([], p=2.0)
+        with pytest.raises(ValueError):
+            WindowBank([0.0], p=2.0)
+        with pytest.raises(ValueError):
+            WindowBank([10.0, 10.0], p=2.0)
+
+    def test_unknown_rung(self):
+        bank = WindowBank([10.0], p=2.0, n=16, seed=0)
+        with pytest.raises(ValueError, match="ladder"):
+            bank.pool_sampler(99.0)
+        with pytest.raises(ValueError, match="ladder"):
+            bank.f0_sampler(99.0)
+
+
+class TestIngestion:
+    def test_batched_is_bitwise_identical_to_scalar(self):
+        """Acceptance: WindowBank batched ingest ≡ scalar ingest,
+        bitwise, for a fixed seed — on a nesting ladder with all member
+        families (Lp pools + F0)."""
+        ts = bursty_fixture()
+        a = WindowBank(LADDER, p=2.0, n=32, instances=40, seed=11)
+        b = WindowBank(LADDER, p=2.0, n=32, instances=40, seed=11)
+        a.update_batch(ts.items, ts.timestamps)
+        for item, when in ts:
+            b.update(item, when)
+        assert state_to_bytes(a.snapshot()) == state_to_bytes(b.snapshot())
+
+    def test_non_nesting_ladder_matches_too(self):
+        ts = bursty_fixture(m=2000)
+        ladder = (10.0, 25.0)
+        a = WindowBank(ladder, measure=LpMeasure(1.0), instances=16, seed=2)
+        b = WindowBank(ladder, measure=LpMeasure(1.0), instances=16, seed=2)
+        assert not a.nests
+        a.update_batch(ts.items, ts.timestamps)
+        for item, when in ts:
+            b.update(item, when)
+        assert state_to_bytes(a.snapshot()) == state_to_bytes(b.snapshot())
+
+    def test_chunked_matches_one_shot(self):
+        ts = bursty_fixture(m=2500)
+        a = WindowBank(LADDER, p=2.0, n=32, instances=24, seed=4)
+        b = WindowBank(LADDER, p=2.0, n=32, instances=24, seed=4)
+        a.update_batch(ts.items, ts.timestamps)
+        for start in range(0, len(ts), 777):
+            b.update_batch(
+                ts.items[start:start + 777], ts.timestamps[start:start + 777]
+            )
+        assert state_to_bytes(a.snapshot()) == state_to_bytes(b.snapshot())
+
+    def test_position_and_now(self):
+        bank = WindowBank([5.0, 10.0], p=2.0, instances=8, seed=0)
+        bank.update(3, 1.0)
+        bank.update(4, 2.5)
+        assert bank.position == 2
+        assert bank.now == 2.5
+
+    def test_validation(self):
+        bank = WindowBank([5.0], p=2.0, instances=8, seed=0)
+        with pytest.raises(ValueError):
+            bank.update_batch([1, 2], [1.0])
+        with pytest.raises(ValueError):
+            bank.update_batch([1], [-1.0])
+        bank.update(1, 5.0)
+        with pytest.raises(ValueError, match="non-decreasing"):
+            bank.update_batch([1, 2], [6.0, 4.0])
+        with pytest.raises(ValueError, match="non-decreasing"):
+            bank.update_batch([1], [2.0])
+
+
+class TestQueries:
+    def test_multi_resolution_samples(self):
+        ts = bursty_fixture()
+        bank = WindowBank(LADDER, p=2.0, n=32, instances=100, seed=1)
+        bank.update_batch(ts.items, ts.timestamps)
+        per_rung = bank.sample_all()
+        assert set(per_rung) == set(LADDER)
+        res = bank.sample(10.0)
+        assert res.is_item or res.is_fail
+        distinct = bank.sample_distinct(30.0)
+        assert distinct.is_item or distinct.is_fail
+
+    def test_finest_rung_matches_l2_window_law(self):
+        ts = bursty_fixture(n=16, m=3000, seed=9)
+        target = lp_target(ts.window_frequencies(10.0), 2.0)
+
+        def run(seed):
+            bank = WindowBank(
+                (10.0, 30.0), p=2.0, instances=150, seed=seed
+            )
+            bank.update_batch(ts.items, ts.timestamps)
+            return bank.sample(10.0)
+
+        assert_matches_distribution(run, target, trials=250)
+
+
+class TestMergeableState:
+    def test_snapshot_restore_continues_bitwise(self):
+        ts = bursty_fixture()
+        half = len(ts) // 2
+        a = WindowBank(LADDER, p=2.0, n=32, instances=24, seed=6)
+        a.update_batch(ts.items[:half], ts.timestamps[:half])
+        b = WindowBank(LADDER, p=2.0, n=32, instances=24, seed=77)
+        load_state(b, save_state(a))
+        a.update_batch(ts.items[half:], ts.timestamps[half:])
+        b.update_batch(ts.items[half:], ts.timestamps[half:])
+        assert state_to_bytes(a.snapshot()) == state_to_bytes(b.snapshot())
+
+    def test_restore_rejects_mismatch(self):
+        a = WindowBank([10.0], p=2.0, instances=8, seed=0)
+        b = WindowBank([20.0], p=2.0, instances=8, seed=0)
+        with pytest.raises(ValueError, match="ladder"):
+            b.restore(a.snapshot())
+        c = WindowBank([10.0], p=2.0, n=16, instances=8, seed=0)
+        with pytest.raises(ValueError, match="F0"):
+            c.restore(a.snapshot())
+        with pytest.raises(ValueError):
+            a.restore({"kind": "nope"})
+
+    def test_merge_validates(self):
+        a = WindowBank([10.0], p=2.0, instances=8, seed=0)
+        with pytest.raises(TypeError):
+            a.merge(object())
+        b = WindowBank([20.0], p=2.0, instances=8, seed=1)
+        with pytest.raises(ValueError, match="ladders"):
+            a.merge(b)
+        c = WindowBank([10.0], p=2.0, n=16, instances=8, seed=1)
+        with pytest.raises(ValueError, match="F0"):
+            a.merge(c)
+
+    def test_merge_disjoint_partitions(self):
+        ts = bursty_fixture()
+        items = np.asarray(ts.items)
+        even = items % 2 == 0
+        a = WindowBank(LADDER, p=2.0, n=32, instances=40, seed=1, f0_seed=42)
+        b = WindowBank(LADDER, p=2.0, n=32, instances=40, seed=2, f0_seed=42)
+        a.update_batch(items[even], ts.timestamps[even])
+        b.update_batch(items[~even], ts.timestamps[~even])
+        a.merge(b)
+        assert a.position == len(ts)
+        for horizon in LADDER:
+            res = a.sample(horizon)
+            assert res.is_item or res.is_fail
+            distinct = a.sample_distinct(horizon)
+            assert distinct.is_item or distinct.is_fail
+
+    def test_f0_merge_needs_shared_f0_seed(self):
+        a = WindowBank([10.0], p=2.0, n=32, instances=8, seed=1)
+        b = WindowBank([10.0], p=2.0, n=32, instances=8, seed=2)
+        a.update(0, 1.0)
+        b.update(1, 1.0)
+        with pytest.raises(ValueError, match="seed"):
+            a.merge(b)
+
+
+class TestEngineIntegration:
+    def test_registry_builds_bank(self):
+        bank = build_sampler(
+            {
+                "kind": "window_bank",
+                "resolutions": [10.0, 30.0],
+                "measure": {"name": "huber", "tau": 2.0},
+                "n": 64,
+                "seed": 3,
+            }
+        )
+        assert isinstance(bank, WindowBank)
+        assert bank.resolutions == (10.0, 30.0)
+        assert bank.has_f0
+
+    def test_registry_rejects_leftover_keys(self):
+        with pytest.raises(ValueError, match="frobnicate"):
+            build_sampler(
+                {
+                    "kind": "window_bank",
+                    "resolutions": [10.0],
+                    "p": 2.0,
+                    "frobnicate": 1,
+                }
+            )
+
+    def test_sharded_bank_without_f0_seed_still_merges(self):
+        """The engine auto-derives a shared f0_seed so a sharded bank
+        with F0 members works out of the box."""
+        ts = bursty_fixture(n=16, m=1000, seed=3)
+        engine = ShardedSamplerEngine(
+            {"kind": "window_bank", "resolutions": [10.0], "p": 2.0,
+             "n": 16, "instances": 16},
+            shards=4,
+            seed=5,
+        )
+        engine.ingest(ts)
+        merged = engine.merged_sampler()
+        res = merged.sample_distinct(10.0)
+        assert res.is_item or res.is_fail
+
+    def test_bank_rejects_bad_chunk_without_partial_mutation(self):
+        """A chunk with an out-of-universe item is rejected before any
+        member ingests it — the bank stays consistent and retryable."""
+        bank = WindowBank([10.0], p=2.0, n=8, instances=8, seed=0)
+        bank.update(1, 1.0)
+        with pytest.raises(ValueError, match="universe"):
+            bank.update_batch([2, 99], [2.0, 3.0])
+        with pytest.raises(ValueError, match="universe"):
+            bank.update(99, 4.0)
+        assert bank.position == 1  # nothing partially ingested
+        assert bank.f0_sampler(10.0).position == 1
+        bank.update_batch([2, 3], [2.0, 3.0])  # retry succeeds
+        assert bank.position == 3
+        assert bank.f0_sampler(10.0).position == 3
+
+    def test_approximately_nesting_ladder_stays_bitwise(self):
+        """Float ladders that only approximately nest (0.3 ≠ 3×0.1 in
+        binary) must still batch bitwise-identically to scalar — the
+        fast path detects boundary-straddling spans and falls back."""
+        rng = np.random.RandomState(0)
+        items = rng.randint(0, 16, size=600)
+        ts = np.sort(rng.uniform(0.0, 3.0, size=600))
+        ladder = (0.1, 0.3)
+        a = WindowBank(ladder, p=2.0, instances=8, seed=3)
+        b = WindowBank(ladder, p=2.0, instances=8, seed=3)
+        a.update_batch(items, ts)
+        for item, when in zip(items.tolist(), ts.tolist()):
+            b.update(item, when)
+        assert state_to_bytes(a.snapshot()) == state_to_bytes(b.snapshot())
+
+    def test_sharded_bank_answers_windowed_queries(self):
+        """K=4 shards of a window_bank merge into exact multi-resolution
+        answers (f0_seed shared via config, pool seeds per-shard)."""
+        ts = bursty_fixture(n=16, m=3000, seed=9)
+        target = lp_target(ts.window_frequencies(10.0), 2.0)
+
+        def run(seed):
+            engine = ShardedSamplerEngine(
+                {
+                    "kind": "window_bank",
+                    "resolutions": [10.0, 30.0],
+                    "p": 2.0,
+                    "n": 16,
+                    "instances": 150,
+                    "f0_seed": 1234,
+                },
+                shards=4,
+                seed=seed,
+            )
+            engine.ingest(ts)
+            return engine.sample(horizon=10.0)
+
+        assert_matches_distribution(run, target, trials=250, seed_offset=10**5)

@@ -1,0 +1,168 @@
+"""E22 — expiry compaction: bounded memory under bursty-idle traffic.
+
+Claims: (a) a fleet of per-tenant window banks under intermittent
+(burst-then-idle) traffic retains memory proportional to the number of
+tenants *ever* active when nothing compacts — idle tenants keep their
+expired generations and timestamp tables forever — while a periodic
+``compact(now)`` sweep bounds the fleet's resident bytes near the
+active set, independent of how many tenants have cycled through; (b)
+compaction never perturbs live state: batched ingest interleaved with
+the same compaction schedule stays *bitwise identical* to the scalar
+loop (E21 parity re-verified under compaction).
+
+Scale knobs (for CI smoke runs): ``COMPACT_BENCH_TENANTS`` (fleet size,
+default 24) and ``COMPACT_BENCH_BURST`` (updates per tenant burst,
+default 2000).
+"""
+
+import os
+
+import numpy as np
+
+from conftest import write_table
+from repro.engine.state import state_to_bytes
+from repro.streams import with_arrivals, zipf_stream
+from repro.windows import WindowBank
+
+TENANTS = int(os.environ.get("COMPACT_BENCH_TENANTS", 24))
+BURST = int(os.environ.get("COMPACT_BENCH_BURST", 2000))
+N = 1024
+LADDER = (60.0, 300.0)  # 1m / 5m
+RATE = 100.0  # arrivals per second inside a burst
+IDLE_GAP = 3600.0  # seconds between a tenant's burst and the next sweep
+
+
+def _burst(seed: int):
+    return with_arrivals(
+        zipf_stream(n=N, m=BURST, alpha=1.2, seed=seed),
+        process="poisson",
+        rate=RATE,
+        seed=seed + 1,
+    )
+
+
+def _fleet_experiment():
+    """Tenants go active one after another; after each new burst a
+    sweeper queries every tenant at the current time.  The compacting
+    fleet runs ``compact(now)`` on that sweep; the plain fleet only
+    queries."""
+    lines = [
+        f"tenants={TENANTS}  burst={BURST} updates @ {RATE:.0f}/s  "
+        f"ladder={tuple(int(h) for h in LADDER)}s  idle gap={IDLE_GAP:.0f}s"
+    ]
+    fleets = {
+        "no-compact": [
+            WindowBank(LADDER, p=2.0, n=N, instances=16, seed=k)
+            for k in range(TENANTS)
+        ],
+        "compact": [
+            WindowBank(LADDER, p=2.0, n=N, instances=16, seed=k)
+            for k in range(TENANTS)
+        ],
+    }
+    growth: dict[str, list[int]] = {name: [] for name in fleets}
+    # Empty banks keep fixed instance shells; growth is measured above
+    # this baseline so the assertions see only per-burst retention.
+    base = sum(b.approx_size_bytes() for b in fleets["no-compact"])
+    clock = 0.0
+    single_peak = 0
+    for k in range(TENANTS):
+        feed = _burst(seed=10 * k)
+        items = feed.items
+        stamps = feed.timestamps + clock
+        for name, fleet in fleets.items():
+            fleet[k].update_batch(items, stamps)
+        single_peak = max(single_peak, fleets["compact"][k].approx_size_bytes())
+        clock = float(stamps[-1]) + IDLE_GAP
+        for name, fleet in fleets.items():
+            for bank in fleet:
+                if name == "compact":
+                    bank.compact(now=clock)
+                for horizon in LADDER:
+                    bank.sample(horizon, now=clock)
+            growth[name].append(sum(b.approx_size_bytes() for b in fleet))
+    lines.append(f"fleet baseline (all banks empty): {base / 1e3:9.1f} KB")
+    for name, series in growth.items():
+        lines.append(
+            f"{name:<11s} retained after 1 tenant: "
+            f"{(series[0] - base) / 1e3:9.1f} KB   after {TENANTS}: "
+            f"{(series[-1] - base) / 1e3:9.1f} KB"
+        )
+    retained_no = growth["no-compact"][-1] - base
+    retained_yes = max(1, growth["compact"][-1] - base)
+    lines.append(
+        f"retention ratio (no-compact / compact) at {TENANTS} tenants: "
+        f"{retained_no / retained_yes:.1f}x"
+    )
+    lines.append(
+        f"compacted fleet retention vs one tenant's peak: "
+        f"{(growth['compact'][-1] - base) / max(1, single_peak - base // TENANTS):.2f}x "
+        f"(bounded, does not scale with tenants)"
+    )
+    return lines, growth, base, single_peak
+
+
+def test_e22_compaction_bounds_fleet_memory(benchmark):
+    lines, growth, base, single_peak = benchmark.pedantic(
+        _fleet_experiment, rounds=1, iterations=1
+    )
+    nocompact, compact = growth["no-compact"], growth["compact"]
+    # Un-compacted retention grows with every tenant that ever ingested…
+    assert nocompact[-1] - base > 0.8 * TENANTS * (nocompact[0] - base)
+    assert all(b >= a for a, b in zip(nocompact, nocompact[1:]))
+    # …while the compacted fleet's retention stays bounded near one
+    # tenant's worth, independent of how many tenants cycled through.
+    assert compact[-1] - base < (nocompact[-1] - base) / 4
+    assert compact[-1] - base <= nocompact[0] - base
+    benchmark.extra_info["retention_ratio"] = (nocompact[-1] - base) / max(
+        1, compact[-1] - base
+    )
+    write_table(
+        "E22",
+        "Expiry compaction: fleet memory under bursty-idle traffic",
+        lines,
+    )
+
+
+def test_e22_batched_scalar_parity_under_compaction(benchmark):
+    """E21 parity re-verified: interleaving the same compact(now) calls
+    into scalar and batched ingestion leaves the two states bitwise
+    identical — compaction touches only provably-dead state."""
+
+    def run():
+        feed = _burst(seed=777)
+        chunks = 8
+        bounds = np.linspace(0, len(feed.items), chunks + 1, dtype=int)
+        scalar = WindowBank(LADDER, p=2.0, n=N, instances=16, seed=9)
+        batched = WindowBank(LADDER, p=2.0, n=N, instances=16, seed=9)
+        for lo, hi in zip(bounds[:-1], bounds[1:]):
+            seg_items = feed.items[lo:hi]
+            seg_ts = feed.timestamps[lo:hi]
+            for item, when in zip(seg_items.tolist(), seg_ts.tolist()):
+                scalar.update(item, when)
+            batched.update_batch(seg_items, seg_ts)
+            scalar.compact()
+            batched.compact()
+        # A quiet-period compact with an advanced clock on both sides
+        # must also agree bitwise (both drop the same expired state).
+        later = scalar.now + 10 * max(LADDER)
+        freed_scalar = scalar.compact(now=later)
+        freed_batched = batched.compact(now=later)
+        identical = state_to_bytes(scalar.snapshot()) == state_to_bytes(
+            batched.snapshot()
+        )
+        return identical, freed_scalar, freed_batched
+
+    identical, freed_scalar, freed_batched = benchmark.pedantic(
+        run, rounds=1, iterations=1
+    )
+    assert identical, "compaction must preserve scalar/batched bitwise identity"
+    assert freed_scalar == freed_batched > 0
+    write_table(
+        "E22b",
+        "Scalar/batched bitwise parity with interleaved compaction",
+        [
+            f"states bitwise identical: {identical}",
+            f"quiet-period compact freed {freed_scalar} bytes on both paths",
+        ],
+    )

@@ -30,9 +30,13 @@ Package map (see DESIGN.md for the full inventory):
 * :mod:`repro.streams` — stream model, generators, ground truth.
 * :mod:`repro.lowerbound` — Theorem 1.2's reduction, executable.
 * :mod:`repro.stats` — exactness validation harness.
+* :mod:`repro.lifecycle` — the unified sampler lifecycle: the
+  :class:`StreamSampler` protocol (ingest / checkpoint / merge /
+  compact / account), the versioned :class:`Snapshot` envelope, and
+  the memory model behind ``approx_size_bytes()``.
 * :mod:`repro.engine` — serving-grade layer: batched ingestion,
-  mergeable/serializable sampler state, sharded engine, config-driven
-  construction.
+  mergeable/serializable sampler state, sharded engine with expiry
+  compaction and merge watermarks, config-driven construction.
 
 Engine quick start::
 
@@ -91,7 +95,10 @@ from repro.engine import (
     BatchIngestor,
     MergeableState,
     ShardedSamplerEngine,
+    Snapshot,
+    StreamSampler,
     UniversePartitioner,
+    WatermarkSkewError,
     build_measure,
     build_sampler,
     ingest,
@@ -141,6 +148,9 @@ __all__ = [
     "zipf_stream",
     "BatchIngestor",
     "MergeableState",
+    "StreamSampler",
+    "Snapshot",
+    "WatermarkSkewError",
     "ShardedSamplerEngine",
     "UniversePartitioner",
     "build_measure",

@@ -28,6 +28,14 @@ import numpy as np
 
 from repro.core.measures import BoundedMeasure, TukeyMeasure
 from repro.core.types import SampleResult
+from repro.lifecycle.memory import (
+    INSTANCE_BYTES,
+    RNG_STATE_BYTES,
+    mapping_bytes,
+    ndarray_bytes,
+    set_bytes,
+)
+from repro.lifecycle.protocol import StaticLifecycleMixin
 from repro.sketches.hashing import random_oracle_hash
 
 __all__ = [
@@ -39,7 +47,7 @@ __all__ = [
 ]
 
 
-class Algorithm5F0Sampler:
+class Algorithm5F0Sampler(StaticLifecycleMixin):
     """One copy of Algorithm 5 (√n-space truly perfect F0 sampler).
 
     Tracks exact frequencies of the items in ``T`` and ``S`` so the
@@ -79,6 +87,15 @@ class Algorithm5F0Sampler:
     @property
     def space_words(self) -> int:
         return 2 * (len(self._first) + len(self._s_set)) + len(self._counts)
+
+    def approx_size_bytes(self) -> int:
+        return (
+            INSTANCE_BYTES
+            + RNG_STATE_BYTES
+            + set_bytes(len(self._s_set))
+            + mapping_bytes(len(self._first))
+            + mapping_bytes(len(self._counts))
+        )
 
     def update(self, item: int) -> None:
         if not 0 <= item < self._n:
@@ -149,7 +166,11 @@ class Algorithm5F0Sampler:
             "n": self._n,
             "position": self._t,
             "overflowed": self._overflowed,
-            "s_set": np.fromiter(self._s_set, dtype=np.int64, count=len(self._s_set)),
+            # Canonical (sorted) order, matching sample()'s iteration:
+            # the set's raw order leaks its insertion history, which a
+            # restore does not replay.
+            "s_set": np.fromiter(sorted(self._s_set), dtype=np.int64,
+                                 count=len(self._s_set)),
             "first": np.fromiter(self._first.keys(), dtype=np.int64, count=len(self._first)),
             "count_keys": np.fromiter(self._counts.keys(), dtype=np.int64, count=n_counts),
             "count_vals": np.fromiter(self._counts.values(), dtype=np.int64, count=n_counts),
@@ -217,14 +238,17 @@ class Algorithm5F0Sampler:
             support = list(self._first)
             item = support[int(self._rng.integers(0, len(support)))]
             return SampleResult.of(item, frequency=self._counts[item], regime="T")
-        appeared = [s for s in self._s_set if self._counts.get(s, 0) > 0]
+        # Canonical (sorted) iteration: the set's raw order leaks its
+        # insertion history, which a restore does not replay — sampling
+        # must pick the same item for the same coin either way.
+        appeared = [s for s in sorted(self._s_set) if self._counts.get(s, 0) > 0]
         if appeared:
             item = appeared[int(self._rng.integers(0, len(appeared)))]
             return SampleResult.of(item, frequency=self._counts[item], regime="S")
         return SampleResult.fail(regime="S")
 
 
-class TrulyPerfectF0Sampler:
+class TrulyPerfectF0Sampler(StaticLifecycleMixin):
     """Theorem 5.2: Algorithm 5 amplified to FAIL probability ≤ δ.
 
     The ``T`` regime is deterministic, so only the random-set part is
@@ -256,6 +280,9 @@ class TrulyPerfectF0Sampler:
     @property
     def space_words(self) -> int:
         return sum(c.space_words for c in self._copies)
+
+    def approx_size_bytes(self) -> int:
+        return INSTANCE_BYTES + sum(c.approx_size_bytes() for c in self._copies)
 
     def update(self, item: int) -> None:
         for copy in self._copies:
@@ -330,7 +357,7 @@ class TrulyPerfectF0Sampler:
         return self.sample()
 
 
-class RandomOracleF0Sampler:
+class RandomOracleF0Sampler(StaticLifecycleMixin):
     """Remark 5.1: min-hash F0 sampling under a random oracle.
 
     The oracle table ``h : [0,n) → [0,1)`` is materialized (Ω(n) random
@@ -353,6 +380,9 @@ class RandomOracleF0Sampler:
     def position(self) -> int:
         """Number of updates processed."""
         return self._t
+
+    def approx_size_bytes(self) -> int:
+        return INSTANCE_BYTES + ndarray_bytes(self._h)
 
     def update(self, item: int) -> None:
         self._t += 1
@@ -437,7 +467,7 @@ class RandomOracleF0Sampler:
         return self.sample()
 
 
-class BoundedMeasureSampler:
+class BoundedMeasureSampler(StaticLifecycleMixin):
     """Theorems 5.4/5.5 generalized: truly perfect sampling for any
     *bounded* measure via an F0-sampler subroutine.
 
@@ -472,6 +502,7 @@ class BoundedMeasureSampler:
         acceptance = measure(1.0) / measure.saturation
         if acceptance <= 0:
             raise ValueError("measure must satisfy G(1) > 0")
+        self._oracle = bool(oracle)
         reps = max(1, math.ceil(math.log(1.0 / delta) / acceptance))
         if oracle:
             self._samplers: list = [RandomOracleF0Sampler(n, rng) for _ in range(reps)]
@@ -486,6 +517,18 @@ class BoundedMeasureSampler:
     def repetitions(self) -> int:
         return len(self._samplers)
 
+    @property
+    def position(self) -> int:
+        """Number of updates processed."""
+        return self._samplers[0].position
+
+    def approx_size_bytes(self) -> int:
+        return (
+            INSTANCE_BYTES
+            + RNG_STATE_BYTES
+            + sum(s.approx_size_bytes() for s in self._samplers)
+        )
+
     def update(self, item: int) -> None:
         for s in self._samplers:
             s.update(item)
@@ -493,6 +536,73 @@ class BoundedMeasureSampler:
     def extend(self, items) -> None:
         for item in items:
             self.update(item)
+
+    def update_batch(self, items) -> None:
+        """Vectorized chunk ingestion, bitwise identical to the scalar
+        loop (F0 subroutine updates consume no randomness)."""
+        arr = np.asarray(items, dtype=np.int64)
+        if arr.size == 0:
+            return
+        for s in self._samplers:
+            s.update_batch(arr)
+
+    def snapshot(self) -> dict:
+        """Checkpoint every F0 repetition plus the acceptance-coin RNG
+        (the measure is construction-time configuration; its name is
+        recorded so a mismatched restore fails loudly)."""
+        return {
+            "kind": "bounded_measure",
+            "measure": self._measure.name,
+            "oracle": self._oracle,
+            "samplers": {str(i): s.snapshot() for i, s in enumerate(self._samplers)},
+            "rng_state": self._rng.bit_generator.state,
+        }
+
+    def restore(self, state: dict) -> None:
+        if state.get("kind") != "bounded_measure":
+            raise ValueError(f"not a bounded_measure snapshot: {state.get('kind')!r}")
+        if state.get("measure") != self._measure.name:
+            raise ValueError(
+                f"snapshot is for measure {state.get('measure')!r}, sampler "
+                f"has {self._measure.name!r}"
+            )
+        if bool(state["oracle"]) != self._oracle:
+            raise ValueError("snapshot and sampler disagree on oracle=")
+        entries = state["samplers"]
+        if len(entries) != len(self._samplers):
+            raise ValueError(
+                f"snapshot has {len(entries)} repetitions, sampler has "
+                f"{len(self._samplers)}"
+            )
+        for i, s in enumerate(self._samplers):
+            s.restore(entries[str(i)])
+        rng = np.random.default_rng()
+        rng.bit_generator.state = state["rng_state"]
+        self._rng = rng
+        if not self._oracle:
+            # Construction shares one generator across the Algorithm 5
+            # copies and the acceptance coins; restore the sharing so
+            # post-restore replay stays deterministic.
+            for s in self._samplers:
+                s._rng = rng
+
+    def merge(self, other: "BoundedMeasureSampler") -> None:
+        """Repetition-wise merge over a disjoint universe partition;
+        shard samplers must be constructed from the same seed so each
+        pair of F0 repetitions shares its randomness (the engine's
+        shared-seed rule for the ``bounded`` kind)."""
+        if not isinstance(other, BoundedMeasureSampler):
+            raise TypeError(
+                f"cannot merge BoundedMeasureSampler with {type(other).__name__}"
+            )
+        if other._measure.name != self._measure.name:
+            raise ValueError(
+                f"measures differ: {self._measure.name} vs {other._measure.name}"
+            )
+        if len(other._samplers) != len(self._samplers) or other._oracle != self._oracle:
+            raise ValueError("repetition layouts differ")
+        for mine, theirs in zip(self._samplers, other._samplers):
+            mine.merge(theirs)
 
     def sample(self) -> SampleResult:
         saw_any = False

@@ -31,6 +31,13 @@ import numpy as np
 from repro.core.measures import Measure
 from repro.core.reservoir import skip_next_replacement
 from repro.core.types import SampleResult
+from repro.lifecycle.memory import (
+    INSTANCE_BYTES,
+    RNG_STATE_BYTES,
+    mapping_bytes,
+    sequence_bytes,
+)
+from repro.lifecycle.protocol import StaticLifecycleMixin
 
 __all__ = ["SingleGSampler", "SamplerPool", "TrulyPerfectGSampler"]
 
@@ -85,7 +92,7 @@ class SingleGSampler:
         return SampleResult.fail()
 
 
-class SamplerPool:
+class SamplerPool(StaticLifecycleMixin):
     """``R`` parallel Algorithm-1 instances with shared counters.
 
     State per instance: ``(item, offset, timestamp, next replacement
@@ -133,6 +140,18 @@ class SamplerPool:
     def heap_events(self) -> int:
         """Total replacements processed — O(R log m) in expectation."""
         return self._heap_events
+
+    def approx_size_bytes(self) -> int:
+        """Approximate resident bytes: per-instance slots, the heap, and
+        the shared counter tables (see :mod:`repro.lifecycle.memory`)."""
+        return (
+            INSTANCE_BYTES
+            + RNG_STATE_BYTES
+            + 3 * sequence_bytes(self._r)  # items / offsets / timestamps
+            + sequence_bytes(len(self._heap)) + 72 * len(self._heap)  # 2-tuples
+            + mapping_bytes(len(self._counts))
+            + mapping_bytes(len(self._refs))
+        )
 
     def replacement_positions(self) -> list[int]:
         """Per-instance position (1-based) of the currently sampled
@@ -403,7 +422,7 @@ class SamplerPool:
         return out
 
 
-class TrulyPerfectGSampler:
+class TrulyPerfectGSampler(StaticLifecycleMixin):
     """Truly perfect G-sampler for insertion-only streams (Theorem 3.1).
 
     Parameters
@@ -484,6 +503,9 @@ class TrulyPerfectGSampler:
         """Machine words of sampler state: 4 per instance + 2 per tracked
         item (the paper counts bits; we count words)."""
         return 4 * self._pool.instances + 2 * self._pool.tracked_items
+
+    def approx_size_bytes(self) -> int:
+        return INSTANCE_BYTES + self._pool.approx_size_bytes()
 
     def update(self, item: int) -> None:
         self._pool.update(item)

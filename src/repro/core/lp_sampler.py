@@ -24,6 +24,8 @@ import numpy as np
 from repro.core.g_sampler import SamplerPool
 from repro.core.measures import LpMeasure
 from repro.core.types import SampleResult
+from repro.lifecycle.memory import INSTANCE_BYTES
+from repro.lifecycle.protocol import StaticLifecycleMixin
 from repro.sketches.misra_gries import MisraGries
 
 __all__ = ["TrulyPerfectLpSampler", "lp_instance_bound"]
@@ -45,7 +47,7 @@ def lp_instance_bound(p: float, n: int, delta: float, m_hint: int | None = None)
     return max(1, math.ceil(m_hint ** (1.0 - p) * log_term))
 
 
-class TrulyPerfectLpSampler:
+class TrulyPerfectLpSampler(StaticLifecycleMixin):
     """Truly perfect Lp sampler, ``p ∈ (0, 2]`` (Theorem 3.3).
 
     Parameters
@@ -116,6 +118,10 @@ class TrulyPerfectLpSampler:
     def space_words(self) -> int:
         mg_words = 2 * self._mg.capacity if self._mg is not None else 0
         return 4 * self._pool.instances + 2 * self._pool.tracked_items + mg_words
+
+    def approx_size_bytes(self) -> int:
+        mg_bytes = self._mg.approx_size_bytes() if self._mg is not None else 0
+        return INSTANCE_BYTES + self._pool.approx_size_bytes() + mg_bytes
 
     def update(self, item: int) -> None:
         self._pool.update(item)

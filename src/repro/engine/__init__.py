@@ -7,15 +7,18 @@ scales out without giving up the *truly perfect* guarantee:
 * :mod:`repro.engine.batch` — chunked, vectorized ingestion
   (:func:`ingest`, :class:`BatchIngestor`) over the samplers'
   ``update_batch`` kernels;
-* :mod:`repro.engine.state` — the :class:`MergeableState` protocol
-  (``snapshot``/``restore``/``merge``) and a compact no-pickle bytes
-  format for checkpointing and shipping sampler state;
+* :mod:`repro.engine.state` — façade over :mod:`repro.lifecycle`: the
+  :class:`StreamSampler` / :class:`MergeableState` protocols, the
+  versioned :class:`Snapshot` envelope, and the no-pickle bytes codec
+  for checkpointing and shipping sampler state;
 * :mod:`repro.engine.partition` — deterministic vectorized universe
   partitioning;
 * :mod:`repro.engine.shard` — :class:`ShardedSamplerEngine`, K shards
-  merged into one exact global sample;
+  merged into one exact global sample, with query/cadence expiry
+  compaction and merge-time watermark-skew checks;
 * :mod:`repro.engine.registry` — :func:`build_sampler` /
-  :func:`build_measure`, config-driven construction.
+  :func:`build_measure`, config-driven construction over a thin
+  kind → :class:`KindSpec` table.
 """
 
 from repro.engine.batch import (
@@ -26,8 +29,10 @@ from repro.engine.batch import (
 )
 from repro.engine.partition import UniversePartitioner
 from repro.engine.registry import (
+    KindSpec,
     build_measure,
     build_sampler,
+    kind_spec,
     measure_names,
     register_measure,
     register_sampler,
@@ -36,6 +41,8 @@ from repro.engine.registry import (
 from repro.engine.shard import ShardedSamplerEngine
 from repro.engine.state import (
     MergeableState,
+    Snapshot,
+    StreamSampler,
     load_state,
     merged,
     save_state,
@@ -43,6 +50,7 @@ from repro.engine.state import (
     state_to_bytes,
     supports_merge,
 )
+from repro.lifecycle import WatermarkSkewError
 
 __all__ = [
     "DEFAULT_CHUNK_SIZE",
@@ -50,14 +58,19 @@ __all__ = [
     "ingest",
     "supports_batch",
     "UniversePartitioner",
+    "KindSpec",
     "build_measure",
     "build_sampler",
+    "kind_spec",
     "measure_names",
     "register_measure",
     "register_sampler",
     "sampler_kinds",
     "ShardedSamplerEngine",
     "MergeableState",
+    "StreamSampler",
+    "Snapshot",
+    "WatermarkSkewError",
     "load_state",
     "merged",
     "save_state",

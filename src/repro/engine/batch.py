@@ -10,6 +10,11 @@ traffic arrives in buffers.  This module bridges the two:
 * :class:`BatchIngestor` buffers a scalar feed (e.g. per-request events)
   and flushes full chunks through the batched path.
 
+Everything here is generic over the
+:class:`repro.lifecycle.StreamSampler` protocol — the only capability
+probes are structural (does the sampler expose ``update_batch``, does
+the input carry timestamps), never per-kind dispatch.
+
 Chunking matters: the pool kernel's cost per item is dominated by a small
 number of whole-chunk vector passes, so chunks that fit comfortably in
 cache (the 64K default) amortize best.  ``update_batch`` semantics per

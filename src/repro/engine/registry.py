@@ -1,4 +1,4 @@
-"""Config-driven sampler construction.
+"""Config-driven sampler construction — a thin kind → spec table.
 
 Apps, examples, benchmarks, and the shard coordinator all need samplers
 built from declarative descriptions rather than hand-written constructor
@@ -14,12 +14,30 @@ listing the alternatives, so a typo'd config fails at build time, not as
 a silently-default sampler.  ``register_sampler`` / ``register_measure``
 extend the registries (plug-in measures, experimental samplers) without
 touching this module.
+
+Every registered kind builds a :class:`repro.lifecycle.StreamSampler`,
+and the per-kind knowledge the engine needs beyond construction lives
+here as declarative :class:`KindSpec` traits rather than as engine-side
+dispatch:
+
+* ``shared_shard_seed`` — shard copies must be constructed from the
+  *same* seed so their shared randomness (random subsets S, min-hash
+  oracles) lines up for merging;
+* ``mergeable`` — whether ``merge`` is mathematically meaningful for
+  the family (count-based windows implement the hook but always raise:
+  "the last W updates" of a sharded stream has no global arrival order);
+* ``shard_config`` — an optional config rewrite applied once per engine
+  (e.g. ``window_bank`` derives one shared ``f0_seed`` for its F0
+  members while its pool members keep independent per-shard seeds).
 """
 
 from __future__ import annotations
 
 import difflib
 from collections.abc import Callable
+from dataclasses import dataclass
+
+import numpy as np
 
 from repro.core.f0_sampler import (
     Algorithm5F0Sampler,
@@ -53,8 +71,10 @@ from repro.windows import (
 )
 
 __all__ = [
+    "KindSpec",
     "build_measure",
     "build_sampler",
+    "kind_spec",
     "register_measure",
     "register_sampler",
     "sampler_kinds",
@@ -62,14 +82,15 @@ __all__ = [
     "SHARD_SHARED_SEED_KINDS",
 ]
 
-#: Sampler kinds whose shard copies must be constructed from the *same*
-#: seed so their shared randomness (random subsets S, min-hash oracles)
-#: lines up for merging; every other kind wants independent shard seeds.
-#: (``window_bank`` is deliberately absent: its pool members want
-#: independent shard seeds while its F0 members share via the config's
-#: ``f0_seed`` key, which the engine never rewrites — and auto-derives
-#: from its own seed when the config has ``n`` but no ``f0_seed``.)
-SHARD_SHARED_SEED_KINDS = frozenset({"f0", "oracle-f0", "algorithm5-f0", "tw_f0"})
+
+@dataclass(frozen=True)
+class KindSpec:
+    """Everything the engine knows about a sampler kind, declaratively."""
+
+    build: Callable[[dict], object]
+    shared_shard_seed: bool = False
+    mergeable: bool = True
+    shard_config: Callable[[dict, int | None], dict] | None = None
 
 
 def _unknown_name_error(role: str, name, known: tuple[str, ...]) -> ValueError:
@@ -101,7 +122,8 @@ _MEASURES: dict[str, Callable[[dict], Measure]] = {
     "huber": _measure_with_tau(HuberMeasure, 1.0),
     "cauchy": _measure_with_tau(CauchyMeasure, 1.0),
     "tukey": _measure_with_tau(TukeyMeasure, 5.0),
-    "geman-mcclure": _measure_with_tau(GemanMcClureMeasure, 1.0),
+    # Geman–McClure has no shape parameter (G(x) = (x²/2)/(1+x²)).
+    "geman-mcclure": lambda cfg: GemanMcClureMeasure(),
 }
 
 
@@ -266,32 +288,86 @@ def _build_window_bank(cfg: dict):
     )
 
 
-_SAMPLERS: dict[str, Callable[[dict], object]] = {
-    "g": _build_g,
-    "lp": _build_lp,
-    "f0": _build_f0,
-    "oracle-f0": _build_oracle_f0,
-    "algorithm5-f0": _build_algorithm5_f0,
-    "pool": _build_pool,
-    "bounded": _build_bounded,
-    "sw-g": _build_sw_g,
-    "sw-lp": _build_sw_lp,
-    "sw-f0": _build_sw_f0,
-    "tw_g": _build_tw_g,
-    "tw_lp": _build_tw_lp,
-    "tw_f0": _build_tw_f0,
-    "window_bank": _build_window_bank,
+def _window_bank_shard_config(config: dict, seed: int | None) -> dict:
+    """A bank's F0 members merge only when their random subsets match
+    across shards; pool members still want independent per-shard seeds.
+    Derive one shared ``f0_seed`` from the engine seed so a sharded bank
+    works out of the box."""
+    if config.get("n") is not None and config.get("f0_seed") is None:
+        config = dict(config)
+        config["f0_seed"] = int(
+            np.random.default_rng(np.random.SeedSequence(seed)).integers(2**31)
+        )
+    return config
+
+
+_SAMPLERS: dict[str, KindSpec] = {
+    "g": KindSpec(_build_g),
+    "lp": KindSpec(_build_lp),
+    "f0": KindSpec(_build_f0, shared_shard_seed=True),
+    "oracle-f0": KindSpec(_build_oracle_f0, shared_shard_seed=True),
+    "algorithm5-f0": KindSpec(_build_algorithm5_f0, shared_shard_seed=True),
+    "pool": KindSpec(_build_pool),
+    "bounded": KindSpec(_build_bounded, shared_shard_seed=True),
+    "sw-g": KindSpec(_build_sw_g, mergeable=False),
+    "sw-lp": KindSpec(_build_sw_lp, mergeable=False),
+    "sw-f0": KindSpec(_build_sw_f0, mergeable=False),
+    "tw_g": KindSpec(_build_tw_g),
+    "tw_lp": KindSpec(_build_tw_lp),
+    "tw_f0": KindSpec(_build_tw_f0, shared_shard_seed=True),
+    "window_bank": KindSpec(_build_window_bank, shard_config=_window_bank_shard_config),
 }
+
+#: Stock sampler kinds whose shard copies must be constructed from the
+#: *same* seed — derived from the spec table (single source of truth:
+#: the per-kind ``shared_shard_seed`` trait, which is what the engine
+#: reads; this constant is a convenience view over the built-in kinds
+#: and does not track later ``register_sampler`` calls).  ``window_bank``
+#: is deliberately absent — its F0 members share via the ``f0_seed``
+#: key its ``shard_config`` hook derives.
+SHARD_SHARED_SEED_KINDS = frozenset(
+    kind for kind, spec in _SAMPLERS.items() if spec.shared_shard_seed
+)
 
 
 def sampler_kinds() -> tuple[str, ...]:
     return tuple(sorted(_SAMPLERS))
 
 
-def register_sampler(kind: str, builder: Callable[[dict], object]) -> None:
-    """Add a sampler builder; ``builder(cfg)`` must ``pop`` every key it
-    consumes (leftover keys are reported as errors)."""
-    _SAMPLERS[kind] = builder
+def register_sampler(
+    kind: str,
+    builder: Callable[[dict], object],
+    *,
+    shared_shard_seed: bool = False,
+    mergeable: bool = True,
+    shard_config: Callable[[dict, int | None], dict] | None = None,
+) -> None:
+    """Add a sampler kind; ``builder(cfg)`` must ``pop`` every key it
+    consumes (leftover keys are reported as errors).  The keyword traits
+    feed the sharded engine — see :class:`KindSpec`.
+
+    To serve behind :class:`~repro.engine.ShardedSamplerEngine`, the
+    built sampler must implement the full
+    :class:`repro.lifecycle.StreamSampler` protocol (since PR 3 that
+    includes ``update_batch``, ``compact``, ``watermark``, and
+    ``approx_size_bytes`` on top of the original checkpoint hooks —
+    inherit :class:`repro.lifecycle.StaticLifecycleMixin` for the
+    no-wall-clock defaults); plain :func:`build_sampler` use has no such
+    requirement."""
+    _SAMPLERS[kind] = KindSpec(
+        builder,
+        shared_shard_seed=shared_shard_seed,
+        mergeable=mergeable,
+        shard_config=shard_config,
+    )
+
+
+def kind_spec(kind) -> KindSpec:
+    """The :class:`KindSpec` for a registered kind (loud on typos)."""
+    try:
+        return _SAMPLERS[kind]
+    except KeyError:
+        raise _unknown_name_error("sampler kind", kind, sampler_kinds()) from None
 
 
 def build_sampler(config: dict):
@@ -309,10 +385,9 @@ def build_sampler(config: dict):
         raise TypeError(f"sampler config must be a dict, got {type(config).__name__}")
     cfg = dict(config)
     kind = cfg.pop("kind", None)
-    if kind not in _SAMPLERS:
-        raise _unknown_name_error("sampler kind", kind, sampler_kinds())
+    spec = kind_spec(kind)
     try:
-        sampler = _SAMPLERS[kind](cfg)
+        sampler = spec.build(cfg)
     except KeyError as missing:
         raise ValueError(
             f"sampler kind {kind!r} requires key {missing}"

@@ -19,17 +19,37 @@ position mass into ``G``-mass exactly as in the single-stream proof.
 F0 shards merge by their own exact rules (shared random subsets /
 min-hash).  Queries run on a deep-copied fold, so the live shards keep
 ingesting afterwards.
+
+The engine is written purely against the
+:class:`repro.lifecycle.StreamSampler` protocol — it never inspects
+sampler kinds.  Per-kind knowledge (shared shard seeds, mergeability,
+config rewrites) comes declaratively from the registry's
+:class:`~repro.engine.registry.KindSpec` traits.  Two lifecycle services
+ride on the uniform protocol:
+
+* **expiry compaction** — ``compact()`` fans out to every shard; it
+  runs automatically on every query and, when ``compact_every`` is set,
+  after every ~that-many ingested updates, so idle time-windowed shards
+  release expired generations instead of holding them forever;
+* **merge watermarks** — every merge (query-time fold and cross-engine
+  ``merge``) compares the shards' ``watermark()`` clocks and raises
+  :class:`~repro.lifecycle.WatermarkSkewError` when they disagree by
+  more than ``max_watermark_skew`` seconds, surfacing producer clock
+  skew instead of silently shifting window membership.
 """
 
 from __future__ import annotations
+
+import math
 
 import numpy as np
 
 from repro.core.types import SampleResult
 from repro.engine.batch import DEFAULT_CHUNK_SIZE, ingest
 from repro.engine.partition import UniversePartitioner
-from repro.engine.registry import SHARD_SHARED_SEED_KINDS, build_sampler
-from repro.engine.state import merged, supports_merge
+from repro.engine.registry import build_sampler, kind_spec
+from repro.engine.state import merged
+from repro.lifecycle import WatermarkSkewError, missing_hooks
 
 __all__ = ["ShardedSamplerEngine"]
 
@@ -42,9 +62,9 @@ class ShardedSamplerEngine:
     config:
         Sampler config for :func:`repro.engine.registry.build_sampler`;
         each shard gets its own sampler built from it.  Seeds are
-        derived per shard — independently for pool-based samplers,
-        shared for F0 kinds (whose merge rule needs common random
-        subsets).
+        derived per shard — independently by default, shared for kinds
+        whose registry spec declares ``shared_shard_seed`` (merge rules
+        needing common random subsets).
     shards:
         Number of shards ``K ≥ 1``.
     partitioner:
@@ -52,6 +72,16 @@ class ShardedSamplerEngine:
         hashing seeded from ``seed``.
     seed:
         Seeds the partitioner and the per-shard sampler seeds.
+    max_watermark_skew:
+        Tolerated spread (seconds) between shard ``watermark()`` clocks
+        at merge time; beyond it, merges raise
+        :class:`~repro.lifecycle.WatermarkSkewError`.  Default ``inf``
+        (never raise); kinds without a wall clock are never checked.
+    compact_every:
+        When set, run :meth:`compact` automatically after every ~this
+        many ingested updates (in addition to the always-on query-time
+        pass) — the timer leg of expiry compaction for write-heavy,
+        query-light deployments.
     """
 
     def __init__(
@@ -60,11 +90,26 @@ class ShardedSamplerEngine:
         shards: int = 8,
         partitioner: UniversePartitioner | None = None,
         seed: int | None = None,
+        max_watermark_skew: float = math.inf,
+        compact_every: int | None = None,
     ) -> None:
         if shards < 1:
             raise ValueError(f"need at least one shard, got {shards}")
+        if compact_every is not None and compact_every < 1:
+            raise ValueError(f"compact_every must be ≥ 1, got {compact_every}")
+        if max_watermark_skew < 0:
+            raise ValueError(
+                f"max_watermark_skew must be non-negative, got {max_watermark_skew}"
+            )
         self._config = dict(config)
         self._kind = self._config.get("kind")
+        spec = kind_spec(self._kind)
+        if not spec.mergeable:
+            raise ValueError(
+                f"sampler kind {self._kind!r} does not merge (its registry "
+                "spec declares mergeable=False), so it cannot serve behind "
+                "a sharded engine"
+            )
         if partitioner is None:
             partitioner = UniversePartitioner(shards, seed=0 if seed is None else seed)
         elif partitioner.shards != shards:
@@ -72,20 +117,13 @@ class ShardedSamplerEngine:
                 f"partitioner has {partitioner.shards} shards, engine wants {shards}"
             )
         self._partitioner = partitioner
+        self._max_watermark_skew = float(max_watermark_skew)
+        self._compact_every = compact_every
+        self._ingested_since_compact = 0
+        if spec.shard_config is not None:
+            self._config = spec.shard_config(self._config, seed)
         root = np.random.SeedSequence(seed)
-        if (
-            self._kind == "window_bank"
-            and self._config.get("n") is not None
-            and self._config.get("f0_seed") is None
-        ):
-            # A bank's F0 members merge only when their random subsets
-            # match across shards; pool members still want independent
-            # per-shard seeds.  Derive one shared f0_seed from the
-            # engine seed so a sharded bank works out of the box.
-            self._config["f0_seed"] = int(
-                np.random.default_rng(np.random.SeedSequence(seed)).integers(2**31)
-            )
-        if self._kind in SHARD_SHARED_SEED_KINDS:
+        if spec.shared_shard_seed:
             shared = np.random.default_rng(root).integers(2**31)
             shard_seeds = [int(shared)] * shards
         else:
@@ -95,10 +133,12 @@ class ShardedSamplerEngine:
             cfg = dict(self._config)
             cfg["seed"] = shard_seed
             self._samplers.append(build_sampler(cfg))
-        if not supports_merge(self._samplers[0]):
+        missing = missing_hooks(self._samplers[0])
+        if missing:
             raise ValueError(
                 f"sampler kind {self._kind!r} does not implement the "
-                "MergeableState protocol required for sharded sampling"
+                f"StreamSampler lifecycle protocol (missing hooks: "
+                f"{', '.join(missing)})"
             )
 
     @property
@@ -130,6 +170,7 @@ class ShardedSamplerEngine:
             sampler.update(item)
         else:
             sampler.update(item, timestamp)
+        self._after_ingest(1)
 
     def ingest(
         self,
@@ -154,6 +195,7 @@ class ShardedSamplerEngine:
                     total += ingest(
                         self._samplers[shard], subchunk, chunk_size=chunk_size
                     )
+            self._after_ingest(total)
             return total
         inner = getattr(items, "items", None)
         arr = np.asarray(inner if inner is not None else items, dtype=np.int64)
@@ -171,23 +213,83 @@ class ShardedSamplerEngine:
                     chunk_size=chunk_size,
                     timestamps=ts[mask],
                 )
+        self._after_ingest(total)
         return total
+
+    # -- lifecycle ----------------------------------------------------------
+    def _after_ingest(self, count: int) -> None:
+        """The timer leg of expiry compaction: compact once the cadence
+        worth of updates has flowed since the last pass."""
+        if self._compact_every is None:
+            return
+        self._ingested_since_compact += count
+        if self._ingested_since_compact >= self._compact_every:
+            self.compact()
+
+    def compact(self, now: float | None = None) -> int:
+        """Fan ``compact(now)`` out to every shard; returns the total
+        approximate bytes reclaimed.  Passing ``now`` advances every
+        shard's clock watermark (future updates must arrive at
+        ``ts ≥ now``); ``None`` compacts each shard relative to its own
+        watermark and advances nothing."""
+        self._ingested_since_compact = 0
+        return sum(s.compact(now) for s in self._samplers)
+
+    def watermarks(self) -> list[float | None]:
+        """Per-shard ``watermark()`` clocks, in shard order."""
+        return [s.watermark() for s in self._samplers]
+
+    def watermark(self) -> float | None:
+        """The engine's clock high-water mark: the max over shard
+        watermarks (``None`` for kinds without a wall clock)."""
+        marks = [w for w in self.watermarks() if w is not None]
+        return max(marks) if marks else None
+
+    def approx_size_bytes(self) -> int:
+        """Total approximate resident bytes across all shards."""
+        return sum(s.approx_size_bytes() for s in self._samplers)
+
+    def _check_watermark_skew(self, samplers) -> None:
+        marks = [s.watermark() for s in samplers]
+        live = [w for w in marks if w is not None]
+        if len(live) < 2:
+            return
+        skew = max(live) - min(live)
+        if skew > self._max_watermark_skew:
+            raise WatermarkSkewError(
+                f"shard watermarks span {skew:.6g}s "
+                f"(min {min(live):.6g}, max {max(live):.6g}), beyond the "
+                f"{self._max_watermark_skew:.6g}s tolerance — merging would "
+                "silently shift window membership; re-sync producer clocks "
+                "or raise max_watermark_skew"
+            )
 
     def merged_sampler(self):
         """Fold all shard states into one fresh merged sampler (shards
-        are left untouched and keep ingesting)."""
+        are left untouched and keep ingesting).  Checks shard watermark
+        skew first."""
+        self._check_watermark_skew(self._samplers)
         return merged(self._samplers)
 
     def sample(self, **kwargs) -> SampleResult:
         """One truly perfect global sample from the merged shard states.
 
-        Keyword arguments pass through to the merged sampler's
-        ``sample`` (e.g. ``now=`` for time-windowed kinds).  Note the
+        Runs the query-time compaction pass first: a query at ``now=``
+        advances the shard clocks there and releases expired window
+        state; without ``now`` each shard compacts relative to its own
+        watermark (a no-op for kinds without one).  Keyword arguments
+        pass through to the merged sampler's ``sample`` (e.g. ``now=``
+        for time-windowed kinds).  Note the
         merged copy's RNG starts from shard 0's current state: repeated
         calls without further ingestion replay the same coins.  Build
         independent engines (or ingest between calls) for independent
         samples.
         """
+        # Skew must be judged on the shards' own clocks: the compaction
+        # pass below syncs every watermark to the query's `now`, which
+        # would otherwise erase the very skew the check exists to catch.
+        self._check_watermark_skew(self._samplers)
+        self.compact(kwargs.get("now"))
         return self.merged_sampler().sample(**kwargs)
 
     def snapshot(self) -> dict:
@@ -227,12 +329,15 @@ class ShardedSamplerEngine:
 
     def merge(self, other: "ShardedSamplerEngine") -> None:
         """Shard-wise merge of two engines with identical layouts (e.g.
-        the same engine config fed from two sites)."""
+        the same engine config fed from two sites).  Checks watermark
+        skew across *both* engines' shards first — cross-site merges are
+        exactly where producer clock skew bites."""
         if not isinstance(other, ShardedSamplerEngine):
             raise TypeError(
                 f"cannot merge ShardedSamplerEngine with {type(other).__name__}"
             )
         if other._partitioner != self._partitioner:
             raise ValueError("engines partition the universe differently")
+        self._check_watermark_skew(self._samplers + other._samplers)
         for mine, theirs in zip(self._samplers, other._samplers):
             mine.merge(theirs)

@@ -1,38 +1,37 @@
-"""Mergeable, serializable sampler state.
+"""Checkpoint / ship / merge sampler state — the engine's state façade.
 
-Core samplers expose three hooks (the :class:`MergeableState` protocol):
+The substance lives in :mod:`repro.lifecycle` now: the
+:class:`~repro.lifecycle.StreamSampler` protocol (of which
+:class:`MergeableState` is the minimal checkpointing subset), the plain
+tree ↔ bytes codec, and the versioned :class:`~repro.lifecycle.Snapshot`
+envelope.  This module re-exports that surface under its original PR 1
+names and keeps the two conveniences the rest of the repo uses:
 
-* ``snapshot() -> dict`` — checkpoint as a *plain* tree: nested dicts of
-  NumPy arrays and JSON-able scalars (including the RNG state, so a
-  restored sampler replays bitwise-identically);
-* ``restore(state)`` — overwrite a constructed sampler's state in place
-  (construction-time configuration — measure objects, pool sizing —
-  comes from :mod:`repro.engine.registry`, not from the snapshot);
-* ``merge(other)`` — absorb a sampler that ingested a **disjoint
-  partition of the universe**, yielding a sampler distributed exactly as
-  one run over the concatenated substreams.  Truly perfect sampling
-  survives merging because every ingredient is certified, never
-  estimated: uniform positions mix by substream length, forward counts
-  are partition-local, and normalizers take the max over shards.
+* :func:`save_state` / :func:`load_state` — envelope-aware bytes
+  round-trip for any sampler (``save_state`` writes the kind-tagged
+  :class:`Snapshot` envelope; ``load_state`` accepts enveloped *and*
+  legacy pre-envelope buffers — see the envelope module for the
+  migration story);
+* :func:`merged` — fold mergeable samplers without touching the inputs.
 
-:func:`state_to_bytes` / :func:`state_from_bytes` give snapshots a
-compact wire format — a JSON header describing the tree plus the raw
-array buffers — so shard state can be checkpointed to disk or shipped
-between machines without pickling (loading a snapshot never executes
-code).
+Merging preserves true perfection because every merged ingredient is
+certified, never estimated: uniform positions mix by substream length,
+forward counts are partition-local, and normalizers take the max over
+shards.
 """
 
 from __future__ import annotations
 
 import copy
-import json
-import struct
-from typing import Protocol, runtime_checkable
 
-import numpy as np
+from repro.lifecycle.codec import state_from_bytes, state_to_bytes
+from repro.lifecycle.envelope import Snapshot
+from repro.lifecycle.protocol import MergeableState, StreamSampler, supports_merge
 
 __all__ = [
     "MergeableState",
+    "StreamSampler",
+    "Snapshot",
     "supports_merge",
     "state_to_bytes",
     "state_from_bytes",
@@ -41,111 +40,17 @@ __all__ = [
     "merged",
 ]
 
-_MAGIC = b"RPRS"
-_VERSION = 1
-
-
-@runtime_checkable
-class MergeableState(Protocol):
-    """Checkpointable, shippable, mergeable sampler state."""
-
-    def snapshot(self) -> dict: ...
-
-    def restore(self, state: dict) -> None: ...
-
-    def merge(self, other) -> None: ...
-
-
-def supports_merge(sampler) -> bool:
-    """Whether the sampler implements the full MergeableState protocol."""
-    return isinstance(sampler, MergeableState)
-
-
-def _flatten(node, path: str, arrays: dict[str, np.ndarray]):
-    """Replace arrays in a snapshot tree with references, collecting them."""
-    if isinstance(node, np.ndarray):
-        arrays[path] = node
-        return {"__array__": path}
-    if isinstance(node, dict):
-        return {
-            str(key): _flatten(value, f"{path}/{key}" if path else str(key), arrays)
-            for key, value in node.items()
-        }
-    if isinstance(node, (np.integer,)):
-        return int(node)
-    if isinstance(node, (np.floating,)):
-        return float(node)
-    if isinstance(node, (np.bool_,)):
-        return bool(node)
-    return node
-
-
-def _unflatten(node, arrays: dict[str, np.ndarray]):
-    if isinstance(node, dict):
-        if set(node) == {"__array__"}:
-            return arrays[node["__array__"]]
-        return {key: _unflatten(value, arrays) for key, value in node.items()}
-    return node
-
-
-def state_to_bytes(state: dict) -> bytes:
-    """Serialize a snapshot tree to a compact self-describing buffer.
-
-    Layout: ``RPRS | u32 header_len | header JSON | array buffers``.
-    The header carries the flattened tree plus dtype/shape per array;
-    buffers are raw C-order bytes concatenated in header order.
-    """
-    if not isinstance(state, dict):
-        raise TypeError(f"snapshot must be a dict, got {type(state).__name__}")
-    arrays: dict[str, np.ndarray] = {}
-    tree = _flatten(state, "", arrays)
-    specs = []
-    buffers = []
-    for path, arr in arrays.items():
-        arr = np.ascontiguousarray(arr)
-        specs.append({"path": path, "dtype": arr.dtype.str, "shape": list(arr.shape)})
-        buffers.append(arr.tobytes())
-    header = json.dumps(
-        {"version": _VERSION, "tree": tree, "arrays": specs},
-        separators=(",", ":"),
-    ).encode("utf-8")
-    return b"".join([_MAGIC, struct.pack("<I", len(header)), header, *buffers])
-
-
-def state_from_bytes(buf: bytes) -> dict:
-    """Inverse of :func:`state_to_bytes`."""
-    if len(buf) < 8 or buf[:4] != _MAGIC:
-        raise ValueError("not a repro engine state buffer (bad magic)")
-    (header_len,) = struct.unpack_from("<I", buf, 4)
-    start = 8 + header_len
-    if start > len(buf):
-        raise ValueError("truncated state buffer (header)")
-    header = json.loads(buf[8:start].decode("utf-8"))
-    if header.get("version") != _VERSION:
-        raise ValueError(f"unsupported state version {header.get('version')!r}")
-    arrays: dict[str, np.ndarray] = {}
-    offset = start
-    for spec in header["arrays"]:
-        dtype = np.dtype(spec["dtype"])
-        shape = tuple(spec["shape"])
-        end = offset + int(np.prod(shape, dtype=np.int64)) * dtype.itemsize
-        if end > len(buf):
-            raise ValueError("truncated state buffer (arrays)")
-        arrays[spec["path"]] = np.frombuffer(
-            buf[offset:end], dtype=dtype
-        ).reshape(shape).copy()
-        offset = end
-    return _unflatten(header["tree"], arrays)
-
 
 def save_state(sampler) -> bytes:
-    """``state_to_bytes(sampler.snapshot())``."""
-    return state_to_bytes(sampler.snapshot())
+    """Checkpoint ``sampler`` as an enveloped bytes buffer
+    (``Snapshot.capture(sampler).to_bytes()``)."""
+    return Snapshot.capture(sampler).to_bytes()
 
 
 def load_state(sampler, buf: bytes) -> None:
-    """``sampler.restore(state_from_bytes(buf))``."""
-    sampler.restore(state_from_bytes(buf))
+    """Restore ``sampler`` from :func:`save_state` output (enveloped) or
+    from a legacy raw-tree buffer."""
+    Snapshot.from_bytes(buf).restore_into(sampler)
 
 
 def merged(samplers):

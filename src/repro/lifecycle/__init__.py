@@ -1,0 +1,62 @@
+"""repro.lifecycle — the unified sampler lifecycle.
+
+One protocol, one snapshot envelope, one memory model for every sampler
+family in the repo:
+
+* :mod:`repro.lifecycle.protocol` — :class:`StreamSampler` (ingest /
+  checkpoint / merge / compact / account), the legacy
+  :class:`MergeableState` subset, conformance helpers, and
+  :class:`WatermarkSkewError`;
+* :mod:`repro.lifecycle.codec` — the plain-tree ↔ bytes codec
+  (no-pickle, self-describing);
+* :mod:`repro.lifecycle.envelope` — the versioned, kind-tagged
+  :class:`Snapshot` envelope the engine ships;
+* :mod:`repro.lifecycle.memory` — the deterministic size model behind
+  ``approx_size_bytes()``.
+
+The engine (:mod:`repro.engine`) is written against this surface only:
+adding a sampler family means implementing :class:`StreamSampler` and
+registering a kind — no engine changes.
+"""
+
+from repro.lifecycle.codec import state_from_bytes, state_to_bytes
+from repro.lifecycle.envelope import ENVELOPE_VERSION, Snapshot
+from repro.lifecycle.memory import (
+    INSTANCE_BYTES,
+    RNG_STATE_BYTES,
+    mapping_bytes,
+    ndarray_bytes,
+    sequence_bytes,
+    set_bytes,
+)
+from repro.lifecycle.protocol import (
+    LIFECYCLE_HOOKS,
+    MergeableState,
+    StaticLifecycleMixin,
+    StreamSampler,
+    WatermarkSkewError,
+    conforms,
+    missing_hooks,
+    supports_merge,
+)
+
+__all__ = [
+    "LIFECYCLE_HOOKS",
+    "MergeableState",
+    "StaticLifecycleMixin",
+    "StreamSampler",
+    "WatermarkSkewError",
+    "conforms",
+    "missing_hooks",
+    "supports_merge",
+    "state_from_bytes",
+    "state_to_bytes",
+    "ENVELOPE_VERSION",
+    "Snapshot",
+    "INSTANCE_BYTES",
+    "RNG_STATE_BYTES",
+    "mapping_bytes",
+    "ndarray_bytes",
+    "sequence_bytes",
+    "set_bytes",
+]

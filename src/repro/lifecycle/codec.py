@@ -1,0 +1,103 @@
+"""The snapshot tree codec — plain dicts of arrays and scalars ↔ bytes.
+
+Every sampler checkpoints as a *plain* tree: nested dicts of NumPy
+arrays and JSON-able scalars (including the RNG state, so a restored
+sampler replays bitwise-identically).  :func:`state_to_bytes` /
+:func:`state_from_bytes` give those trees a compact wire format — a
+JSON header describing the tree plus the raw array buffers — so sampler
+state can be checkpointed to disk or shipped between machines without
+pickling (loading a snapshot never executes code).
+
+This module is the low-level layer; :mod:`repro.lifecycle.envelope`
+wraps trees in a versioned, kind-tagged :class:`Snapshot` envelope,
+which is what the engine ships.
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+
+import numpy as np
+
+__all__ = ["state_to_bytes", "state_from_bytes"]
+
+_MAGIC = b"RPRS"
+_VERSION = 1
+
+
+def _flatten(node, path: str, arrays: dict[str, np.ndarray]):
+    """Replace arrays in a snapshot tree with references, collecting them."""
+    if isinstance(node, np.ndarray):
+        arrays[path] = node
+        return {"__array__": path}
+    if isinstance(node, dict):
+        return {
+            str(key): _flatten(value, f"{path}/{key}" if path else str(key), arrays)
+            for key, value in node.items()
+        }
+    if isinstance(node, (np.integer,)):
+        return int(node)
+    if isinstance(node, (np.floating,)):
+        return float(node)
+    if isinstance(node, (np.bool_,)):
+        return bool(node)
+    return node
+
+
+def _unflatten(node, arrays: dict[str, np.ndarray]):
+    if isinstance(node, dict):
+        if set(node) == {"__array__"}:
+            return arrays[node["__array__"]]
+        return {key: _unflatten(value, arrays) for key, value in node.items()}
+    return node
+
+
+def state_to_bytes(state: dict) -> bytes:
+    """Serialize a snapshot tree to a compact self-describing buffer.
+
+    Layout: ``RPRS | u32 header_len | header JSON | array buffers``.
+    The header carries the flattened tree plus dtype/shape per array;
+    buffers are raw C-order bytes concatenated in header order.
+    """
+    if not isinstance(state, dict):
+        raise TypeError(f"snapshot must be a dict, got {type(state).__name__}")
+    arrays: dict[str, np.ndarray] = {}
+    tree = _flatten(state, "", arrays)
+    specs = []
+    buffers = []
+    for path, arr in arrays.items():
+        arr = np.ascontiguousarray(arr)
+        specs.append({"path": path, "dtype": arr.dtype.str, "shape": list(arr.shape)})
+        buffers.append(arr.tobytes())
+    header = json.dumps(
+        {"version": _VERSION, "tree": tree, "arrays": specs},
+        separators=(",", ":"),
+    ).encode("utf-8")
+    return b"".join([_MAGIC, struct.pack("<I", len(header)), header, *buffers])
+
+
+def state_from_bytes(buf: bytes) -> dict:
+    """Inverse of :func:`state_to_bytes`."""
+    if len(buf) < 8 or buf[:4] != _MAGIC:
+        raise ValueError("not a repro engine state buffer (bad magic)")
+    (header_len,) = struct.unpack_from("<I", buf, 4)
+    start = 8 + header_len
+    if start > len(buf):
+        raise ValueError("truncated state buffer (header)")
+    header = json.loads(buf[8:start].decode("utf-8"))
+    if header.get("version") != _VERSION:
+        raise ValueError(f"unsupported state version {header.get('version')!r}")
+    arrays: dict[str, np.ndarray] = {}
+    offset = start
+    for spec in header["arrays"]:
+        dtype = np.dtype(spec["dtype"])
+        shape = tuple(spec["shape"])
+        end = offset + int(np.prod(shape, dtype=np.int64)) * dtype.itemsize
+        if end > len(buf):
+            raise ValueError("truncated state buffer (arrays)")
+        arrays[spec["path"]] = np.frombuffer(
+            buf[offset:end], dtype=dtype
+        ).reshape(shape).copy()
+        offset = end
+    return _unflatten(header["tree"], arrays)

@@ -1,0 +1,83 @@
+"""The :class:`Snapshot` envelope — versioned, kind-tagged checkpoints.
+
+PR 1's bytes format serialized each sampler's raw snapshot tree, leaving
+the ``kind`` tag and any versioning buried inside per-family payload
+conventions.  The envelope lifts both to a single outer layer every
+family shares::
+
+    {"__snapshot__": <envelope version>, "kind": <registry kind tag>,
+     "payload": <the sampler's snapshot tree>}
+
+serialized through the same tree codec (:mod:`repro.lifecycle.codec`),
+so an enveloped buffer is still a plain ``RPRS`` state buffer — readers
+that only know the codec can still open it, and legacy buffers written
+before the envelope (no ``__snapshot__`` marker) still load: the whole
+tree is treated as the payload.
+
+Versioning rules:
+
+* ``__snapshot__`` is the *envelope* version; it bumps only when the
+  envelope layout itself changes.  Unknown versions fail loudly.
+* Payload compatibility is the sampler's own job: every ``restore``
+  validates the payload's ``kind`` tag and its construction fingerprint
+  (measure name, p, horizon, …) and raises on mismatch, so a buffer
+  restored into the wrong sampler fails before any state is touched.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.lifecycle.codec import state_from_bytes, state_to_bytes
+
+__all__ = ["ENVELOPE_VERSION", "Snapshot"]
+
+ENVELOPE_VERSION = 1
+
+
+@dataclass(frozen=True)
+class Snapshot:
+    """A kind-tagged, versioned sampler checkpoint.
+
+    ``kind`` is the snapshot's registry tag (taken from the payload's
+    ``kind`` key), ``payload`` the sampler's plain snapshot tree, and
+    ``version`` the envelope version it was written with (0 marks a
+    legacy pre-envelope buffer).
+    """
+
+    kind: str
+    payload: dict = field(repr=False)
+    version: int = ENVELOPE_VERSION
+
+    @classmethod
+    def capture(cls, sampler) -> "Snapshot":
+        """Envelope ``sampler.snapshot()``."""
+        payload = sampler.snapshot()
+        if not isinstance(payload, dict):
+            raise TypeError(
+                f"snapshot must be a dict, got {type(payload).__name__}"
+            )
+        return cls(str(payload.get("kind", type(sampler).__name__)), payload)
+
+    def restore_into(self, sampler) -> None:
+        """``sampler.restore(payload)`` (the sampler validates the kind
+        tag and its construction fingerprint)."""
+        sampler.restore(self.payload)
+
+    def to_bytes(self) -> bytes:
+        return state_to_bytes(
+            {"__snapshot__": self.version, "kind": self.kind, "payload": self.payload}
+        )
+
+    @classmethod
+    def from_bytes(cls, buf: bytes) -> "Snapshot":
+        """Decode an enveloped buffer; a legacy pre-envelope buffer
+        (PR 1/2 ``save_state`` output) loads with ``version=0`` and the
+        whole tree as payload."""
+        tree = state_from_bytes(buf)
+        if "__snapshot__" not in tree:
+            return cls(str(tree.get("kind", "")), tree, version=0)
+        version = int(tree["__snapshot__"])
+        if version != ENVELOPE_VERSION:
+            raise ValueError(f"unsupported snapshot envelope version {version}")
+        return cls(str(tree["kind"]), tree["payload"], version=version)

@@ -14,6 +14,8 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.lifecycle.memory import INSTANCE_BYTES, mapping_bytes
+
 __all__ = ["MisraGries"]
 
 
@@ -136,6 +138,10 @@ class MisraGries:
         self._counters = {
             int(k): int(v) for k, v in zip(state["keys"], state["vals"])
         }
+
+    def approx_size_bytes(self) -> int:
+        """Approximate resident bytes of the counter table."""
+        return INSTANCE_BYTES + mapping_bytes(len(self._counters))
 
     def estimate(self, item: int) -> int:
         """Lower-bound estimate of ``f_item`` (0 if not tracked)."""

@@ -21,6 +21,8 @@ from collections.abc import Callable
 
 import numpy as np
 
+from repro.lifecycle.memory import INSTANCE_BYTES, mapping_bytes
+
 __all__ = [
     "fp_smoothness",
     "ExactSuffixFp",
@@ -66,6 +68,9 @@ class ExactSuffixFp:
 
     def estimate(self) -> float:
         return self._fp
+
+    def approx_size_bytes(self) -> int:
+        return INSTANCE_BYTES + mapping_bytes(len(self._freq))
 
     def snapshot(self) -> dict:
         ordered = sorted(self._freq.items())  # canonical serialization
@@ -144,6 +149,16 @@ class SmoothHistogram:
     def checkpoint_starts(self) -> list[int]:
         """Timestamps (start indices) of the live checkpoints."""
         return [c.start for c in self._checkpoints]
+
+    def approx_size_bytes(self) -> int:
+        """Approximate resident bytes across the live checkpoints
+        (inner estimators without their own accounting count as one
+        instance shell each)."""
+        total = INSTANCE_BYTES
+        for cp in self._checkpoints:
+            sizer = getattr(cp.estimator, "approx_size_bytes", None)
+            total += INSTANCE_BYTES + (sizer() if callable(sizer) else INSTANCE_BYTES)
+        return total
 
     def update(self, item: int) -> None:
         """Process one stream update."""

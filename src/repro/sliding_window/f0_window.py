@@ -26,6 +26,14 @@ from collections import OrderedDict
 import numpy as np
 
 from repro.core.types import SampleResult
+from repro.lifecycle.memory import (
+    INSTANCE_BYTES,
+    RNG_STATE_BYTES,
+    mapping_bytes,
+    set_bytes,
+)
+from repro.lifecycle.protocol import StaticLifecycleMixin
+from repro.sliding_window.window_sampler import _count_window_merge_error
 
 __all__ = ["SlidingWindowF0Sampler"]
 
@@ -40,7 +48,7 @@ class _WindowCopy:
         self.last_seen: dict[int, int] = {}
 
 
-class SlidingWindowF0Sampler:
+class SlidingWindowF0Sampler(StaticLifecycleMixin):
     """Truly perfect F0 sampler over the last ``window`` updates.
 
     Parameters
@@ -92,6 +100,22 @@ class SlidingWindowF0Sampler:
     @property
     def position(self) -> int:
         return self._t
+
+    def approx_size_bytes(self) -> int:
+        return (
+            INSTANCE_BYTES
+            + RNG_STATE_BYTES
+            + mapping_bytes(len(self._recent))
+            + sum(
+                INSTANCE_BYTES
+                + set_bytes(len(copy.s_set))
+                + mapping_bytes(len(copy.last_seen))
+                for copy in self._copies
+            )
+        )
+
+    def merge(self, other) -> None:
+        raise _count_window_merge_error(type(self).__name__)
 
     def update(self, item: int) -> None:
         if not 0 <= item < self._n:
@@ -228,7 +252,13 @@ class SlidingWindowF0Sampler:
         # Dense regime: the window support exceeds √n (certified either by
         # |active| > threshold or by a live eviction witness).
         for copy in self._copies:
-            alive = [s for s, ts in copy.last_seen.items() if ts > window_start]
+            # Canonical (sorted) iteration: scalar ingest, batched
+            # ingest, and a restore each populate last_seen in a
+            # different key order; the drawn item must not depend on it.
+            alive = [
+                s for s, ts in sorted(copy.last_seen.items())
+                if ts > window_start
+            ]
             if alive:
                 item = alive[int(self._rng.integers(0, len(alive)))]
                 return SampleResult.of(item, regime="S")

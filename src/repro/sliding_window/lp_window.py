@@ -23,7 +23,10 @@ import numpy as np
 
 from repro.core.g_sampler import SamplerPool
 from repro.core.types import SampleResult
+from repro.lifecycle.memory import INSTANCE_BYTES, RNG_STATE_BYTES
+from repro.lifecycle.protocol import StaticLifecycleMixin
 from repro.sketches.smooth_histogram import SmoothHistogram, ExactSuffixFp, fp_smoothness
+from repro.sliding_window.window_sampler import _count_window_merge_error
 
 __all__ = ["SlidingWindowLpSampler", "sliding_window_lp_instances"]
 
@@ -45,7 +48,7 @@ class _Generation:
         self.start = start
 
 
-class SlidingWindowLpSampler:
+class SlidingWindowLpSampler(StaticLifecycleMixin):
     """Truly perfect Lp sampler over the last ``window`` updates, ``p ≥ 1``.
 
     Parameters
@@ -111,6 +114,23 @@ class SlidingWindowLpSampler:
     @property
     def histogram_checkpoints(self) -> int:
         return self._hist.checkpoint_count if self._hist is not None else 0
+
+    def approx_size_bytes(self) -> int:
+        hist_bytes = (
+            self._hist.approx_size_bytes() if self._hist is not None else 0
+        )
+        return (
+            INSTANCE_BYTES
+            + RNG_STATE_BYTES
+            + hist_bytes
+            + sum(
+                INSTANCE_BYTES + gen.pool.approx_size_bytes()
+                for gen in self._generations
+            )
+        )
+
+    def merge(self, other) -> None:
+        raise _count_window_merge_error(type(self).__name__)
 
     def update(self, item: int) -> None:
         if self._t % self._window == 0:

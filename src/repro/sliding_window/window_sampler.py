@@ -20,8 +20,23 @@ import numpy as np
 from repro.core.g_sampler import SamplerPool
 from repro.core.measures import Measure
 from repro.core.types import SampleResult
+from repro.lifecycle.memory import INSTANCE_BYTES, RNG_STATE_BYTES
+from repro.lifecycle.protocol import StaticLifecycleMixin
 
 __all__ = ["SlidingWindowGSampler"]
+
+
+def _count_window_merge_error(cls_name: str) -> ValueError:
+    """The shared refusal of the count-based window family: "the last W
+    updates" of a sharded stream has no global arrival order, so merging
+    is mathematically undefined (the registry declares these kinds
+    ``mergeable=False``; use :mod:`repro.windows` for mergeable,
+    time-based windows)."""
+    return ValueError(
+        f"{cls_name} does not merge: count-based windows have no global "
+        "arrival order across shards — use the time-based samplers in "
+        "repro.windows for mergeable windowed sampling"
+    )
 
 
 class _Generation:
@@ -34,7 +49,7 @@ class _Generation:
         self.start = start  # number of updates that preceded this pool
 
 
-class SlidingWindowGSampler:
+class SlidingWindowGSampler(StaticLifecycleMixin):
     """Truly perfect G-sampler over the last ``window`` updates.
 
     Parameters
@@ -89,6 +104,19 @@ class SlidingWindowGSampler:
     @property
     def generation_count(self) -> int:
         return len(self._generations)
+
+    def approx_size_bytes(self) -> int:
+        return (
+            INSTANCE_BYTES
+            + RNG_STATE_BYTES
+            + sum(
+                INSTANCE_BYTES + gen.pool.approx_size_bytes()
+                for gen in self._generations
+            )
+        )
+
+    def merge(self, other) -> None:
+        raise _count_window_merge_error(type(self).__name__)
 
     def update(self, item: int) -> None:
         # A new generation starts at positions 1, W+1, 2W+1, ...

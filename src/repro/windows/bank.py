@@ -32,6 +32,7 @@ import numpy as np
 
 from repro.core.measures import Measure
 from repro.core.types import SampleResult
+from repro.lifecycle.memory import INSTANCE_BYTES
 from repro.windows.chunking import as_timed_chunk, bucket_cuts
 from repro.windows.f0 import TimeWindowF0Sampler
 from repro.windows.time_window import (
@@ -170,9 +171,29 @@ class WindowBank:
 
     @property
     def now(self) -> float:
-        """Timestamp of the newest ingested update."""
+        """The bank's clock watermark (all members share one ingest
+        path, so one clock)."""
         finest = self._pool_samplers[self._resolutions[0]]
         return finest.now
+
+    def watermark(self) -> float | None:
+        """The shared clock watermark (``None`` while pristine)."""
+        return self._pool_samplers[self._resolutions[0]].watermark()
+
+    def _members(self):
+        yield from self._pool_samplers.values()
+        yield from self._f0_samplers.values()
+
+    def approx_size_bytes(self) -> int:
+        return INSTANCE_BYTES + sum(
+            member.approx_size_bytes() for member in self._members()
+        )
+
+    def compact(self, now: float | None = None) -> int:
+        """Fan ``compact(now)`` out to every rung (pool and F0 members);
+        returns the total approximate bytes reclaimed.  Passing ``now``
+        advances the whole bank's clock watermark."""
+        return sum(member.compact(now) for member in self._members())
 
     def pool_sampler(self, horizon: float):
         """The G/Lp member at ``horizon`` (exact match required)."""

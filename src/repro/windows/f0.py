@@ -35,6 +35,12 @@ from collections import OrderedDict
 import numpy as np
 
 from repro.core.types import SampleResult
+from repro.lifecycle.memory import (
+    INSTANCE_BYTES,
+    RNG_STATE_BYTES,
+    mapping_bytes,
+    set_bytes,
+)
 from repro.windows.chunking import as_timed_chunk
 
 __all__ = ["TimeWindowF0Sampler"]
@@ -94,7 +100,10 @@ class TimeWindowF0Sampler:
             for __ in range(copies)
         ]
         self._t = 0
+        # Clock watermark vs newest ingested update — see
+        # repro.windows.time_window for the distinction.
         self._now = 0.0
+        self._last_arrival = -math.inf
 
     @property
     def n(self) -> int:
@@ -116,6 +125,56 @@ class TimeWindowF0Sampler:
     def now(self) -> float:
         return self._now
 
+    def watermark(self) -> float | None:
+        """The clock watermark (``None`` while pristine)."""
+        if self._t == 0 and self._now == 0.0:
+            return None
+        return self._now
+
+    def approx_size_bytes(self) -> int:
+        return (
+            INSTANCE_BYTES
+            + RNG_STATE_BYTES
+            + mapping_bytes(len(self._recent))
+            + sum(
+                INSTANCE_BYTES
+                + set_bytes(len(copy.s_set))
+                + mapping_bytes(len(copy.last_seen))
+                for copy in self._copies
+            )
+        )
+
+    def compact(self, now: float | None = None) -> int:
+        """Drop timestamp entries that can never be active again;
+        returns the approximate bytes reclaimed.
+
+        Passing ``now`` advances the clock watermark first.  Entries in
+        the LRU table and the S-copies whose last occurrence lies at or
+        before ``now − H`` fail every future window's activity test, so
+        removing them changes no answer.  The eviction certificate stays
+        sound: compaction removes only provably-expired occurrences, so
+        it never hides active support and never touches the eviction
+        horizon.
+        """
+        if now is not None:
+            now = float(now)
+            if now > self._now:
+                self._now = now
+        window_start = self._now - self._horizon
+        dropped = 0
+        stale = [i for i, when in self._recent.items() if when <= window_start]
+        for item in stale:
+            del self._recent[item]
+        dropped += len(stale)
+        for copy in self._copies:
+            stale = [
+                i for i, when in copy.last_seen.items() if when <= window_start
+            ]
+            for item in stale:
+                del copy.last_seen[item]
+            dropped += len(stale)
+        return mapping_bytes(dropped) - mapping_bytes(0) if dropped else 0
+
     def update(self, item: int, timestamp: float) -> None:
         ts = float(timestamp)
         if not 0 <= item < self._n:
@@ -128,6 +187,7 @@ class TimeWindowF0Sampler:
             )
         self._t += 1
         self._now = ts
+        self._last_arrival = ts
         recent = self._recent
         if item in recent:
             del recent[item]
@@ -166,6 +226,7 @@ class TimeWindowF0Sampler:
                 self._evict_horizon = max(self._evict_horizon, evicted_ts)
         self._t += int(arr.size)
         self._now = float(ts[-1])
+        self._last_arrival = float(ts[-1])
         # Last occurrence of each distinct chunk item: np.unique on the
         # reversed chunk returns *first* indices in the reversed order.
         uniq, rev_first = np.unique(arr[::-1], return_index=True)
@@ -191,6 +252,10 @@ class TimeWindowF0Sampler:
                 f"cannot sample at {now}, already ingested up to {self._now}"
             )
         window_start = float(now) - self._horizon
+        if self._last_arrival <= window_start:
+            # Every ingested update expired: an explicit empty-window
+            # answer, not a FAIL a caller might retry.
+            return SampleResult.empty()
         active = self._active_recent(window_start)
         certificate_ok = self._evict_horizon <= window_start
         if certificate_ok and len(active) <= self._threshold:
@@ -202,7 +267,13 @@ class TimeWindowF0Sampler:
         # Dense regime: the window support exceeds √n (certified either by
         # |active| > threshold or by a live eviction witness).
         for copy in self._copies:
-            alive = [s for s, when in copy.last_seen.items() if when > window_start]
+            # Canonical (sorted) iteration: scalar ingest, batched
+            # ingest, and a restore each populate last_seen in a
+            # different key order; the drawn item must not depend on it.
+            alive = [
+                s for s, when in sorted(copy.last_seen.items())
+                if when > window_start
+            ]
             if alive:
                 item = alive[int(self._rng.integers(0, len(alive)))]
                 return SampleResult.of(item, regime="S")
@@ -231,6 +302,9 @@ class TimeWindowF0Sampler:
             "delta": self._delta,
             "position": self._t,
             "now": self._now,
+            "last_arrival": (
+                self._last_arrival if math.isfinite(self._last_arrival) else None
+            ),
             "evict_horizon": self._evict_horizon,
             # LRU order matters: arrays are stored oldest-first.
             "recent_keys": np.fromiter(self._recent.keys(), dtype=np.int64,
@@ -252,6 +326,10 @@ class TimeWindowF0Sampler:
         self._delta = float(state["delta"])
         self._t = int(state["position"])
         self._now = float(state["now"])
+        last_arrival = state["last_arrival"]
+        self._last_arrival = (
+            -math.inf if last_arrival is None else float(last_arrival)
+        )
         self._evict_horizon = float(state["evict_horizon"])
         self._recent = OrderedDict(
             (int(k), float(v))
@@ -312,3 +390,4 @@ class TimeWindowF0Sampler:
                     mine.last_seen[item] = when
         self._t += other._t
         self._now = max(self._now, other._now)
+        self._last_arrival = max(self._last_arrival, other._last_arrival)

@@ -53,6 +53,12 @@ import numpy as np
 from repro.core.g_sampler import SamplerPool
 from repro.core.measures import Measure
 from repro.core.types import SampleResult
+from repro.lifecycle.memory import (
+    INSTANCE_BYTES,
+    RNG_STATE_BYTES,
+    mapping_bytes,
+    sequence_bytes,
+)
 from repro.sliding_window.lp_window import sliding_window_lp_instances
 from repro.windows.chunking import as_timed_chunk, bucket_cuts
 
@@ -107,6 +113,9 @@ class _SuffixLinf:
 
     def linf(self) -> int:
         return self._max
+
+    def approx_size_bytes(self) -> int:
+        return INSTANCE_BYTES + mapping_bytes(len(self._counts))
 
     def snapshot(self) -> dict:
         ordered = sorted(self._counts.items())  # canonical serialization
@@ -173,7 +182,12 @@ class _TimeWindowPoolSampler:
         self._root = _derive_root(seed)
         self._rng = np.random.default_rng([self._root, 0])
         self._t = 0
+        # Clock watermark: the newest time the sampler has *observed* —
+        # through ingestion or through compact(now) — and below which no
+        # future update may arrive.  _last_arrival is the newest update
+        # actually ingested; the two differ after a quiet-period compact.
         self._now = 0.0
+        self._last_arrival = -math.inf
         self._generations: list[_TimeGeneration] = []
 
     # -- construction hooks -------------------------------------------------
@@ -209,12 +223,75 @@ class _TimeWindowPoolSampler:
 
     @property
     def now(self) -> float:
-        """Timestamp of the newest ingested update."""
+        """The clock watermark: the newest observed time (the newest
+        ingested timestamp, or later after a quiet-period ``compact``)."""
         return self._now
 
     @property
     def generation_count(self) -> int:
         return len(self._generations)
+
+    def watermark(self) -> float | None:
+        """The clock watermark (``None`` while the sampler is pristine —
+        nothing ingested, no clock observed)."""
+        if self._t == 0 and self._now == 0.0:
+            return None
+        return self._now
+
+    def _generation_bytes(self, gen: _TimeGeneration) -> int:
+        aux = gen.aux.approx_size_bytes() if gen.aux is not None else 0
+        return (
+            INSTANCE_BYTES
+            + gen.pool.approx_size_bytes()
+            + sequence_bytes(len(gen.wall))
+            + aux
+        )
+
+    def approx_size_bytes(self) -> int:
+        return (
+            INSTANCE_BYTES
+            + RNG_STATE_BYTES
+            + sum(self._generation_bytes(gen) for gen in self._generations)
+        )
+
+    def compact(self, now: float | None = None) -> int:
+        """Drop generations whose span has fully left the active window;
+        returns the approximate bytes reclaimed.
+
+        Passing ``now`` advances the clock watermark first — the caller
+        promises every future update arrives at ``ts ≥ now`` (stale
+        updates then fail the monotonicity check instead of silently
+        resurrecting dropped state).  Two sound drops, both relative to
+        the watermark's window ``(now − H, now]``:
+
+        * every ingested update has expired
+          (``last arrival ≤ now − H``) — nothing kept can ever be
+          active again, so all generations go;
+        * the *newer* generation already covers the window
+          (``its start ≤ now − H``) — the older generation's extra span
+          holds only expired updates, so it goes.
+
+        Live generations are untouched (their per-bucket RNG streams
+        never re-key), so batched/scalar bitwise identity is preserved.
+        """
+        if now is not None:
+            now = float(now)
+            if now > self._now:
+                self._now = now
+        if not self._generations:
+            return 0
+        window_start = self._now - self._horizon
+        if self._last_arrival <= window_start:
+            freed = sum(self._generation_bytes(gen) for gen in self._generations)
+            self._generations = []
+            return freed
+        freed = 0
+        while (
+            len(self._generations) > 1
+            and self._generations[1].bucket * self._horizon <= window_start
+        ):
+            freed += self._generation_bytes(self._generations.pop(0))
+        return freed
 
     # -- ingestion ----------------------------------------------------------
     def _gen_rng(self, bucket: int) -> np.random.Generator:
@@ -260,6 +337,7 @@ class _TimeWindowPoolSampler:
                         gen.wall[idx] = ts
         self._t += 1
         self._now = ts
+        self._last_arrival = ts
 
     def extend(self, pairs) -> None:
         """Ingest an iterable of ``(item, timestamp)`` pairs (e.g. a
@@ -287,6 +365,7 @@ class _TimeWindowPoolSampler:
                 arr[start:end], ts[start:end], int(buckets[start])
             )
         self._now = float(ts[-1])
+        self._last_arrival = float(ts[-1])
 
     def _ingest_span(
         self, seg_items: np.ndarray, seg_ts: np.ndarray, bucket: int
@@ -306,6 +385,7 @@ class _TimeWindowPoolSampler:
         self._t += int(seg_items.size)
         if seg_ts.size:
             self._now = float(seg_ts[-1])
+            self._last_arrival = float(seg_ts[-1])
 
     # -- sampling -----------------------------------------------------------
     def _covering_generation(self) -> _TimeGeneration | None:
@@ -332,11 +412,16 @@ class _TimeWindowPoolSampler:
             raise ValueError(
                 f"cannot sample at {now}, already ingested up to {self._now}"
             )
+        window_start = float(now) - self._horizon
+        if self._last_arrival <= window_start:
+            # The window provably holds no updates at all (the whole
+            # ingested stream expired): an explicit empty-window answer,
+            # not a FAIL a caller might retry.
+            return SampleResult.empty()
         finals = gen.pool.finalize()
         if not finals:
             return SampleResult.empty()
         zeta = self._zeta(gen)
-        window_start = float(now) - self._horizon
         coins = self._rng.random(len(finals))
         for idx, ((item, count, __), coin) in enumerate(zip(finals, coins)):
             wall = gen.wall[idx]
@@ -381,6 +466,9 @@ class _TimeWindowPoolSampler:
             "root": self._root,
             "position": self._t,
             "now": self._now,
+            "last_arrival": (
+                self._last_arrival if math.isfinite(self._last_arrival) else None
+            ),
             "generations": gens,
             "rng_state": self._rng.bit_generator.state,
         }
@@ -400,6 +488,10 @@ class _TimeWindowPoolSampler:
         self._root = int(state["root"])
         self._t = int(state["position"])
         self._now = float(state["now"])
+        last_arrival = state["last_arrival"]
+        self._last_arrival = (
+            -math.inf if last_arrival is None else float(last_arrival)
+        )
         gens: list[_TimeGeneration] = []
         entries = state["generations"]
         for i in range(len(entries)):
@@ -490,6 +582,7 @@ class _TimeWindowPoolSampler:
         self._generations = merged
         self._t += other._t
         self._now = max(self._now, other._now)
+        self._last_arrival = max(self._last_arrival, other._last_arrival)
 
 
 class TimeWindowGSampler(_TimeWindowPoolSampler):

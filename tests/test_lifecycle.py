@@ -1,0 +1,464 @@
+"""The unified sampler lifecycle: protocol conformance for every
+registry kind, snapshot round-trips through the versioned envelope,
+expiry-compaction semantics (idempotence, answer preservation, clock
+enforcement), and merge-watermark skew rejection."""
+
+import copy
+import math
+
+import numpy as np
+import pytest
+
+from repro.engine import (
+    ShardedSamplerEngine,
+    Snapshot,
+    StreamSampler,
+    WatermarkSkewError,
+    build_sampler,
+    kind_spec,
+    load_state,
+    sampler_kinds,
+    save_state,
+    state_from_bytes,
+    state_to_bytes,
+)
+from repro.lifecycle import (
+    ENVELOPE_VERSION,
+    conforms,
+    missing_hooks,
+    supports_merge,
+)
+from repro.streams import with_arrivals, zipf_stream
+from repro.windows import WindowBank
+
+#: One small config per registered kind — the parametrization base for
+#: the conformance and round-trip suites.  Keeping this in lockstep with
+#: the registry is itself a test (test_config_table_covers_registry).
+KIND_CONFIGS = {
+    "g": {"kind": "g", "measure": {"name": "l1l2"}, "m_hint": 500},
+    "lp": {"kind": "lp", "p": 2.0, "n": 64},
+    "f0": {"kind": "f0", "n": 64},
+    "oracle-f0": {"kind": "oracle-f0", "n": 64},
+    "algorithm5-f0": {"kind": "algorithm5-f0", "n": 64},
+    "pool": {"kind": "pool", "instances": 8},
+    "bounded": {"kind": "bounded", "measure": {"name": "tukey"}, "n": 64},
+    "sw-g": {"kind": "sw-g", "measure": {"name": "l1l2"}, "window": 60,
+             "instances": 8},
+    "sw-lp": {"kind": "sw-lp", "p": 2.0, "window": 60, "instances": 8},
+    "sw-f0": {"kind": "sw-f0", "n": 64, "window": 60},
+    "tw_g": {"kind": "tw_g", "measure": {"name": "l1l2"}, "horizon": 10.0,
+             "instances": 8},
+    "tw_lp": {"kind": "tw_lp", "p": 2.0, "horizon": 10.0, "instances": 8},
+    "tw_f0": {"kind": "tw_f0", "n": 64, "horizon": 10.0},
+    "window_bank": {"kind": "window_bank", "resolutions": [10.0, 40.0],
+                    "p": 2.0, "n": 64, "instances": 8},
+}
+
+TIMED_KINDS = {"tw_g", "tw_lp", "tw_f0", "window_bank"}
+
+
+def _feed(seed=0):
+    return with_arrivals(
+        zipf_stream(64, 400, alpha=1.2, seed=seed),
+        process="poisson",
+        rate=20.0,
+        seed=seed + 1,
+    )
+
+
+def _ingest_half(sampler, kind, feed, half):
+    lo, hi = (0, len(feed) // 2) if half == 0 else (len(feed) // 2, len(feed))
+    if kind in TIMED_KINDS:
+        sampler.update_batch(feed.items[lo:hi], feed.timestamps[lo:hi])
+    else:
+        sampler.update_batch(np.asarray(feed.items[lo:hi]))
+
+
+class TestProtocolConformance:
+    def test_config_table_covers_registry(self):
+        assert set(KIND_CONFIGS) == set(sampler_kinds())
+
+    @pytest.mark.parametrize("kind", sorted(KIND_CONFIGS))
+    def test_every_registered_kind_implements_stream_sampler(self, kind):
+        sampler = build_sampler({**KIND_CONFIGS[kind], "seed": 0})
+        assert conforms(sampler), (
+            f"kind {kind!r} missing lifecycle hooks: {missing_hooks(sampler)}"
+        )
+        assert isinstance(sampler, StreamSampler)
+        assert supports_merge(sampler)
+
+    @pytest.mark.parametrize("kind", sorted(KIND_CONFIGS))
+    def test_static_kinds_have_no_clock(self, kind):
+        sampler = build_sampler({**KIND_CONFIGS[kind], "seed": 0})
+        if kind in TIMED_KINDS:
+            assert sampler.watermark() is None  # pristine: no clock yet
+        else:
+            _ingest_half(sampler, kind, _feed(), 0)
+            assert sampler.watermark() is None
+            assert sampler.compact() == 0
+
+    def test_missing_hooks_reports_gaps(self):
+        class Partial:
+            def update(self, item):
+                pass
+
+        assert "update" not in missing_hooks(Partial())
+        assert "compact" in missing_hooks(Partial())
+        assert not conforms(Partial())
+
+    @pytest.mark.parametrize("kind", ["sw-g", "sw-lp", "sw-f0"])
+    def test_count_window_merge_raises_and_is_declared(self, kind):
+        assert not kind_spec(kind).mergeable
+        a = build_sampler({**KIND_CONFIGS[kind], "seed": 0})
+        b = build_sampler({**KIND_CONFIGS[kind], "seed": 0})
+        with pytest.raises(ValueError, match="arrival order"):
+            a.merge(b)
+
+    def test_engine_rejects_unmergeable_kind_at_construction(self):
+        with pytest.raises(ValueError, match="mergeable"):
+            ShardedSamplerEngine(KIND_CONFIGS["sw-f0"], shards=2)
+
+
+class TestSnapshotEnvelope:
+    @pytest.mark.parametrize("kind", sorted(KIND_CONFIGS))
+    def test_roundtrip_continues_bitwise(self, kind):
+        """Envelope round-trip mid-stream, then both copies ingest the
+        same tail: states must stay bytes-identical."""
+        feed = _feed(seed=3)
+        a = build_sampler({**KIND_CONFIGS[kind], "seed": 7})
+        _ingest_half(a, kind, feed, 0)
+        buf = save_state(a)
+        b = build_sampler({**KIND_CONFIGS[kind], "seed": 99})
+        load_state(b, buf)
+        assert state_to_bytes(a.snapshot()) == state_to_bytes(b.snapshot())
+        _ingest_half(a, kind, feed, 1)
+        _ingest_half(b, kind, feed, 1)
+        assert state_to_bytes(a.snapshot()) == state_to_bytes(b.snapshot())
+
+    @pytest.mark.parametrize("kind", ["f0", "algorithm5-f0", "sw-f0", "tw_f0"])
+    def test_restored_f0_sampler_draws_identical_items(self, kind):
+        """Regression: the F0 samplers' S-regime draws must not depend
+        on set/dict iteration order — a restored sampler (whose
+        insertion history differs) has to return the same item for the
+        same coin as the original."""
+        feed = _feed(seed=50)
+        for seed in range(12):
+            a = build_sampler({**KIND_CONFIGS[kind], "seed": seed})
+            _ingest_half(a, kind, feed, 0)
+            _ingest_half(a, kind, feed, 1)
+            b = build_sampler({**KIND_CONFIGS[kind], "seed": seed + 1000})
+            load_state(b, save_state(a))
+            ra, rb = a.sample(), b.sample()
+            assert ra.outcome == rb.outcome, seed
+            assert ra.item == rb.item, seed
+
+    @pytest.mark.parametrize("kind", sorted(KIND_CONFIGS))
+    def test_envelope_is_kind_tagged_and_versioned(self, kind):
+        sampler = build_sampler({**KIND_CONFIGS[kind], "seed": 1})
+        env = Snapshot.from_bytes(save_state(sampler))
+        assert env.kind == sampler.snapshot()["kind"]
+        assert env.version == ENVELOPE_VERSION
+
+    def test_legacy_unenveloped_buffer_still_loads(self):
+        """PR 1/2 save_state wrote the raw snapshot tree; load_state must
+        keep accepting those buffers."""
+        a = build_sampler({**KIND_CONFIGS["lp"], "seed": 5})
+        a.update_batch(np.arange(64).repeat(4))
+        legacy = state_to_bytes(a.snapshot())  # the old format
+        b = build_sampler({**KIND_CONFIGS["lp"], "seed": 6})
+        load_state(b, legacy)
+        assert state_to_bytes(a.snapshot()) == state_to_bytes(b.snapshot())
+        assert Snapshot.from_bytes(legacy).version == 0
+
+    def test_unknown_envelope_version_fails_loudly(self):
+        buf = state_to_bytes(
+            {"__snapshot__": 999, "kind": "lp", "payload": {"kind": "lp"}}
+        )
+        with pytest.raises(ValueError, match="envelope version"):
+            Snapshot.from_bytes(buf)
+
+    def test_envelope_bytes_decode_as_plain_tree(self):
+        """An enveloped buffer is still a plain codec buffer — readers
+        that only know the codec can open it and find the kind tag."""
+        sampler = build_sampler({**KIND_CONFIGS["f0"], "seed": 2})
+        tree = state_from_bytes(save_state(sampler))
+        assert tree["__snapshot__"] == ENVELOPE_VERSION
+        assert tree["kind"] == "truly_perfect_f0"
+        assert tree["payload"]["kind"] == "truly_perfect_f0"
+
+    def test_restore_into_wrong_sampler_fails(self):
+        a = build_sampler({**KIND_CONFIGS["tw_g"], "seed": 1})
+        b = build_sampler({**KIND_CONFIGS["tw_f0"], "seed": 1})
+        with pytest.raises(ValueError):
+            load_state(b, save_state(a))
+
+
+class TestMemoryAccounting:
+    @pytest.mark.parametrize("kind", sorted(KIND_CONFIGS))
+    def test_size_positive_and_grows_with_state(self, kind):
+        sampler = build_sampler({**KIND_CONFIGS[kind], "seed": 4})
+        empty = sampler.approx_size_bytes()
+        assert empty > 0
+        feed = _feed(seed=4)
+        _ingest_half(sampler, kind, feed, 0)
+        _ingest_half(sampler, kind, feed, 1)
+        assert sampler.approx_size_bytes() >= empty
+
+    def test_engine_size_sums_shards(self):
+        engine = ShardedSamplerEngine(KIND_CONFIGS["lp"], shards=4, seed=0)
+        assert engine.approx_size_bytes() == sum(
+            s.approx_size_bytes() for s in engine.samplers
+        )
+
+
+class TestExpiryCompaction:
+    @pytest.mark.parametrize("kind", sorted(TIMED_KINDS))
+    def test_compact_is_idempotent(self, kind):
+        feed = _feed(seed=8)
+        sampler = build_sampler({**KIND_CONFIGS[kind], "seed": 8})
+        _ingest_half(sampler, kind, feed, 0)
+        _ingest_half(sampler, kind, feed, 1)
+        later = sampler.watermark() + 10_000.0
+        first = sampler.compact(later)
+        assert first > 0  # everything expired: state reclaimed
+        frozen = state_to_bytes(sampler.snapshot())
+        assert sampler.compact(later) == 0
+        assert sampler.compact() == 0
+        assert state_to_bytes(sampler.snapshot()) == frozen
+
+    def test_fully_expired_stream_releases_generations_and_answers_empty(self):
+        feed = _feed(seed=9)
+        sampler = build_sampler({**KIND_CONFIGS["tw_lp"], "seed": 9})
+        sampler.update_batch(feed.items, feed.timestamps)
+        assert sampler.generation_count > 0
+        before = sampler.approx_size_bytes()
+        later = sampler.watermark() + 1_000.0
+        freed = sampler.compact(later)
+        assert freed > 0
+        assert sampler.generation_count == 0
+        assert sampler.approx_size_bytes() < before
+        assert sampler.sample().is_empty
+        assert sampler.position == len(feed)  # accounting survives
+
+    def test_compact_advances_clock_and_rejects_stale_updates(self):
+        """compact(now) is a promise that future updates arrive at
+        ts ≥ now; a straggler behind the watermark must fail loudly
+        instead of silently resurrecting dropped window state."""
+        sampler = build_sampler({**KIND_CONFIGS["tw_g"], "seed": 10})
+        sampler.update(3, 5.0)
+        sampler.compact(1_000.0)
+        assert sampler.watermark() == 1_000.0
+        with pytest.raises(ValueError, match="non-decreasing"):
+            sampler.update(4, 10.0)
+        sampler.update(4, 1_000.5)  # at/after the watermark is fine
+        assert sampler.sample().is_item
+
+    @pytest.mark.parametrize("kind", ["tw_g", "tw_lp"])
+    def test_compact_at_own_watermark_leaves_live_generations_bitwise(
+        self, kind
+    ):
+        """With the clock at the newest arrival, every kept generation
+        is still live — compacting must free nothing and change nothing
+        (the bitwise batch/scalar identity of live generations is the
+        invariant the whole windowed design rests on)."""
+        feed = _feed(seed=11)
+        sampler = build_sampler({**KIND_CONFIGS[kind], "seed": 11})
+        half = len(feed) // 2
+        sampler.update_batch(feed.items[:half], feed.timestamps[:half])
+        frozen = state_to_bytes(sampler.snapshot())
+        assert sampler.compact() == 0
+        assert state_to_bytes(sampler.snapshot()) == frozen
+        sampler.update_batch(feed.items[half:], feed.timestamps[half:])
+        res = sampler.sample()
+        assert res.is_item or res.is_fail  # the live window still answers
+
+    def test_tw_f0_compact_prunes_stale_timestamps_only(self):
+        sampler = build_sampler({**KIND_CONFIGS["tw_f0"], "seed": 12})
+        for item in range(10):
+            sampler.update(item, 1.0 + item * 0.1)
+        sampler.update(63, 100.0)  # horizon 10: items at t≈1 expired
+        freed = sampler.compact()
+        assert freed > 0
+        res = sampler.sample()
+        assert res.is_item and res.item == 63
+
+    def test_engine_compact_cadence_and_query_pass(self):
+        feed = _feed(seed=13)
+        engine = ShardedSamplerEngine(
+            KIND_CONFIGS["tw_g"], shards=2, seed=13, compact_every=100
+        )
+        engine.ingest(feed)
+        assert engine.watermark() == max(
+            w for w in engine.watermarks() if w is not None
+        )
+        later = engine.watermark() + 10_000.0
+        assert engine.compact(later) > 0
+        assert engine.sample().is_empty  # query-time pass + empty window
+        assert engine.approx_size_bytes() > 0
+
+    def test_static_kind_compact_via_engine_is_noop(self):
+        engine = ShardedSamplerEngine(KIND_CONFIGS["lp"], shards=2, seed=14)
+        engine.ingest(np.arange(64).repeat(10))
+        assert engine.compact() == 0
+        assert engine.watermark() is None
+        assert engine.sample().outcome is not None
+
+
+class TestMergeWatermarks:
+    CFG = KIND_CONFIGS["tw_g"]
+
+    def _engines(self, skew_tolerance):
+        a = ShardedSamplerEngine(
+            self.CFG, shards=2, seed=1, max_watermark_skew=skew_tolerance
+        )
+        b = ShardedSamplerEngine(
+            self.CFG,
+            shards=2,
+            seed=2,
+            partitioner=a.partitioner,
+            max_watermark_skew=skew_tolerance,
+        )
+        return a, b
+
+    def test_skewed_clocks_rejected_at_merge(self):
+        feed = _feed(seed=20)
+        a, b = self._engines(skew_tolerance=60.0)
+        a.ingest(feed)
+        b.ingest(feed.items, timestamps=feed.timestamps + 500.0)
+        with pytest.raises(WatermarkSkewError):
+            a.merge(b)
+
+    def test_skew_within_tolerance_merges(self):
+        feed = _feed(seed=21)
+        a, b = self._engines(skew_tolerance=1_000.0)
+        a.ingest(feed)
+        b.ingest(feed.items, timestamps=feed.timestamps + 500.0)
+        a.merge(b)
+        assert a.position == 2 * len(feed)
+
+    def test_default_tolerance_is_permissive(self):
+        feed = _feed(seed=22)
+        a = ShardedSamplerEngine(self.CFG, shards=2, seed=3)
+        b = ShardedSamplerEngine(
+            self.CFG, shards=2, seed=4, partitioner=a.partitioner
+        )
+        a.ingest(feed)
+        b.ingest(feed.items, timestamps=feed.timestamps + 10_000.0)
+        a.merge(b)  # inf tolerance: legacy behavior preserved
+
+    def test_query_time_fold_checks_skew_too(self):
+        feed = _feed(seed=23)
+        engine = ShardedSamplerEngine(
+            self.CFG, shards=2, seed=5, max_watermark_skew=1.0
+        )
+        engine.ingest(feed)
+        # Skew one shard's clock via a direct compact on its sampler.
+        engine.samplers[0].compact(feed.timestamps[-1] + 500.0)
+        with pytest.raises(WatermarkSkewError):
+            engine.merged_sampler()
+
+    def test_sample_with_now_cannot_launder_skew(self):
+        """Regression: sample(now=...) runs a compaction pass that syncs
+        every shard clock to the query time — the skew check must fire
+        on the shards' *own* clocks first, or the sync would erase the
+        very skew it guards against."""
+        feed = _feed(seed=24)
+        engine = ShardedSamplerEngine(
+            self.CFG, shards=2, seed=7, max_watermark_skew=1.0
+        )
+        engine.ingest(feed)
+        engine.samplers[0].compact(feed.timestamps[-1] + 500.0)
+        with pytest.raises(WatermarkSkewError):
+            engine.sample(now=feed.timestamps[-1] + 600.0)
+
+    def test_kinds_without_clocks_never_skew(self):
+        a = ShardedSamplerEngine(
+            KIND_CONFIGS["f0"], shards=2, seed=6, max_watermark_skew=0.0
+        )
+        b = ShardedSamplerEngine(
+            KIND_CONFIGS["f0"],
+            shards=2,
+            seed=6,
+            partitioner=a.partitioner,
+            max_watermark_skew=0.0,
+        )
+        a.ingest(np.arange(64))
+        b.ingest(np.arange(64))
+        a.merge(b)  # watermark() is None everywhere: nothing to compare
+
+    def test_engine_validates_knobs(self):
+        with pytest.raises(ValueError, match="compact_every"):
+            ShardedSamplerEngine(self.CFG, shards=1, compact_every=0)
+        with pytest.raises(ValueError, match="max_watermark_skew"):
+            ShardedSamplerEngine(self.CFG, shards=1, max_watermark_skew=-1.0)
+
+
+class TestBoundedMeasureLifecycle:
+    """The 'bounded' kind joined the full lifecycle in this refactor:
+    batch ingestion, snapshot/restore, and shared-seed merging."""
+
+    def test_batch_matches_scalar(self):
+        items = np.asarray(zipf_stream(64, 800, alpha=1.2, seed=30).items)
+        a = build_sampler({**KIND_CONFIGS["bounded"], "seed": 31})
+        b = build_sampler({**KIND_CONFIGS["bounded"], "seed": 31})
+        a.extend(items.tolist())
+        b.update_batch(items)
+        assert state_to_bytes(a.snapshot()) == state_to_bytes(b.snapshot())
+        assert a.position == b.position == 800
+
+    def test_merge_requires_matching_layout(self):
+        a = build_sampler({**KIND_CONFIGS["bounded"], "seed": 32})
+        other = build_sampler(
+            {"kind": "bounded", "measure": {"name": "geman-mcclure"}, "n": 64,
+             "seed": 32}
+        )
+        with pytest.raises(ValueError, match="measures differ"):
+            a.merge(other)
+
+    def test_sharded_bounded_engine_samples(self):
+        stream = zipf_stream(64, 1500, alpha=1.1, seed=33)
+        engine = ShardedSamplerEngine(
+            KIND_CONFIGS["bounded"], shards=4, seed=34
+        )
+        engine.ingest(stream.items)
+        assert engine.position == 1500
+        res = engine.sample()
+        assert res.is_item or res.is_fail
+
+    def test_merge_keeps_oracle_global_min(self):
+        items = np.asarray(zipf_stream(64, 600, alpha=1.0, seed=35).items)
+        half_a = items[items % 2 == 0]
+        half_b = items[items % 2 == 1]
+        a = build_sampler({**KIND_CONFIGS["bounded"], "seed": 36})
+        b = build_sampler({**KIND_CONFIGS["bounded"], "seed": 36})
+        single = build_sampler({**KIND_CONFIGS["bounded"], "seed": 36})
+        a.update_batch(half_a)
+        b.update_batch(half_b)
+        single.update_batch(np.concatenate([half_a, half_b]))
+        a.merge(b)
+        for merged_rep, single_rep in zip(a._samplers, single._samplers):
+            assert merged_rep._min_item == single_rep._min_item
+            assert merged_rep._count == single_rep._count
+
+
+class TestMergedCompactedShards:
+    def test_merge_with_one_compacted_empty_shard_is_exact(self):
+        """A shard whose content fully expired and was compacted away
+        contributes nothing; the merged sampler must still answer from
+        the live shard's window."""
+        feed = _feed(seed=40)
+        cfg = {**KIND_CONFIGS["tw_g"], "instances": 32}
+        a = build_sampler({**cfg, "seed": 41})
+        b = build_sampler({**cfg, "seed": 42})
+        # a saw only ancient traffic; b is live.
+        a.update_batch(feed.items, feed.timestamps)
+        live_start = feed.timestamps[-1] + 10_000.0
+        a.compact(live_start)
+        assert a.generation_count == 0
+        b.update_batch(feed.items, feed.timestamps + live_start)
+        merged = copy.deepcopy(a)
+        merged.merge(b)
+        res = merged.sample()
+        assert not res.is_empty  # the live window is visible post-merge
+        assert merged.position == 2 * len(feed)
+        assert merged.watermark() == b.watermark()

@@ -157,6 +157,45 @@ class TestQueries:
         assert_matches_distribution(run, target, trials=250)
 
 
+class TestIdleWindows:
+    """Regression: querying a fully-idle resolution must say "the window
+    is empty" explicitly — never serve a sample from a generation whose
+    content has entirely expired, and never a FAIL a caller would
+    retry."""
+
+    def test_query_past_idle_gap_is_explicit_empty(self):
+        ts = bursty_fixture()
+        bank = WindowBank(LADDER, p=2.0, n=32, instances=24, seed=3)
+        bank.update_batch(ts.items, ts.timestamps)
+        later = bank.now + 10 * max(LADDER)
+        for horizon in LADDER:
+            assert bank.sample(horizon, now=later).is_empty
+            assert bank.sample_distinct(horizon, now=later).is_empty
+
+    def test_compacted_idle_bank_answers_empty_at_watermark(self):
+        ts = bursty_fixture()
+        bank = WindowBank(LADDER, p=2.0, n=32, instances=24, seed=4)
+        bank.update_batch(ts.items, ts.timestamps)
+        before = bank.approx_size_bytes()
+        freed = bank.compact(now=bank.now + 10 * max(LADDER))
+        assert freed > 0
+        assert bank.approx_size_bytes() < before
+        # The clock watermark advanced, so even a now-less query sees
+        # the empty window instead of resurrecting expired state.
+        for horizon in LADDER:
+            assert bank.sample(horizon).is_empty
+            assert bank.sample_distinct(horizon).is_empty
+
+    def test_partially_idle_ladder_only_fine_rungs_empty(self):
+        bank = WindowBank((10.0, 1000.0), p=2.0, n=32, instances=24, seed=5)
+        bank.update_batch([1, 2, 3], [1.0, 2.0, 3.0])
+        later = 500.0  # fine rung idle, coarse rung still covers t≤3
+        assert bank.sample(10.0, now=later).is_empty
+        coarse = bank.sample(1000.0, now=later)
+        assert coarse.is_item or coarse.is_fail
+        assert not coarse.is_empty
+
+
 class TestMergeableState:
     def test_snapshot_restore_continues_bitwise(self):
         ts = bursty_fixture()

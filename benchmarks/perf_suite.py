@@ -1,0 +1,281 @@
+#!/usr/bin/env python
+"""The canonical query-fast-path perf suite (E23).
+
+Measures, on one process with fixed seeds:
+
+* **ingest throughput** — items/second through the sharded engine's
+  batched ingest path, per shard count;
+* **query latency** — p50/p99 of ``ShardedSamplerEngine.sample()`` under
+  mixed read/write workloads at read:write ratios 1:100, 1:1, and 100:1
+  for K ∈ {1, 8, 32}, with the merged-view cache on (``cached``) vs. the
+  fold-per-query reference path (``fresh``, ``query_cache=False``);
+* **sample_many scaling** — one ``sample_many(k)`` call vs. ``k``
+  back-to-back ``sample()`` calls on the cached engine.
+
+Results land in machine-readable JSON (default: ``BENCH_E23.json`` at
+the repo root) so the bench trajectory is tracked from PR 4 forward.
+
+The suite *gates* itself (exit code 1 on failure):
+
+* cached-query p50 must not regress beyond 2x the fresh-fold baseline
+  recorded in the same run, for every workload;
+* the read-heavy (100:1, K=8) workload must show a ≥10x cached p50 win;
+* ``sample_many(1000)`` must be ≥5x faster than 1000 ``sample()`` calls;
+* cached and fresh folds must return identical samples for identical
+  seeds (checked bitwise before any timing).
+
+Run ``--smoke`` in CI for a reduced-scale pass with the same gates.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import statistics
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.engine import ShardedSamplerEngine  # noqa: E402
+from repro.streams.generators import zipf_stream  # noqa: E402
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+CONFIG = {"kind": "g", "measure": {"name": "huber"}, "instances": 64}
+RATIOS = {"1:100": (1, 100), "1:1": (1, 1), "100:1": (100, 1)}
+SHARD_COUNTS = (1, 8, 32)
+
+#: Gate thresholds (see module docstring).
+MAX_CACHED_REGRESSION = 2.0
+MIN_READ_HEAVY_SPEEDUP = 10.0
+MIN_SAMPLE_MANY_SPEEDUP = 5.0
+
+
+def _percentiles(latencies_ns: list[int]) -> dict:
+    lat_us = sorted(ns / 1e3 for ns in latencies_ns)
+    return {
+        "p50_us": statistics.median(lat_us),
+        "p99_us": lat_us[min(len(lat_us) - 1, int(0.99 * len(lat_us)))],
+        "queries": len(lat_us),
+    }
+
+
+def _build(shards: int, *, cache: bool, seed: int = 7) -> ShardedSamplerEngine:
+    return ShardedSamplerEngine(
+        CONFIG, shards=shards, seed=seed, query_cache=cache
+    )
+
+
+def check_cached_equals_fresh(items: np.ndarray) -> None:
+    """Bitwise gate: for identical seeds, the cached path's first query
+    after any (re)fold equals the fresh fold-per-query answer."""
+    cached = _build(8, cache=True)
+    fresh = _build(8, cache=False)
+    for chunk in np.array_split(items, 4):
+        cached.ingest(chunk)
+        fresh.ingest(chunk)
+        a, b = cached.sample(), fresh.sample()
+        if a != b:
+            raise AssertionError(f"cached {a} != fresh {b}")
+
+
+def bench_ingest(items: np.ndarray, chunk: int) -> list[dict]:
+    out = []
+    for shards in SHARD_COUNTS:
+        engine = _build(shards, cache=True)
+        start = time.perf_counter()
+        engine.ingest(items, chunk_size=chunk)
+        elapsed = time.perf_counter() - start
+        out.append(
+            {
+                "shards": shards,
+                "items": int(items.size),
+                "seconds": elapsed,
+                "items_per_sec": items.size / elapsed,
+            }
+        )
+    return out
+
+
+def bench_queries(
+    items: np.ndarray, queries: int, write_batch: int
+) -> list[dict]:
+    """Interleave reads and writes at each ratio and time every read.
+
+    Each mode runs an untimed warmup pass (a few write/query cycles)
+    before measurement so process warmup (allocator, branch caches)
+    does not systematically penalize whichever mode runs first — the
+    self-gating cached-vs-fresh ratio must reflect the steady state.
+    """
+    rows = []
+    for shards in SHARD_COUNTS:
+        for label, (reads, writes) in RATIOS.items():
+            row = {"shards": shards, "ratio": label}
+            for mode, cache in (("cached", True), ("fresh", False)):
+                engine = _build(shards, cache=cache)
+                engine.ingest(items)
+                for __ in range(3):  # untimed warmup cycles
+                    engine.ingest(items[:write_batch])
+                    engine.sample()
+                    engine.sample()
+                latencies: list[int] = []
+                done_reads = 0
+                cursor = 0
+                while done_reads < queries:
+                    for __ in range(writes):
+                        lo = cursor % items.size
+                        batch = items[lo:lo + write_batch]
+                        if batch.size:
+                            engine.ingest(batch)
+                        cursor += write_batch
+                    for __ in range(reads):
+                        if done_reads >= queries:
+                            break
+                        t0 = time.perf_counter_ns()
+                        engine.sample()
+                        latencies.append(time.perf_counter_ns() - t0)
+                        done_reads += 1
+                row[mode] = _percentiles(latencies)
+            row["speedup_p50"] = row["fresh"]["p50_us"] / row["cached"]["p50_us"]
+            rows.append(row)
+    return rows
+
+
+def bench_sample_many(items: np.ndarray, k: int) -> dict:
+    engine = _build(8, cache=True)
+    engine.ingest(items)
+    engine.sample()  # warm the fold
+    t0 = time.perf_counter()
+    engine.sample_many(k)
+    many_s = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    for __ in range(k):
+        engine.sample()
+    loop_s = time.perf_counter() - t0
+    return {
+        "k": k,
+        "sample_many_seconds": many_s,
+        "loop_seconds": loop_s,
+        "speedup": loop_s / many_s,
+    }
+
+
+def evaluate_gates(report: dict) -> list[str]:
+    failures = []
+    for row in report["query_latency"]:
+        if row["cached"]["p50_us"] > MAX_CACHED_REGRESSION * row["fresh"]["p50_us"]:
+            failures.append(
+                f"cached p50 {row['cached']['p50_us']:.1f}us exceeds "
+                f"{MAX_CACHED_REGRESSION}x fresh baseline "
+                f"{row['fresh']['p50_us']:.1f}us at K={row['shards']} "
+                f"{row['ratio']}"
+            )
+    headline = next(
+        (
+            r
+            for r in report["query_latency"]
+            if r["shards"] == 8 and r["ratio"] == "100:1"
+        ),
+        None,
+    )
+    if headline is None:
+        failures.append("missing the (100:1, K=8) headline workload")
+    elif headline["speedup_p50"] < MIN_READ_HEAVY_SPEEDUP:
+        failures.append(
+            f"read-heavy (100:1, K=8) cached p50 speedup "
+            f"{headline['speedup_p50']:.1f}x < {MIN_READ_HEAVY_SPEEDUP}x"
+        )
+    if report["sample_many"]["speedup"] < MIN_SAMPLE_MANY_SPEEDUP:
+        failures.append(
+            f"sample_many({report['sample_many']['k']}) speedup "
+            f"{report['sample_many']['speedup']:.1f}x < "
+            f"{MIN_SAMPLE_MANY_SPEEDUP}x"
+        )
+    return failures
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="reduced scale for CI (same gates)",
+    )
+    parser.add_argument(
+        "--out",
+        type=Path,
+        default=REPO_ROOT / "BENCH_E23.json",
+        help="where to write the JSON report",
+    )
+    args = parser.parse_args(argv)
+
+    if args.smoke:
+        m, queries, write_batch, k_many = 60_000, 120, 200, 1000
+    else:
+        m, queries, write_batch, k_many = 400_000, 400, 500, 1000
+    stream = zipf_stream(1 << 14, m, alpha=1.2, seed=1)
+    items = np.asarray(stream.items)
+
+    print(f"perf_suite: m={m} queries/workload={queries} smoke={args.smoke}")
+    check_cached_equals_fresh(items[:20_000])
+    print("bitwise gate: cached == fresh ✓")
+
+    report = {
+        "bench": "E23-query-fast-path",
+        "smoke": args.smoke,
+        "config": CONFIG,
+        "machine": {
+            "python": platform.python_version(),
+            "numpy": np.__version__,
+            "platform": platform.platform(),
+        },
+        "ingest": bench_ingest(items, chunk=1 << 16),
+        "query_latency": bench_queries(items, queries, write_batch),
+        "sample_many": bench_sample_many(items, k_many),
+    }
+    failures = evaluate_gates(report)
+    report["gates"] = {
+        "max_cached_p50_regression": MAX_CACHED_REGRESSION,
+        "min_read_heavy_speedup": MIN_READ_HEAVY_SPEEDUP,
+        "min_sample_many_speedup": MIN_SAMPLE_MANY_SPEEDUP,
+        "failures": failures,
+        "passed": not failures,
+    }
+
+    args.out.write_text(json.dumps(report, indent=2) + "\n")
+    print(f"wrote {args.out}")
+
+    for row in report["ingest"]:
+        print(
+            f"  ingest  K={row['shards']:<3} "
+            f"{row['items_per_sec'] / 1e6:6.2f}M items/s"
+        )
+    for row in report["query_latency"]:
+        print(
+            f"  query   K={row['shards']:<3} {row['ratio']:>6}  "
+            f"cached p50 {row['cached']['p50_us']:8.1f}us  "
+            f"p99 {row['cached']['p99_us']:8.1f}us | "
+            f"fresh p50 {row['fresh']['p50_us']:8.1f}us  "
+            f"speedup {row['speedup_p50']:6.1f}x"
+        )
+    sm = report["sample_many"]
+    print(
+        f"  sample_many({sm['k']}) {sm['sample_many_seconds'] * 1e3:.1f}ms vs "
+        f"loop {sm['loop_seconds'] * 1e3:.1f}ms → {sm['speedup']:.1f}x"
+    )
+    if failures:
+        print("GATE FAILURES:")
+        for failure in failures:
+            print(f"  ✗ {failure}")
+        return 1
+    print("all gates passed ✓")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

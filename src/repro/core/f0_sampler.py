@@ -27,7 +27,8 @@ import math
 import numpy as np
 
 from repro.core.measures import BoundedMeasure, TukeyMeasure
-from repro.core.types import SampleResult
+from repro.core.rejection import uniform_candidate_many, uniform_candidate_sample
+from repro.core.types import SampleResult, as_item_array
 from repro.lifecycle.memory import (
     INSTANCE_BYTES,
     RNG_STATE_BYTES,
@@ -114,8 +115,9 @@ class Algorithm5F0Sampler(StaticLifecycleMixin):
             self._counts[item] = self._counts.get(item, 0) + 1
 
     def extend(self, items) -> None:
-        for item in items:
-            self.update(item)
+        """Delegates to :meth:`update_batch` (bitwise identical — updates
+        consume no randomness)."""
+        self.update_batch(as_item_array(items))
 
     @staticmethod
     def chunk_pairs(arr: np.ndarray) -> list[tuple[int, int]]:
@@ -230,22 +232,48 @@ class Algorithm5F0Sampler(StaticLifecycleMixin):
                 continue  # untracked in the single-stream run
             self._counts[item] = self._counts.get(item, 0) + count
 
-    def sample(self) -> SampleResult:
+    def _support_candidates(self) -> tuple[str, list[int] | None]:
+        """The state-determined part of :meth:`sample`: which regime
+        answers and its candidate items (``("empty", None)`` for ⊥; an
+        empty S-regime list means FAIL).  No randomness is consumed, so
+        batched queries can resolve the regime once and vectorize the
+        uniform index draws."""
         if not self._counts and not self._overflowed:
-            return SampleResult.empty()
+            return "empty", None
         if len(self._first) < self._threshold and not self._overflowed:
             # The support fits in T entirely: exact uniform sampling.
-            support = list(self._first)
-            item = support[int(self._rng.integers(0, len(support)))]
-            return SampleResult.of(item, frequency=self._counts[item], regime="T")
+            return "T", list(self._first)
         # Canonical (sorted) iteration: the set's raw order leaks its
         # insertion history, which a restore does not replay — sampling
         # must pick the same item for the same coin either way.
-        appeared = [s for s in sorted(self._s_set) if self._counts.get(s, 0) > 0]
-        if appeared:
-            item = appeared[int(self._rng.integers(0, len(appeared)))]
-            return SampleResult.of(item, frequency=self._counts[item], regime="S")
-        return SampleResult.fail(regime="S")
+        return "S", [s for s in sorted(self._s_set) if self._counts.get(s, 0) > 0]
+
+    def sample(self) -> SampleResult:
+        regime, candidates = self._support_candidates()
+        return uniform_candidate_sample(
+            self._rng,
+            regime,
+            candidates,
+            lambda item: SampleResult.of(
+                item, frequency=self._counts[item], regime=regime
+            ),
+        )
+
+    def sample_many(self, k: int) -> list[SampleResult]:
+        """``k`` independent samples with one regime resolution and one
+        batched index draw — bitwise identical to ``k`` back-to-back
+        :meth:`sample` calls (a sized ``integers`` draw consumes the
+        stream exactly as the scalar draws do)."""
+        regime, candidates = self._support_candidates()
+        return uniform_candidate_many(
+            self._rng,
+            k,
+            regime,
+            candidates,
+            lambda item: SampleResult.of(
+                item, frequency=self._counts[item], regime=regime
+            ),
+        )
 
 
 class TrulyPerfectF0Sampler(StaticLifecycleMixin):
@@ -289,8 +317,9 @@ class TrulyPerfectF0Sampler(StaticLifecycleMixin):
             copy.update(item)
 
     def extend(self, items) -> None:
-        for item in items:
-            self.update(item)
+        """Delegates to :meth:`update_batch` (bitwise identical — updates
+        consume no randomness)."""
+        self.update_batch(as_item_array(items))
 
     def update_batch(self, items) -> None:
         """Vectorized chunk ingestion, bitwise identical to the scalar
@@ -352,6 +381,20 @@ class TrulyPerfectF0Sampler(StaticLifecycleMixin):
                 return result
         return result
 
+    def sample_many(self, k: int) -> list[SampleResult]:
+        """``k`` independent samples — bitwise identical to ``k``
+        back-to-back :meth:`sample` calls.  Which amplification copy
+        answers is state-determined (failed copies consume no
+        randomness), so the first non-failing copy resolves all ``k``
+        draws in one batched pass."""
+        if k < 0:
+            raise ValueError(f"need a non-negative draw count, got {k}")
+        for copy in self._copies:
+            __, candidates = copy._support_candidates()
+            if candidates is None or candidates:
+                return copy.sample_many(k)
+        return [SampleResult.fail(regime="S") for __ in range(k)]
+
     def run(self, stream) -> SampleResult:
         self.extend(stream)
         return self.sample()
@@ -395,8 +438,9 @@ class RandomOracleF0Sampler(StaticLifecycleMixin):
             self._count += 1
 
     def extend(self, items) -> None:
-        for item in items:
-            self.update(item)
+        """Delegates to :meth:`update_batch` (identical to the scalar
+        loop — min-hash tracking consumes no randomness)."""
+        self.update_batch(as_item_array(items))
 
     def update_batch(self, items) -> None:
         """Vectorized chunk ingestion, identical to the scalar loop.
@@ -461,6 +505,13 @@ class RandomOracleF0Sampler(StaticLifecycleMixin):
         if self._min_item is None:
             return SampleResult.empty()
         return SampleResult.of(self._min_item, frequency=self._count, regime="oracle")
+
+    def sample_many(self, k: int) -> list[SampleResult]:
+        """``k`` samples (the min-hash answer is deterministic between
+        ingests, so all draws coincide — kept for API uniformity)."""
+        if k < 0:
+            raise ValueError(f"need a non-negative draw count, got {k}")
+        return [self.sample() for __ in range(k)]
 
     def run(self, stream) -> SampleResult:
         self.extend(stream)
@@ -534,8 +585,9 @@ class BoundedMeasureSampler(StaticLifecycleMixin):
             s.update(item)
 
     def extend(self, items) -> None:
-        for item in items:
-            self.update(item)
+        """Delegates to :meth:`update_batch` (bitwise identical — F0
+        subroutine updates consume no randomness)."""
+        self.update_batch(as_item_array(items))
 
     def update_batch(self, items) -> None:
         """Vectorized chunk ingestion, bitwise identical to the scalar
@@ -620,6 +672,15 @@ class BoundedMeasureSampler(StaticLifecycleMixin):
         if not saw_any:
             return SampleResult.fail(reason="all F0 copies failed")
         return SampleResult.fail(reason="all repetitions rejected")
+
+    def sample_many(self, k: int) -> list[SampleResult]:
+        """``k`` independent samples (sequential — the repetition scan
+        consumes a data-dependent number of acceptance coins per draw,
+        so the lazy scalar path is already optimal coin-wise; kept for
+        API uniformity with the vectorized families)."""
+        if k < 0:
+            raise ValueError(f"need a non-negative draw count, got {k}")
+        return [self.sample() for __ in range(k)]
 
     def run(self, stream) -> SampleResult:
         self.extend(stream)

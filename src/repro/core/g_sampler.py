@@ -29,8 +29,9 @@ import math
 import numpy as np
 
 from repro.core.measures import Measure
+from repro.core.rejection import rejection_many
 from repro.core.reservoir import skip_next_replacement
-from repro.core.types import SampleResult
+from repro.core.types import SampleResult, as_item_array
 from repro.lifecycle.memory import (
     INSTANCE_BYTES,
     RNG_STATE_BYTES,
@@ -186,8 +187,9 @@ class SamplerPool(StaticLifecycleMixin):
             self._counts[item] += 1
 
     def extend(self, items) -> None:
-        for item in items:
-            self.update(item)
+        """Delegates to :meth:`update_batch` (bitwise identical to the
+        scalar loop for a fixed seed)."""
+        self.update_batch(as_item_array(items))
 
     def update_batch(self, items) -> None:
         """Vectorized ingestion of a whole chunk of items.
@@ -584,6 +586,36 @@ class TrulyPerfectGSampler(StaticLifecycleMixin):
             if coin < weight / zeta:
                 return SampleResult.of(item, count=count, timestamp=ts, zeta=zeta)
         return SampleResult.fail(zeta=zeta)
+
+    def sample_many(self, k: int) -> list[SampleResult]:
+        """``k`` independent samples from one finalize + one batched coin
+        block — bitwise identical to ``k`` back-to-back :meth:`sample`
+        calls, amortizing the per-query instance scan."""
+        finals = self._pool.finalize()
+        if not finals:
+            if k < 0:
+                raise ValueError(f"need a non-negative draw count, got {k}")
+            return [SampleResult.empty() for __ in range(k)]
+        zeta = self._zeta()
+        measure = self._measure
+        weights = [measure.increment(c) for __, c, __ in finals]
+
+        def make(j: int) -> SampleResult:
+            item, count, ts = finals[j]
+            return SampleResult.of(item, count=count, timestamp=ts, zeta=zeta)
+
+        return rejection_many(
+            self._rng,
+            k,
+            weights,
+            zeta,
+            make,
+            lambda: SampleResult.fail(zeta=zeta),
+            describe=lambda j: (
+                f"invalid zeta {zeta}: increment at c={finals[j][1]} is "
+                f"{weights[j]}"
+            ),
+        )
 
     def run(self, stream) -> SampleResult:
         """Convenience: replay a whole stream then sample."""

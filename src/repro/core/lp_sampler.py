@@ -23,7 +23,8 @@ import numpy as np
 
 from repro.core.g_sampler import SamplerPool
 from repro.core.measures import LpMeasure
-from repro.core.types import SampleResult
+from repro.core.rejection import rejection_many
+from repro.core.types import SampleResult, as_item_array
 from repro.lifecycle.memory import INSTANCE_BYTES
 from repro.lifecycle.protocol import StaticLifecycleMixin
 from repro.sketches.misra_gries import MisraGries
@@ -129,8 +130,9 @@ class TrulyPerfectLpSampler(StaticLifecycleMixin):
             self._mg.update(item)
 
     def extend(self, items) -> None:
-        for item in items:
-            self.update(item)
+        """Delegates to :meth:`update_batch` (see its note on the p > 1
+        Misra–Gries normalizer)."""
+        self.update_batch(as_item_array(items))
 
     def update_batch(self, items) -> None:
         """Vectorized ingestion of a chunk of items.
@@ -212,6 +214,37 @@ class TrulyPerfectLpSampler(StaticLifecycleMixin):
             if coin < weight / zeta:
                 return SampleResult.of(item, count=count, timestamp=ts, zeta=zeta)
         return SampleResult.fail(zeta=zeta)
+
+    def sample_many(self, k: int) -> list[SampleResult]:
+        """``k`` independent samples from one finalize + one batched coin
+        block — bitwise identical to ``k`` back-to-back :meth:`sample`
+        calls (the normalizer is computed once; it is query-invariant
+        between ingests)."""
+        finals = self._pool.finalize()
+        if not finals:
+            if k < 0:
+                raise ValueError(f"need a non-negative draw count, got {k}")
+            return [SampleResult.empty() for __ in range(k)]
+        zeta = self.normalizer()
+        measure = self._measure
+        weights = [measure.increment(c) for __, c, __ in finals]
+
+        def make(j: int) -> SampleResult:
+            item, count, ts = finals[j]
+            return SampleResult.of(item, count=count, timestamp=ts, zeta=zeta)
+
+        return rejection_many(
+            self._rng,
+            k,
+            weights,
+            zeta,
+            make,
+            lambda: SampleResult.fail(zeta=zeta),
+            describe=lambda j: (
+                "Misra-Gries normalizer violated: increment at "
+                f"c={finals[j][1]} is {weights[j]} > zeta={zeta}"
+            ),
+        )
 
     def run(self, stream) -> SampleResult:
         self.extend(stream)

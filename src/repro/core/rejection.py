@@ -1,0 +1,174 @@
+"""Vectorized rejection sampling over finalized pool instances.
+
+Every pool-backed sampler answers a query the same way: finalize the
+``R`` instances, then scan them in order, accepting instance ``j`` with
+probability ``w_j/ζ`` and returning the first acceptor.  The scalar
+implementations draw one full row of ``R`` coins per query
+(``rng.random(R)``), so ``k`` back-to-back queries consume ``k·R``
+uniforms in row-major order — exactly the layout of one
+``rng.random((k, R))`` block.  :func:`first_acceptors` exploits that:
+it draws the whole block at once and resolves every query's
+first-acceptor with two vector reductions, making a batched
+``sample_many(k)`` *bitwise identical* to ``k`` sequential ``sample()``
+calls while amortizing the per-query Python overhead away.
+
+Blocks are capped at ``COIN_BLOCK`` coins so ``k × R`` never
+materializes an unbounded matrix; successive blocks continue the same
+RNG stream, preserving the bitwise contract.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.types import SampleResult
+
+__all__ = [
+    "COIN_BLOCK",
+    "first_acceptors",
+    "gather_results",
+    "rejection_many",
+    "uniform_candidate_many",
+    "uniform_candidate_sample",
+]
+
+#: Upper bound on coins materialized per block (memory cap, not a
+#: semantic knob — blocks continue one RNG stream).
+COIN_BLOCK = 1 << 20
+
+
+def first_acceptors(
+    rng: np.random.Generator,
+    k: int,
+    probs: np.ndarray,
+    active: np.ndarray | None = None,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Resolve ``k`` independent first-acceptor scans in one pass.
+
+    Parameters
+    ----------
+    rng:
+        The sampler's own generator; ``k·len(probs)`` uniforms are
+        consumed, matching ``k`` scalar queries exactly.
+    probs:
+        Per-instance acceptance probability ``w_j/ζ`` (callers validate
+        ``w_j ≤ ζ`` first, with their family-specific error message).
+    active:
+        Optional per-instance liveness mask (window samplers reject
+        expired instances without consuming extra coins — the scalar
+        loops draw all ``R`` coins up front too).
+
+    Returns
+    -------
+    ``(first, accepted)`` — for each of the ``k`` draws, the index of
+    the first accepting instance and whether any instance accepted
+    (``first`` is meaningless where ``accepted`` is False).
+    """
+    if k < 0:
+        raise ValueError(f"need a non-negative draw count, got {k}")
+    probs = np.asarray(probs, dtype=np.float64)
+    r = int(probs.size)
+    first = np.zeros(k, dtype=np.int64)
+    accepted = np.zeros(k, dtype=bool)
+    if k == 0 or r == 0:
+        return first, accepted
+    rows = max(1, COIN_BLOCK // r)
+    for start in range(0, k, rows):
+        stop = min(k, start + rows)
+        ok = rng.random((stop - start, r)) < probs
+        if active is not None:
+            ok &= active
+        first[start:stop] = ok.argmax(axis=1)
+        accepted[start:stop] = ok.any(axis=1)
+    return first, accepted
+
+
+def rejection_many(rng, k, weights, zeta, make, fail, active=None, describe=None):
+    """The shared tail of every pool-backed ``sample_many``: validate
+    the certificate, draw the coin block, materialize results.
+
+    ``weights`` are the per-instance increments, validated against
+    ``zeta`` over *active* instances only (expired window instances are
+    skipped, not validated — exactly like the scalar scans);
+    ``describe(j)`` renders the family-specific violation message for
+    offending instance ``j``; ``make(j)`` / ``fail()`` build the
+    accepted / failed :class:`SampleResult`\\ s for :func:`gather_results`.
+
+    One deliberate strictness difference from the scalar paths: the
+    certificate is validated over *every* active instance up front,
+    while a scalar scan only checks instances it reaches before the
+    first acceptor.  In a healthy sampler the certificate holds
+    everywhere and the two never diverge; in an invariant-broken state
+    the batch raises deterministically where the lazy scan might mask
+    the violation behind an earlier acceptor — fail-fast is the point
+    of the check.
+    """
+    weights = np.asarray(weights, dtype=np.float64)
+    over = weights > zeta * (1.0 + 1e-12)
+    if active is not None:
+        over &= active
+    bad = np.nonzero(over)[0]
+    if bad.size:
+        raise ValueError(describe(int(bad[0])))
+    first, accepted = first_acceptors(rng, k, weights / zeta, active)
+    return gather_results(first, accepted, make, fail)
+
+
+def uniform_candidate_sample(rng, regime, candidates, make):
+    """One uniform draw over a state-determined candidate list — the
+    shared scalar dispatch of every F0 ``sample()`` (see
+    :func:`uniform_candidate_many` for the ⊥/FAIL conventions)."""
+    if candidates is None:
+        return SampleResult.empty()
+    if not candidates:
+        return SampleResult.fail(regime=regime)
+    return make(candidates[int(rng.integers(0, len(candidates)))])
+
+
+def uniform_candidate_many(rng, k, regime, candidates, make):
+    """The shared tail of every F0 ``sample_many``: resolve ``k``
+    uniform draws over a state-determined candidate list.
+
+    ``candidates is None`` means ⊥ (empty window/stream); an empty list
+    means FAIL.  One sized ``integers`` draw consumes the RNG stream
+    exactly as ``k`` scalar draws would, so the batch stays bitwise
+    identical to ``k`` sequential ``sample()`` calls.
+    """
+    if k < 0:
+        raise ValueError(f"need a non-negative draw count, got {k}")
+    if candidates is None:
+        return [SampleResult.empty() for __ in range(k)]
+    if not candidates:
+        return [SampleResult.fail(regime=regime) for __ in range(k)]
+    idxs = rng.integers(0, len(candidates), size=k)
+    return [make(candidates[i]) for i in idxs.tolist()]
+
+
+def gather_results(first, accepted, make, fail):
+    """Materialize per-draw :class:`SampleResult`\\ s from a
+    :func:`first_acceptors` outcome.
+
+    Results are frozen dataclasses, so each distinct accepting instance
+    is built once and *shared* across the draws that picked it (and all
+    failing draws share one FAIL result) — the construction cost scales
+    with the number of *distinct* outcomes, not with ``k``.  Treat the
+    returned results as immutable values: the ``metadata`` dict is the
+    one mutable corner of :class:`~repro.core.types.SampleResult`, and
+    writing to it through one list entry would show through every entry
+    that shares the instance (``k`` scalar calls return independent
+    objects).
+    """
+    cache: dict = {}
+    fail_result = None
+    out = []
+    for j, ok in zip(first.tolist(), accepted.tolist()):
+        if ok:
+            res = cache.get(j)
+            if res is None:
+                res = cache[j] = make(j)
+        else:
+            if fail_result is None:
+                fail_result = fail()
+            res = fail_result
+        out.append(res)
+    return out

@@ -11,7 +11,51 @@ import dataclasses
 import enum
 from typing import Any
 
-__all__ = ["SampleOutcome", "SampleResult"]
+import numpy as np
+
+__all__ = ["SampleOutcome", "SampleResult", "as_item_array", "as_timed_arrays"]
+
+
+def as_item_array(items) -> np.ndarray:
+    """Normalize a ``Stream`` / array / iterable of items to a 1-d int64
+    array with at most one conversion (no copy when the input already is
+    one).  The shared front door of every batched ingestion path."""
+    inner = getattr(items, "items", None)
+    if isinstance(inner, np.ndarray):  # repro.streams.Stream
+        items = inner
+    elif not isinstance(items, np.ndarray) and not hasattr(items, "__len__"):
+        items = list(items)  # one-shot iterable (generator)
+    arr = np.asarray(items, dtype=np.int64)
+    if arr.ndim != 1:
+        raise ValueError("expected a 1-d sequence of items")
+    return arr
+
+
+def as_timed_arrays(pairs) -> tuple[np.ndarray, np.ndarray]:
+    """Unzip an iterable of ``(item, timestamp)`` pairs into aligned
+    int64/float64 arrays — the shared front door of the timestamped
+    ``extend`` → ``update_batch`` delegations.  A
+    ``repro.streams.TimestampedStream`` short-circuits to its existing
+    arrays (no per-pair Python loop); empty input yields two empty
+    arrays."""
+    inner_items = getattr(pairs, "items", None)
+    inner_ts = getattr(pairs, "timestamps", None)
+    if isinstance(inner_items, np.ndarray) and isinstance(inner_ts, np.ndarray):
+        return (
+            np.asarray(inner_items, dtype=np.int64),
+            np.asarray(inner_ts, dtype=np.float64),
+        )
+    pairs = list(pairs)
+    if not pairs:
+        return (
+            np.empty(0, dtype=np.int64),
+            np.empty(0, dtype=np.float64),
+        )
+    items, timestamps = zip(*pairs)
+    return (
+        np.asarray(items, dtype=np.int64),
+        np.asarray(timestamps, dtype=np.float64),
+    )
 
 
 class SampleOutcome(enum.Enum):

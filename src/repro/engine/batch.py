@@ -29,6 +29,8 @@ from collections.abc import Iterable
 
 import numpy as np
 
+from repro.core.types import as_item_array as _as_array
+
 __all__ = ["DEFAULT_CHUNK_SIZE", "supports_batch", "ingest", "BatchIngestor"]
 
 DEFAULT_CHUNK_SIZE = 1 << 16
@@ -37,19 +39,6 @@ DEFAULT_CHUNK_SIZE = 1 << 16
 def supports_batch(sampler) -> bool:
     """Whether the sampler exposes the vectorized ``update_batch`` hook."""
     return callable(getattr(sampler, "update_batch", None))
-
-
-def _as_array(items) -> np.ndarray:
-    """Normalize a Stream / array / iterable to a 1-d int64 array."""
-    inner = getattr(items, "items", None)
-    if isinstance(inner, np.ndarray):  # repro.streams.Stream
-        items = inner
-    arr = np.asarray(items, dtype=np.int64) if not isinstance(items, np.ndarray) else items
-    if arr.dtype != np.int64:
-        arr = arr.astype(np.int64)
-    if arr.ndim != 1:
-        raise ValueError("ingest expects a 1-d sequence of items")
-    return arr
 
 
 def ingest(

@@ -353,7 +353,13 @@ def register_sampler(
     ``approx_size_bytes`` on top of the original checkpoint hooks —
     inherit :class:`repro.lifecycle.StaticLifecycleMixin` for the
     no-wall-clock defaults); plain :func:`build_sampler` use has no such
-    requirement."""
+    requirement.  Two query-fast-path contracts the engine additionally
+    relies on: ``compact`` must return a *positive* byte count whenever
+    it changed any state that can influence an answer (the engine keys
+    merged-view cache invalidation on it), and an optional vectorized
+    ``sample_many(k, **kwargs)`` — when present — must draw exactly as
+    ``k`` sequential ``sample`` calls would (the engine delegates
+    batched queries to it)."""
     _SAMPLERS[kind] = KindSpec(
         builder,
         shared_shard_seed=shared_shard_seed,

@@ -17,8 +17,22 @@ F_G-weighting happens implicitly: a shard wins an instance slot in
 proportion to its stream mass, and the usual rejection step then turns
 position mass into ``G``-mass exactly as in the single-stream proof.
 F0 shards merge by their own exact rules (shared random subsets /
-min-hash).  Queries run on a deep-copied fold, so the live shards keep
-ingesting afterwards.
+min-hash).  Queries run on a fold that leaves the live shards free to
+keep ingesting.
+
+**The query fast path.**  Folding K shard states costs O(K · state), so
+the engine does not re-fold per query: it keeps one *merged-view cache*
+keyed by per-shard **mutation epochs** — monotonically increasing
+counters bumped whenever a shard's state changes (ingest, restore,
+merge, or a compaction that actually dropped state).  A query whose
+epochs all match the cached fold reuses it outright; when only some
+shards changed, the fold is rebased from the longest clean *prefix fold*
+and only the dirty suffix re-merges; when everything changed (the
+common case after a batched ingest, which hash-scatters across all
+shards) the engine folds from scratch at exactly the old cost.  The
+cached view keeps its own RNG stream — see :meth:`sample` for the
+determinism contract — and ``sample_many(k)`` amortizes one fold and
+one batched coin block across ``k`` draws.
 
 The engine is written purely against the
 :class:`repro.lifecycle.StreamSampler` protocol — it never inspects
@@ -40,6 +54,7 @@ ride on the uniform protocol:
 
 from __future__ import annotations
 
+import copy
 import math
 
 import numpy as np
@@ -82,6 +97,10 @@ class ShardedSamplerEngine:
         many ingested updates (in addition to the always-on query-time
         pass) — the timer leg of expiry compaction for write-heavy,
         query-light deployments.
+    query_cache:
+        Keep the merged-view cache (default).  ``False`` restores the
+        PR 1 fold-per-query behavior: every :meth:`sample` re-folds from
+        scratch and replays the same coins until the next ingest.
     """
 
     def __init__(
@@ -92,6 +111,7 @@ class ShardedSamplerEngine:
         seed: int | None = None,
         max_watermark_skew: float = math.inf,
         compact_every: int | None = None,
+        query_cache: bool = True,
     ) -> None:
         if shards < 1:
             raise ValueError(f"need at least one shard, got {shards}")
@@ -140,6 +160,16 @@ class ShardedSamplerEngine:
                 f"StreamSampler lifecycle protocol (missing hooks: "
                 f"{', '.join(missing)})"
             )
+        # Merged-view cache: per-shard mutation epochs key the cached
+        # fold; the prefix chain enables incremental rebase-on-dirty.
+        self._query_cache = bool(query_cache)
+        self._epochs = [0] * shards
+        self._fold = None
+        self._fold_epochs: list[int] | None = None
+        self._prefixes: list | None = None
+        self._cache_hits = 0
+        self._cache_misses = 0
+        self._cache_partial = 0
 
     @property
     def shards(self) -> int:
@@ -151,7 +181,9 @@ class ShardedSamplerEngine:
 
     @property
     def samplers(self) -> list:
-        """The live shard samplers (mutating them is on you)."""
+        """The live shard samplers (mutating them is on you — call
+        :meth:`invalidate_cache` afterwards, or the merged-view cache
+        will keep serving the pre-mutation fold)."""
         return list(self._samplers)
 
     @property
@@ -165,11 +197,13 @@ class ShardedSamplerEngine:
     def update(self, item: int, timestamp: float | None = None) -> None:
         """Scalar convenience path (route one item; ``timestamp`` for
         time-windowed sampler kinds)."""
-        sampler = self._samplers[self.shard_of(item)]
+        shard = self.shard_of(item)
+        sampler = self._samplers[shard]
         if timestamp is None:
             sampler.update(item)
         else:
             sampler.update(item, timestamp)
+        self._epochs[shard] += 1
         self._after_ingest(1)
 
     def ingest(
@@ -195,6 +229,7 @@ class ShardedSamplerEngine:
                     total += ingest(
                         self._samplers[shard], subchunk, chunk_size=chunk_size
                     )
+                    self._epochs[shard] += 1
             self._after_ingest(total)
             return total
         inner = getattr(items, "items", None)
@@ -213,6 +248,7 @@ class ShardedSamplerEngine:
                     chunk_size=chunk_size,
                     timestamps=ts[mask],
                 )
+                self._epochs[shard] += 1
         self._after_ingest(total)
         return total
 
@@ -231,9 +267,22 @@ class ShardedSamplerEngine:
         approximate bytes reclaimed.  Passing ``now`` advances every
         shard's clock watermark (future updates must arrive at
         ``ts ≥ now``); ``None`` compacts each shard relative to its own
-        watermark and advances nothing."""
+        watermark and advances nothing.
+
+        A shard's mutation epoch bumps only when its compaction actually
+        dropped state.  A pure watermark advance is answer-preserving —
+        every query passes its own ``now`` and expired instances are
+        rejected either way — so the query-time compaction pass does not
+        invalidate the merged-view cache on idle read-heavy streams.
+        """
         self._ingested_since_compact = 0
-        return sum(s.compact(now) for s in self._samplers)
+        total = 0
+        for shard, sampler in enumerate(self._samplers):
+            freed = sampler.compact(now)
+            if freed:
+                self._epochs[shard] += 1
+            total += freed
+        return total
 
     def watermarks(self) -> list[float | None]:
         """Per-shard ``watermark()`` clocks, in shard order."""
@@ -267,9 +316,96 @@ class ShardedSamplerEngine:
     def merged_sampler(self):
         """Fold all shard states into one fresh merged sampler (shards
         are left untouched and keep ingesting).  Checks shard watermark
-        skew first."""
+        skew first.
+
+        This always folds from scratch — it is the cache-bypassing
+        reference path (and what ``query_cache=False`` queries run on);
+        the returned sampler is the caller's to mutate.
+        """
         self._check_watermark_skew(self._samplers)
         return merged(self._samplers)
+
+    # -- merged-view cache --------------------------------------------------
+    def mutation_epochs(self) -> list[int]:
+        """Per-shard mutation epochs, in shard order.  Monotonically
+        non-decreasing; a bump means the shard's state changed (ingest,
+        restore, merge, or a compaction that dropped state) and any
+        cached fold containing it is stale."""
+        return list(self._epochs)
+
+    def invalidate_cache(self) -> None:
+        """Force the next query to re-fold, by bumping every shard's
+        epoch.  Call this after mutating a shard obtained from
+        :attr:`samplers` directly — the engine cannot see those writes."""
+        for shard in range(len(self._epochs)):
+            self._epochs[shard] += 1
+
+    def cache_info(self) -> dict:
+        """Merged-view cache counters: full ``hits``, from-scratch
+        ``misses``, incremental ``partial`` rebuilds, and the number of
+        ``prefix_folds`` currently held (each is one merged-state copy —
+        the memory price of incremental refolds)."""
+        return {
+            "enabled": self._query_cache,
+            "hits": self._cache_hits,
+            "misses": self._cache_misses,
+            "partial": self._cache_partial,
+            "prefix_folds": len(self._prefixes) if self._prefixes else 0,
+        }
+
+    def _merged_view(self):
+        """The cached fold of all shard states, rebuilt only as far as
+        the mutation epochs demand.
+
+        Three regimes, cheapest first: every epoch matches → return the
+        cached fold as-is (zero copies); the dirty set is a short
+        suffix (at least half the shard prefix is clean) → rebase from
+        the longest clean prefix fold, re-merging only dirty and later
+        shards and keeping the chain for future suffixes; otherwise →
+        fold from scratch exactly like :func:`merged` and drop the
+        prefix chain (a batched ingest hash-scatters across all shards,
+        and maintaining prefixes costs a copy per merge step plus
+        O(K · state) retained memory — it only pays off when most of
+        the chain survives to the next query).
+
+        The chain is built copy-then-merge, so the final fold is bitwise
+        identical to a from-scratch :func:`merged` of the same shard
+        states — cached and fresh folds answer identically.
+        """
+        epochs = list(self._epochs)
+        if self._fold is not None and self._fold_epochs == epochs:
+            self._cache_hits += 1
+            return self._fold
+        shards = self._samplers
+        k = len(shards)
+        clean = 0
+        if self._fold_epochs is not None:
+            while clean < k and self._fold_epochs[clean] == epochs[clean]:
+                clean += 1
+        usable = min(clean, len(self._prefixes) if self._prefixes else 0)
+        if k == 1 or clean < max(1, k // 2):
+            # Mostly (or fully) dirty: from-scratch fold, no prefix
+            # upkeep — rebuilding a long chain would cost ~2-3x a plain
+            # fold only to be discarded by the next scattered ingest.
+            self._cache_misses += 1
+            self._prefixes = None
+            self._fold = merged(shards)
+        else:
+            # The dirty set is a short suffix: rebase from (or invest
+            # in) the prefix chain so it — and future short suffixes —
+            # re-merge incrementally.
+            self._cache_partial += 1
+            prefixes = list(self._prefixes[:usable]) if usable else []
+            if not prefixes:
+                prefixes.append(copy.deepcopy(shards[0]))
+            for i in range(len(prefixes), k):
+                fold = copy.deepcopy(prefixes[-1])
+                fold.merge(shards[i])
+                prefixes.append(fold)
+            self._prefixes = prefixes
+            self._fold = prefixes[-1]
+        self._fold_epochs = epochs
+        return self._fold
 
     def sample(self, **kwargs) -> SampleResult:
         """One truly perfect global sample from the merged shard states.
@@ -279,18 +415,87 @@ class ShardedSamplerEngine:
         state; without ``now`` each shard compacts relative to its own
         watermark (a no-op for kinds without one).  Keyword arguments
         pass through to the merged sampler's ``sample`` (e.g. ``now=``
-        for time-windowed kinds).  Note the
-        merged copy's RNG starts from shard 0's current state: repeated
-        calls without further ingestion replay the same coins.  Build
-        independent engines (or ingest between calls) for independent
-        samples.
+        for time-windowed kinds).
+
+        **Determinism contract.**  With the merged-view cache on (the
+        default), the fold's RNG stream is seeded from shard 0's RNG
+        state *at fold time* and then persists across queries: repeated
+        calls draw successive coins from that stream, giving fresh,
+        independent samples, and the whole query sequence is a
+        deterministic function of (engine seed, ingest history, query
+        sequence).  The first query after any (re)fold is bitwise
+        identical to a fresh :meth:`merged_sampler` query of the same
+        shard states.  With ``query_cache=False`` every call re-folds
+        and re-seeds from shard 0's live RNG, so repeated calls without
+        further ingestion replay the same coins (the legacy behavior).
         """
         # Skew must be judged on the shards' own clocks: the compaction
         # pass below syncs every watermark to the query's `now`, which
         # would otherwise erase the very skew the check exists to catch.
         self._check_watermark_skew(self._samplers)
         self.compact(kwargs.get("now"))
-        return self.merged_sampler().sample(**kwargs)
+        kwargs = self._pin_query_now(kwargs)
+        if not self._query_cache:
+            return merged(self._samplers).sample(**kwargs)
+        return self._merged_view().sample(**kwargs)
+
+    def sample_many(self, k: int, **kwargs) -> list[SampleResult]:
+        """``k`` truly perfect global samples from one fold.
+
+        Amortizes the skew check, the compaction pass, the fold (cache
+        hit or rebuild), and — for kinds with a vectorized
+        ``sample_many`` — one batched coin block across all ``k`` draws.
+        With the merged-view cache on (the default) this is bitwise
+        identical to ``k`` back-to-back :meth:`sample` calls with no
+        ingest in between: both draw successive coins from the retained
+        fold's stream.  With ``query_cache=False`` the two differ by
+        design — sequential :meth:`sample` calls re-fold and *replay*
+        the same coins (the legacy contract), while ``sample_many``
+        folds once and draws ``k`` successive coin rows.
+
+        Treat the returned results as immutable values: draws that
+        accepted the same pool instance share one frozen
+        :class:`SampleResult` (construction scales with distinct
+        outcomes, not ``k``), so mutating one entry's ``metadata`` dict
+        would show through its aliases.
+        """
+        if k < 0:
+            raise ValueError(f"need a non-negative draw count, got {k}")
+        self._check_watermark_skew(self._samplers)
+        self.compact(kwargs.get("now"))
+        kwargs = self._pin_query_now(kwargs)
+        fold = (
+            self._merged_view() if self._query_cache else merged(self._samplers)
+        )
+        many = getattr(fold, "sample_many", None)
+        if callable(many):
+            return many(k, **kwargs)
+        return [fold.sample(**kwargs) for __ in range(k)]
+
+    def _pin_query_now(self, kwargs: dict) -> dict:
+        """Normalize the query clock against the engine watermark.
+
+        A stale explicit ``now`` is rejected up front — the same check a
+        fresh fold would raise, applied here so a cached fold (whose
+        snapshot of the clock may be older) cannot silently accept it.
+        An *omitted* ``now`` is pinned to the engine watermark: a fresh
+        fold would default to its own ``_now`` (= the watermark at fold
+        time), but a cached fold's clock snapshot may predate watermark
+        advances that freed nothing — without pinning, a now-less query
+        after a now-advancing query would evaluate a stale window.
+        Kinds without a wall clock are untouched.
+        """
+        mark = self.watermark()
+        if mark is None:
+            return kwargs
+        now = kwargs.get("now")
+        if now is None:
+            return {**kwargs, "now": mark}
+        if float(now) < mark:
+            raise ValueError(
+                f"cannot sample at {now}, already ingested up to {mark}"
+            )
+        return kwargs
 
     def snapshot(self) -> dict:
         return {
@@ -326,6 +531,12 @@ class ShardedSamplerEngine:
             )
         for i, sampler in enumerate(self._samplers):
             sampler.restore(shard_states[str(i)])
+        # Every shard's state was rewritten wholesale: stale folds (and
+        # their prefix chain) must never serve another query.
+        self._prefixes = None
+        self._fold = None
+        self._fold_epochs = None
+        self.invalidate_cache()
 
     def merge(self, other: "ShardedSamplerEngine") -> None:
         """Shard-wise merge of two engines with identical layouts (e.g.
@@ -341,3 +552,4 @@ class ShardedSamplerEngine:
         self._check_watermark_skew(self._samplers + other._samplers)
         for mine, theirs in zip(self._samplers, other._samplers):
             mine.merge(theirs)
+        self.invalidate_cache()

@@ -55,7 +55,22 @@ def load_state(sampler, buf: bytes) -> None:
 
 def merged(samplers):
     """Fold a sequence of mergeable samplers into a fresh merged sampler,
-    leaving the inputs untouched (the first is deep-copied)."""
+    leaving the inputs untouched (the first is deep-copied).
+
+    **RNG / determinism contract.**  The fold's RNG stream begins as a
+    copy of the first input's RNG state at fold time (the deep copy) and
+    is advanced by the merge draws; from then on it belongs to the
+    merged view alone.  Queries against the fold draw successive coins
+    from that private stream — they never re-seed from the live input's
+    RNG — so a *retained* fold answers repeated queries with fresh,
+    deterministic draws, while *re-folding* before every query resets
+    the stream and replays the same coins until the inputs ingest again.
+    :class:`~repro.engine.ShardedSamplerEngine` builds its merged-view
+    cache on the retained-fold behavior: its first query after any
+    (re)fold is bitwise identical to a fresh ``merged(...)`` query of
+    the same shard states, and later cache-hit queries continue the
+    fold's stream.
+    """
     samplers = list(samplers)
     if not samplers:
         raise ValueError("nothing to merge")

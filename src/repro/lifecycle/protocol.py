@@ -31,6 +31,17 @@ generically, without per-kind dispatch:
   state (see :mod:`repro.lifecycle.memory`), the engine's memory
   accounting hook.
 
+Two *query fast-path* conventions ride on the protocol without being
+part of it (the engine probes them structurally):
+
+* ``sample_many(k, **kwargs)`` — optional batched query hook; when
+  present it must consume randomness exactly as ``k`` sequential
+  ``sample`` calls would (the engine delegates batched queries to it,
+  and falls back to a ``sample`` loop otherwise);
+* ``compact`` must return a *positive* byte count whenever it changed
+  any state that can influence an answer — the engine's merged-view
+  cache keys invalidation on that signal.
+
 :class:`MergeableState` is the original three-hook checkpoint protocol
 (PR 1); it remains as the minimal contract :func:`supports_merge`
 checks, and :class:`StreamSampler` extends it.

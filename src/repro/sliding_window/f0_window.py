@@ -25,7 +25,8 @@ from collections import OrderedDict
 
 import numpy as np
 
-from repro.core.types import SampleResult
+from repro.core.rejection import uniform_candidate_many, uniform_candidate_sample
+from repro.core.types import SampleResult, as_item_array
 from repro.lifecycle.memory import (
     INSTANCE_BYTES,
     RNG_STATE_BYTES,
@@ -36,6 +37,64 @@ from repro.lifecycle.protocol import StaticLifecycleMixin
 from repro.sliding_window.window_sampler import _count_window_merge_error
 
 __all__ = ["SlidingWindowF0Sampler"]
+
+
+def chunk_last_occurrences(arr: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """``(distinct items, 0-based index of each item's final chunk
+    occurrence)`` — the digest both windowed-F0 hot paths consume.
+    ``np.unique`` on the reversed chunk returns *first* indices in the
+    reversed order; items come back value-sorted (so ``uniq[0]`` /
+    ``uniq[-1]`` give the chunk's bounds for free)."""
+    uniq, rev_first = np.unique(arr[::-1], return_index=True)
+    return uniq, arr.size - 1 - rev_first
+
+
+def lru_fold_chunk(
+    recent: OrderedDict,
+    capacity: int,
+    uniq: np.ndarray,
+    last_pos: np.ndarray,
+    stamps,
+    horizon,
+):
+    """Fold one chunk into an LRU last-occurrence table without the
+    per-item replay — the windowed-F0 eviction-horizon kernel.
+
+    The sequential process (move-to-back on every occurrence, evict the
+    least-recent key past ``capacity``, record each evicted key's
+    then-current stamp in the horizon) has a closed form over a chunk:
+
+    * final membership is the ``capacity`` most-recently-seen distinct
+      keys — surviving prior entries (already recency-ordered, with
+      stamps no newer than the chunk's) followed by the chunk's distinct
+      items in final-occurrence order;
+    * the newest stamp any eviction ever records is the final stamp of
+      the ``(capacity+1)``-th most-recent key: every key below the top
+      ``capacity`` is evicted at (or after) its final occurrence, and at
+      any eviction moment ``capacity`` keys are more recent than the
+      victim, so no recorded stamp can rank above that cut.
+
+    Bitwise identical to the scalar replay, including the table's
+    iteration order.  ``stamps[i]`` is the stamp recorded for the chunk
+    position ``i`` (1-based stream positions for count windows,
+    wall-clock times for time windows); ``horizon`` is folded with
+    ``max`` and returned alongside the new table.
+    """
+    order = np.argsort(last_pos)  # ascending recency within the chunk
+    chunk_keys = uniq[order].tolist()
+    chunk_stamps = [stamps[i] for i in last_pos[order].tolist()]
+    if recent:
+        prior_keys = np.fromiter(recent.keys(), dtype=np.int64, count=len(recent))
+        kept = prior_keys[~np.isin(prior_keys, uniq)].tolist()
+        entries = [(key, recent[key]) for key in kept]
+    else:
+        entries = []
+    entries.extend(zip(chunk_keys, chunk_stamps))
+    overflow = len(entries) - capacity
+    if overflow > 0:
+        horizon = max(horizon, entries[overflow - 1][1])
+        entries = entries[overflow:]
+    return OrderedDict(entries), horizon
 
 
 class _WindowCopy:
@@ -133,43 +192,42 @@ class SlidingWindowF0Sampler(StaticLifecycleMixin):
                 copy.last_seen[item] = self._t
 
     def extend(self, items) -> None:
-        for item in items:
-            self.update(item)
+        """Delegates to :meth:`update_batch` (bitwise identical — updates
+        consume no randomness)."""
+        self.update_batch(as_item_array(items))
 
     def update_batch(self, items) -> None:
         """Chunk ingestion, bitwise identical to the scalar loop (updates
         consume no randomness).
 
-        The per-copy random-subset bookkeeping collapses to one
-        last-occurrence computation per distinct chunk item; the LRU
-        recency table is order-sensitive and replays sequentially (dict
-        operations only).
+        One ``np.unique`` digest drives everything: bounds validation
+        reads the sorted ends (one pass instead of separate min/max
+        scans), the LRU recency table folds through the vectorized
+        :func:`lru_fold_chunk` eviction-horizon kernel (no per-item
+        replay), and the per-copy random-subset bookkeeping collapses to
+        one last-occurrence write per distinct chunk item.
         """
         arr = np.asarray(items, dtype=np.int64)
         if arr.size == 0:
             return
-        if int(arr.min()) < 0 or int(arr.max()) >= self._n:
+        uniq, last_pos = chunk_last_occurrences(arr)
+        if int(uniq[0]) < 0 or int(uniq[-1]) >= self._n:
             raise ValueError(f"items outside universe [0, {self._n})")
         t0 = self._t
-        recent = self._recent
-        t = t0
-        for item in arr.tolist():
-            t += 1
-            if item in recent:
-                del recent[item]
-            recent[item] = t
-            if len(recent) > self._threshold + 1:
-                __, ts = recent.popitem(last=False)
-                self._evict_horizon = max(self._evict_horizon, ts)
-        self._t = t
-        # Last occurrence of each distinct chunk item: np.unique on the
-        # reversed chunk returns *first* indices in the reversed order.
-        uniq, rev_first = np.unique(arr[::-1], return_index=True)
-        last_pos = arr.size - rev_first
+        # Stream position of chunk offset i is t0 + i + 1 (1-based).
+        self._recent, self._evict_horizon = lru_fold_chunk(
+            self._recent,
+            self._threshold + 1,
+            uniq,
+            last_pos,
+            range(t0 + 1, t0 + int(arr.size) + 1),
+            self._evict_horizon,
+        )
+        self._t = t0 + int(arr.size)
         for item, pos in zip(uniq.tolist(), last_pos.tolist()):
             for copy in self._copies:
                 if item in copy.s_set:
-                    copy.last_seen[item] = t0 + int(pos)
+                    copy.last_seen[item] = t0 + int(pos) + 1
 
     def snapshot(self) -> dict:
         """Checkpoint the LRU table (order matters — stored oldest
@@ -237,18 +295,20 @@ class SlidingWindowF0Sampler(StaticLifecycleMixin):
         window_start = self._t - self._window
         return [i for i, ts in self._recent.items() if ts > window_start]
 
-    def sample(self) -> SampleResult:
+    def _support_candidates(self) -> tuple[str, list[int] | None]:
+        """The state-determined part of :meth:`sample`: the answering
+        regime and its candidate items (``("empty", None)`` for ⊥; an
+        empty S-regime list means FAIL).  Consumes no randomness."""
         if self._t == 0:
-            return SampleResult.empty()
+            return "empty", None
         window_start = self._t - self._window
         active = self._active_recent()
         certificate_ok = self._evict_horizon <= window_start
         if certificate_ok and len(active) <= self._threshold:
             # The LRU provably contains the window's entire support.
             if not active:
-                return SampleResult.empty()  # pragma: no cover - W ≥ 1
-            item = active[int(self._rng.integers(0, len(active)))]
-            return SampleResult.of(item, regime="recent")
+                return "empty", None  # pragma: no cover - W ≥ 1
+            return "recent", active
         # Dense regime: the window support exceeds √n (certified either by
         # |active| > threshold or by a live eviction witness).
         for copy in self._copies:
@@ -260,9 +320,30 @@ class SlidingWindowF0Sampler(StaticLifecycleMixin):
                 if ts > window_start
             ]
             if alive:
-                item = alive[int(self._rng.integers(0, len(alive)))]
-                return SampleResult.of(item, regime="S")
-        return SampleResult.fail(regime="S")
+                return "S", alive
+        return "S", []
+
+    def sample(self) -> SampleResult:
+        regime, candidates = self._support_candidates()
+        return uniform_candidate_sample(
+            self._rng,
+            regime,
+            candidates,
+            lambda item: SampleResult.of(item, regime=regime),
+        )
+
+    def sample_many(self, k: int) -> list[SampleResult]:
+        """``k`` independent samples with one regime resolution and one
+        batched index draw — bitwise identical to ``k`` back-to-back
+        :meth:`sample` calls."""
+        regime, candidates = self._support_candidates()
+        return uniform_candidate_many(
+            self._rng,
+            k,
+            regime,
+            candidates,
+            lambda item: SampleResult.of(item, regime=regime),
+        )
 
     def run(self, stream) -> SampleResult:
         self.extend(stream)

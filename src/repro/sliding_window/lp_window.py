@@ -22,7 +22,8 @@ import math
 import numpy as np
 
 from repro.core.g_sampler import SamplerPool
-from repro.core.types import SampleResult
+from repro.core.rejection import rejection_many
+from repro.core.types import SampleResult, as_item_array
 from repro.lifecycle.memory import INSTANCE_BYTES, RNG_STATE_BYTES
 from repro.lifecycle.protocol import StaticLifecycleMixin
 from repro.sketches.smooth_histogram import SmoothHistogram, ExactSuffixFp, fp_smoothness
@@ -146,8 +147,9 @@ class SlidingWindowLpSampler(StaticLifecycleMixin):
             self._hist.update(item)
 
     def extend(self, items) -> None:
-        for item in items:
-            self.update(item)
+        """Delegates to :meth:`update_batch` (distributionally
+        equivalent to the scalar loop — see its docstring)."""
+        self.update_batch(as_item_array(items))
 
     def update_batch(self, items) -> None:
         """Vectorized ingestion (pools batched; the smooth histogram's
@@ -262,6 +264,45 @@ class SlidingWindowLpSampler(StaticLifecycleMixin):
             if coin < weight / zeta:
                 return SampleResult.of(item, count=count, timestamp=abs_ts, zeta=zeta)
         return SampleResult.fail(zeta=zeta)
+
+    def sample_many(self, k: int) -> list[SampleResult]:
+        """``k`` independent window samples from one finalize + one
+        batched coin block — bitwise identical to ``k`` back-to-back
+        :meth:`sample` calls (the certified normalizer is computed once;
+        it is query-invariant between ingests)."""
+        gen = self._generations[0] if self._generations else None
+        finals = gen.pool.finalize() if gen is not None else []
+        if not finals:
+            if k < 0:
+                raise ValueError(f"need a non-negative draw count, got {k}")
+            return [SampleResult.empty() for __ in range(k)]
+        zeta = self.normalizer()
+        window_start = self._t - self._window
+        p = self._p
+        counts = np.array([c for __, c, __ in finals], dtype=np.float64)
+        weights = counts**p - (counts - 1.0) ** p
+        abs_ts = [gen.start + ts for __, __, ts in finals]
+        active = np.array([ts > window_start for ts in abs_ts], dtype=bool)
+
+        def make(j: int) -> SampleResult:
+            item, count, __ = finals[j]
+            return SampleResult.of(
+                item, count=count, timestamp=abs_ts[j], zeta=zeta
+            )
+
+        return rejection_many(
+            self._rng,
+            k,
+            weights,
+            zeta,
+            make,
+            lambda: SampleResult.fail(zeta=zeta),
+            active=active,
+            describe=lambda j: (
+                f"certified normalizer violated: increment {weights[j]} > "
+                f"ζ {zeta}"
+            ),
+        )
 
     def run(self, stream) -> SampleResult:
         self.extend(stream)

@@ -19,7 +19,8 @@ import numpy as np
 
 from repro.core.g_sampler import SamplerPool
 from repro.core.measures import Measure
-from repro.core.types import SampleResult
+from repro.core.rejection import rejection_many
+from repro.core.types import SampleResult, as_item_array
 from repro.lifecycle.memory import INSTANCE_BYTES, RNG_STATE_BYTES
 from repro.lifecycle.protocol import StaticLifecycleMixin
 
@@ -131,8 +132,10 @@ class SlidingWindowGSampler(StaticLifecycleMixin):
             gen.pool.update(item)
 
     def extend(self, items) -> None:
-        for item in items:
-            self.update(item)
+        """Delegates to :meth:`update_batch` (distributionally
+        equivalent to the scalar loop — see its docstring for the RNG
+        draw-order caveat)."""
+        self.update_batch(as_item_array(items))
 
     def update_batch(self, items) -> None:
         """Vectorized ingestion: the chunk is split at generation
@@ -252,6 +255,44 @@ class SlidingWindowGSampler(StaticLifecycleMixin):
                     item, count=count, timestamp=abs_ts, zeta=zeta
                 )
         return SampleResult.fail(zeta=zeta)
+
+    def sample_many(self, k: int) -> list[SampleResult]:
+        """``k`` independent window samples from one finalize + one
+        batched coin block — bitwise identical to ``k`` back-to-back
+        :meth:`sample` calls (expired instances stay masked without
+        consuming extra coins, exactly like the scalar scan)."""
+        gen = self._covering_generation()
+        finals = gen.pool.finalize() if gen is not None else []
+        if not finals:
+            if k < 0:
+                raise ValueError(f"need a non-negative draw count, got {k}")
+            return [SampleResult.empty() for __ in range(k)]
+        zeta = self._measure.zeta(None)
+        window_start = self._t - self._window
+        measure = self._measure
+        weights = [measure.increment(c) for __, c, __ in finals]
+        abs_ts = [gen.start + ts for __, __, ts in finals]
+        active = np.array([ts > window_start for ts in abs_ts], dtype=bool)
+
+        def make(j: int) -> SampleResult:
+            item, count, __ = finals[j]
+            return SampleResult.of(
+                item, count=count, timestamp=abs_ts[j], zeta=zeta
+            )
+
+        return rejection_many(
+            self._rng,
+            k,
+            weights,
+            zeta,
+            make,
+            lambda: SampleResult.fail(zeta=zeta),
+            active=active,
+            describe=lambda j: (
+                f"invalid zeta {zeta}: increment at c={finals[j][1]} is "
+                f"{weights[j]}"
+            ),
+        )
 
     def run(self, stream) -> SampleResult:
         self.extend(stream)

@@ -31,7 +31,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.core.measures import Measure
-from repro.core.types import SampleResult
+from repro.core.types import SampleResult, as_timed_arrays
 from repro.lifecycle.memory import INSTANCE_BYTES
 from repro.windows.chunking import as_timed_chunk, bucket_cuts
 from repro.windows.f0 import TimeWindowF0Sampler
@@ -229,8 +229,10 @@ class WindowBank:
             sampler.update(item, timestamp)
 
     def extend(self, pairs) -> None:
-        for item, ts in pairs:
-            self.update(item, ts)
+        """Ingest an iterable of ``(item, timestamp)`` pairs; delegates
+        to :meth:`update_batch` (bitwise identical — all member RNG
+        streams are per-bucket, so batching reorders no randomness)."""
+        self.update_batch(*as_timed_arrays(pairs))
 
     def update_batch(self, items, timestamps) -> None:
         """One vectorized pass feeding every rung.
@@ -288,6 +290,21 @@ class WindowBank:
             horizon: self.sample(horizon, now=now)
             for horizon in self._resolutions
         }
+
+    def sample_many(
+        self, k: int, horizon: float, now: float | None = None
+    ) -> list[SampleResult]:
+        """``k`` independent G/Lp samples from the rung at ``horizon``
+        with one batched coin block (bitwise identical to ``k``
+        back-to-back :meth:`sample` calls at the same ``now``)."""
+        return self.pool_sampler(horizon).sample_many(k, now=now)
+
+    def sample_distinct_many(
+        self, k: int, horizon: float, now: float | None = None
+    ) -> list[SampleResult]:
+        """``k`` independent uniform samples of the rung's active
+        distinct items with one batched index draw."""
+        return self.f0_sampler(horizon).sample_many(k, now=now)
 
     # -- mergeable state ----------------------------------------------------
     def snapshot(self) -> dict:

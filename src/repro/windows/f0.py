@@ -34,13 +34,15 @@ from collections import OrderedDict
 
 import numpy as np
 
-from repro.core.types import SampleResult
+from repro.core.rejection import uniform_candidate_many, uniform_candidate_sample
+from repro.core.types import SampleResult, as_timed_arrays
 from repro.lifecycle.memory import (
     INSTANCE_BYTES,
     RNG_STATE_BYTES,
     mapping_bytes,
     set_bytes,
 )
+from repro.sliding_window.f0_window import chunk_last_occurrences, lru_fold_chunk
 from repro.windows.chunking import as_timed_chunk
 
 __all__ = ["TimeWindowF0Sampler"]
@@ -200,37 +202,36 @@ class TimeWindowF0Sampler:
                 copy.last_seen[item] = ts
 
     def extend(self, pairs) -> None:
-        """Ingest an iterable of ``(item, timestamp)`` pairs."""
-        for item, ts in pairs:
-            self.update(item, ts)
+        """Ingest an iterable of ``(item, timestamp)`` pairs; delegates
+        to :meth:`update_batch` (bitwise identical — updates consume no
+        randomness)."""
+        self.update_batch(*as_timed_arrays(pairs))
 
     def update_batch(self, items, timestamps) -> None:
         """Chunk ingestion, bitwise identical to the scalar loop
         (updates consume no randomness).
 
-        The per-copy random-subset bookkeeping collapses to one
-        last-occurrence computation per distinct chunk item; the LRU
-        recency table is order-sensitive and replays sequentially (dict
-        operations only).
+        The LRU recency table folds through the vectorized
+        :func:`~repro.sliding_window.f0_window.lru_fold_chunk`
+        eviction-horizon kernel (no per-item replay), and the per-copy
+        random-subset bookkeeping collapses to one last-occurrence write
+        per distinct chunk item.
         """
         arr, ts = as_timed_chunk(items, timestamps, self._now, n=self._n)
         if arr.size == 0:
             return
-        recent = self._recent
-        for item, when in zip(arr.tolist(), ts.tolist()):
-            if item in recent:
-                del recent[item]
-            recent[item] = when
-            if len(recent) > self._threshold + 1:
-                __, evicted_ts = recent.popitem(last=False)
-                self._evict_horizon = max(self._evict_horizon, evicted_ts)
+        uniq, last_pos = chunk_last_occurrences(arr)
+        self._recent, self._evict_horizon = lru_fold_chunk(
+            self._recent,
+            self._threshold + 1,
+            uniq,
+            last_pos,
+            ts.tolist(),
+            self._evict_horizon,
+        )
         self._t += int(arr.size)
         self._now = float(ts[-1])
         self._last_arrival = float(ts[-1])
-        # Last occurrence of each distinct chunk item: np.unique on the
-        # reversed chunk returns *first* indices in the reversed order.
-        uniq, rev_first = np.unique(arr[::-1], return_index=True)
-        last_pos = arr.size - 1 - rev_first
         for item, pos in zip(uniq.tolist(), last_pos.tolist()):
             when = float(ts[pos])
             for copy in self._copies:
@@ -240,11 +241,14 @@ class TimeWindowF0Sampler:
     def _active_recent(self, window_start: float) -> list[int]:
         return [i for i, when in self._recent.items() if when > window_start]
 
-    def sample(self, now: float | None = None) -> SampleResult:
-        """A uniform sample of the distinct items active in
-        ``(now − H, now]``."""
+    def _support_candidates(
+        self, now: float | None
+    ) -> tuple[str, list[int] | None]:
+        """The state-determined part of :meth:`sample`: the answering
+        regime and its candidate items (``("empty", None)`` for ⊥; an
+        empty S-regime list means FAIL).  Consumes no randomness."""
         if self._t == 0:
-            return SampleResult.empty()
+            return "empty", None
         if now is None:
             now = self._now
         elif float(now) < self._now:
@@ -255,15 +259,14 @@ class TimeWindowF0Sampler:
         if self._last_arrival <= window_start:
             # Every ingested update expired: an explicit empty-window
             # answer, not a FAIL a caller might retry.
-            return SampleResult.empty()
+            return "empty", None
         active = self._active_recent(window_start)
         certificate_ok = self._evict_horizon <= window_start
         if certificate_ok and len(active) <= self._threshold:
             # The LRU provably contains the window's entire support.
             if not active:
-                return SampleResult.empty()
-            item = active[int(self._rng.integers(0, len(active)))]
-            return SampleResult.of(item, regime="recent")
+                return "empty", None
+            return "recent", active
         # Dense regime: the window support exceeds √n (certified either by
         # |active| > threshold or by a live eviction witness).
         for copy in self._copies:
@@ -275,9 +278,32 @@ class TimeWindowF0Sampler:
                 if when > window_start
             ]
             if alive:
-                item = alive[int(self._rng.integers(0, len(alive)))]
-                return SampleResult.of(item, regime="S")
-        return SampleResult.fail(regime="S")
+                return "S", alive
+        return "S", []
+
+    def sample(self, now: float | None = None) -> SampleResult:
+        """A uniform sample of the distinct items active in
+        ``(now − H, now]``."""
+        regime, candidates = self._support_candidates(now)
+        return uniform_candidate_sample(
+            self._rng,
+            regime,
+            candidates,
+            lambda item: SampleResult.of(item, regime=regime),
+        )
+
+    def sample_many(self, k: int, now: float | None = None) -> list[SampleResult]:
+        """``k`` independent samples with one regime resolution and one
+        batched index draw — bitwise identical to ``k`` back-to-back
+        :meth:`sample` calls at the same ``now``."""
+        regime, candidates = self._support_candidates(now)
+        return uniform_candidate_many(
+            self._rng,
+            k,
+            regime,
+            candidates,
+            lambda item: SampleResult.of(item, regime=regime),
+        )
 
     def run(self, timed_stream) -> SampleResult:
         self.update_batch(timed_stream.items, timed_stream.timestamps)

@@ -52,7 +52,8 @@ import numpy as np
 
 from repro.core.g_sampler import SamplerPool
 from repro.core.measures import Measure
-from repro.core.types import SampleResult
+from repro.core.rejection import rejection_many
+from repro.core.types import SampleResult, as_timed_arrays
 from repro.lifecycle.memory import (
     INSTANCE_BYTES,
     RNG_STATE_BYTES,
@@ -341,9 +342,11 @@ class _TimeWindowPoolSampler:
 
     def extend(self, pairs) -> None:
         """Ingest an iterable of ``(item, timestamp)`` pairs (e.g. a
-        :class:`repro.streams.TimestampedStream`)."""
-        for item, ts in pairs:
-            self.update(item, ts)
+        :class:`repro.streams.TimestampedStream`); delegates to
+        :meth:`update_batch` (bitwise identical — generation pools draw
+        from per-bucket RNG streams, so batching reorders no
+        randomness)."""
+        self.update_batch(*as_timed_arrays(pairs))
 
     def update_batch(self, items, timestamps) -> None:
         """Vectorized ingestion of a timestamped chunk.
@@ -437,6 +440,55 @@ class _TimeWindowPoolSampler:
                     item, count=count, timestamp=wall, zeta=zeta
                 )
         return SampleResult.fail(zeta=zeta)
+
+    def sample_many(self, k: int, now: float | None = None) -> list[SampleResult]:
+        """``k`` independent samples over the window ``(now − H, now]``
+        from one finalize + one batched coin block — bitwise identical
+        to ``k`` back-to-back :meth:`sample` calls at the same ``now``
+        (expired instances stay masked without consuming extra coins,
+        exactly like the scalar scan)."""
+        if k < 0:
+            raise ValueError(f"need a non-negative draw count, got {k}")
+        gen = self._covering_generation()
+        if gen is None:
+            return [SampleResult.empty() for __ in range(k)]
+        if now is None:
+            now = self._now
+        elif float(now) < self._now:
+            raise ValueError(
+                f"cannot sample at {now}, already ingested up to {self._now}"
+            )
+        window_start = float(now) - self._horizon
+        if self._last_arrival <= window_start:
+            return [SampleResult.empty() for __ in range(k)]
+        finals = gen.pool.finalize()
+        if not finals:
+            return [SampleResult.empty() for __ in range(k)]
+        zeta = self._zeta(gen)
+        weights = [self._weight(c) for __, c, __ in finals]
+        active = np.array(
+            [wall > window_start for wall in gen.wall], dtype=bool
+        )
+
+        def make(j: int) -> SampleResult:
+            item, count, __ = finals[j]
+            return SampleResult.of(
+                item, count=count, timestamp=gen.wall[j], zeta=zeta
+            )
+
+        return rejection_many(
+            self._rng,
+            k,
+            weights,
+            zeta,
+            make,
+            lambda: SampleResult.fail(zeta=zeta),
+            active=active,
+            describe=lambda j: (
+                f"invalid zeta {zeta}: increment at c={finals[j][1]} is "
+                f"{weights[j]}"
+            ),
+        )
 
     def run(self, timed_stream) -> SampleResult:
         """Convenience: replay a :class:`TimestampedStream` then sample."""

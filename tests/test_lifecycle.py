@@ -401,7 +401,10 @@ class TestBoundedMeasureLifecycle:
         items = np.asarray(zipf_stream(64, 800, alpha=1.2, seed=30).items)
         a = build_sampler({**KIND_CONFIGS["bounded"], "seed": 31})
         b = build_sampler({**KIND_CONFIGS["bounded"], "seed": 31})
-        a.extend(items.tolist())
+        # Explicit scalar loop: extend() now delegates to update_batch,
+        # so it can no longer serve as the scalar reference here.
+        for item in items.tolist():
+            a.update(item)
         b.update_batch(items)
         assert state_to_bytes(a.snapshot()) == state_to_bytes(b.snapshot())
         assert a.position == b.position == 800

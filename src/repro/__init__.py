@@ -37,6 +37,10 @@ Package map (see DESIGN.md for the full inventory):
 * :mod:`repro.engine` — serving-grade layer: batched ingestion,
   mergeable/serializable sampler state, sharded engine with expiry
   compaction and merge watermarks, config-driven construction.
+* :mod:`repro.serving` — the concurrent front door: shard-parallel
+  ingest workers behind bounded queues with admission control, a
+  lock-free query plane with per-reader RNG streams, thread and
+  asyncio facades, and the ``repro-serve`` CLI.
 
 Engine quick start::
 

@@ -40,7 +40,7 @@ from repro.engine.registry import (
     register_sampler,
     sampler_kinds,
 )
-from repro.engine.shard import ShardedSamplerEngine
+from repro.engine.shard import FoldHandle, ShardedSamplerEngine
 from repro.engine.state import (
     MergeableState,
     Snapshot,
@@ -68,6 +68,7 @@ __all__ = [
     "register_measure",
     "register_sampler",
     "sampler_kinds",
+    "FoldHandle",
     "ShardedSamplerEngine",
     "MergeableState",
     "StreamSampler",

@@ -56,6 +56,7 @@ from __future__ import annotations
 
 import copy
 import math
+from typing import NamedTuple
 
 import numpy as np
 
@@ -66,7 +67,24 @@ from repro.engine.registry import build_sampler, kind_spec
 from repro.engine.state import merged
 from repro.lifecycle import WatermarkSkewError, missing_hooks
 
-__all__ = ["ShardedSamplerEngine"]
+__all__ = ["FoldHandle", "ShardedSamplerEngine"]
+
+
+class FoldHandle(NamedTuple):
+    """A reader's view of one acquired fold: the merged sampler, the
+    per-shard mutation epochs it reflects, and the engine watermark at
+    acquisition time (``None`` for kinds without a wall clock).
+
+    The fold is the engine's *cached* object — treat it as query-only
+    and shared: either serialize draws on it, or spawn per-reader query
+    views (:func:`repro.lifecycle.spawn_query_view`).  ``epochs`` is the
+    staleness token: compare against a later ``mutation_epochs()`` to
+    decide whether to re-acquire.
+    """
+
+    fold: object
+    epochs: tuple[int, ...]
+    watermark: float | None
 
 
 class ShardedSamplerEngine:
@@ -252,6 +270,40 @@ class ShardedSamplerEngine:
         self._after_ingest(total)
         return total
 
+    def ingest_shard(
+        self,
+        shard: int,
+        items,
+        timestamps=None,
+        chunk_size: int = DEFAULT_CHUNK_SIZE,
+    ) -> int:
+        """Feed one shard directly, bypassing the router — the serving
+        layer's per-shard ingest hook (each worker owns a disjoint set of
+        shards, so concurrent workers never touch the same state).
+
+        The caller owns the routing contract: every item must belong to
+        ``shard`` under :attr:`partitioner` (feeding a mis-routed item
+        silently corrupts the merged forward counts — route with
+        :meth:`shard_of` / ``partitioner.split``).  Unlike
+        :meth:`ingest`, this path never triggers the engine-wide
+        ``compact_every`` cadence: a worker compacting shards it does
+        not own would race their owners, so a concurrent deployment
+        runs compaction from one place (see :meth:`compact_shard`).
+        """
+        if not 0 <= shard < len(self._samplers):
+            raise ValueError(
+                f"shard {shard} out of range for {len(self._samplers)} shards"
+            )
+        arr = np.asarray(getattr(items, "items", items), dtype=np.int64)
+        if arr.size == 0:
+            return 0
+        total = ingest(
+            self._samplers[shard], arr, chunk_size=chunk_size,
+            timestamps=timestamps,
+        )
+        self._epochs[shard] += 1
+        return total
+
     # -- lifecycle ----------------------------------------------------------
     def _after_ingest(self, count: int) -> None:
         """The timer leg of expiry compaction: compact once the cadence
@@ -283,6 +335,20 @@ class ShardedSamplerEngine:
                 self._epochs[shard] += 1
             total += freed
         return total
+
+    def compact_shard(self, shard: int, now: float | None = None) -> int:
+        """``compact(now)`` one shard only, bumping its epoch if state
+        was dropped — the per-shard leg :meth:`compact` fans out to,
+        exposed so a concurrent deployment can compact each shard under
+        that shard's own write lock instead of stopping the world."""
+        if not 0 <= shard < len(self._samplers):
+            raise ValueError(
+                f"shard {shard} out of range for {len(self._samplers)} shards"
+            )
+        freed = self._samplers[shard].compact(now)
+        if freed:
+            self._epochs[shard] += 1
+        return freed
 
     def watermarks(self) -> list[float | None]:
         """Per-shard ``watermark()`` clocks, in shard order."""
@@ -342,16 +408,36 @@ class ShardedSamplerEngine:
 
     def cache_info(self) -> dict:
         """Merged-view cache counters: full ``hits``, from-scratch
-        ``misses``, incremental ``partial`` rebuilds, and the number of
-        ``prefix_folds`` currently held (each is one merged-state copy —
-        the memory price of incremental refolds)."""
+        ``misses``, incremental ``rebases`` (prefix-chain rebuilds; the
+        pre-PR 5 name ``partial`` is kept as an alias), and the number
+        of ``prefix_folds`` currently held (each is one merged-state
+        copy — the memory price of incremental refolds)."""
         return {
             "enabled": self._query_cache,
             "hits": self._cache_hits,
             "misses": self._cache_misses,
+            "rebases": self._cache_partial,
             "partial": self._cache_partial,
             "prefix_folds": len(self._prefixes) if self._prefixes else 0,
         }
+
+    def acquire_fold(self) -> FoldHandle:
+        """Acquire the current merged view for reader-side serving: the
+        cached fold (rebuilt only as far as the mutation epochs demand),
+        its epoch snapshot, and the engine watermark.
+
+        This is the query plane's entry point: the serving layer calls
+        it with all shard writers quiesced (it reads every shard's
+        state), then hands the immutable handle to lock-free readers —
+        see :class:`FoldHandle` for the sharing rules.  Watermark skew
+        is checked exactly as :meth:`sample` would; unlike a query, no
+        compaction pass runs (the serving ticker owns that cadence).
+        With ``query_cache=False`` every acquisition folds from scratch.
+        """
+        self._check_watermark_skew(self._samplers)
+        epochs = tuple(self._epochs)
+        fold = self._merged_view() if self._query_cache else merged(self._samplers)
+        return FoldHandle(fold, epochs, self.watermark())
 
     def _merged_view(self):
         """The cached fold of all shard states, rebuilt only as far as

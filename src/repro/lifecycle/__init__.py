@@ -12,7 +12,10 @@ family in the repo:
 * :mod:`repro.lifecycle.envelope` — the versioned, kind-tagged
   :class:`Snapshot` envelope the engine ships;
 * :mod:`repro.lifecycle.memory` — the deterministic size model behind
-  ``approx_size_bytes()``.
+  ``approx_size_bytes()``;
+* :mod:`repro.lifecycle.rng` — per-reader query RNG streams: spawn
+  lock-free query views of a retained fold (the serving layer's
+  concurrency primitive, with the optional ``spawn_query_rng`` hook).
 
 The engine (:mod:`repro.engine`) is written against this surface only:
 adding a sampler family means implementing :class:`StreamSampler` and
@@ -36,8 +39,14 @@ from repro.lifecycle.protocol import (
     StreamSampler,
     WatermarkSkewError,
     conforms,
+    has_query_rng_hook,
     missing_hooks,
     supports_merge,
+)
+from repro.lifecycle.rng import (
+    derive_reader_rng,
+    rebind_query_rngs,
+    spawn_query_view,
 )
 
 __all__ = [
@@ -47,8 +56,12 @@ __all__ = [
     "StreamSampler",
     "WatermarkSkewError",
     "conforms",
+    "has_query_rng_hook",
     "missing_hooks",
     "supports_merge",
+    "derive_reader_rng",
+    "rebind_query_rngs",
+    "spawn_query_view",
     "state_from_bytes",
     "state_to_bytes",
     "ENVELOPE_VERSION",

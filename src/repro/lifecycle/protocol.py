@@ -40,7 +40,20 @@ part of it (the engine probes them structurally):
   and falls back to a ``sample`` loop otherwise);
 * ``compact`` must return a *positive* byte count whenever it changed
   any state that can influence an answer — the engine's merged-view
-  cache keys invalidation on that signal.
+  cache keys invalidation on that signal;
+* ``spawn_query_rng(rng) -> sampler`` — optional *query-view* hook for
+  the serving layer (:mod:`repro.serving`): return a query-only clone
+  of this sampler sharing (a copy of) its frozen state but drawing all
+  query coins from ``rng`` instead of the live stream.  Concurrent
+  readers each get their own view, making the query plane lock-free;
+  the clone must answer exactly as the original would under a fresh
+  independent coin sequence, and building it must not advance the
+  original's RNG.  Families without the hook are served through the
+  generic deep-copy-and-rebind fallback in :mod:`repro.lifecycle.rng`
+  (:func:`~repro.lifecycle.rng.spawn_query_view`), which covers every
+  sampler whose query randomness flows through ``np.random.Generator``
+  attributes — implement the hook only when that structural walk is
+  wrong or wasteful for your family.
 
 :class:`MergeableState` is the original three-hook checkpoint protocol
 (PR 1); it remains as the minimal contract :func:`supports_merge`
@@ -150,3 +163,11 @@ def missing_hooks(sampler) -> list[str]:
         hook for hook in LIFECYCLE_HOOKS
         if not callable(getattr(sampler, hook, None))
     ]
+
+
+def has_query_rng_hook(sampler) -> bool:
+    """Whether the sampler implements the optional ``spawn_query_rng``
+    query-view hook (see the module docstring); families without it are
+    served through :func:`repro.lifecycle.rng.spawn_query_view`'s
+    generic fallback."""
+    return callable(getattr(sampler, "spawn_query_rng", None))

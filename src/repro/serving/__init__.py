@@ -1,0 +1,64 @@
+"""repro.serving — the concurrent front door over the sharded engine.
+
+PR 4 made the query fast path lock-friendly (epoch-keyed merged-view
+cache, a staleness signal readers can poll without locks); this package
+adds the concurrency itself, turning the engine from a library into a
+service:
+
+* :mod:`repro.serving.router` — admission control (per-tenant token
+  buckets) and engine-identical batch → shard routing;
+* :mod:`repro.serving.workers` — bounded per-shard queues with atomic
+  backpressure, drained by shard-owning ingest worker threads;
+* :mod:`repro.serving.executor` — the concurrent query plane:
+  epoch-validated fold publication, lock-free per-reader RNG views
+  (plus the locked bitwise-replay mode);
+* :mod:`repro.serving.service` — :class:`SamplerService`, wiring
+  ingest, queries, the compaction/refresh ticker, stats, and shutdown
+  into one facade;
+* :mod:`repro.serving.aio` — :class:`AsyncSamplerService`, the asyncio
+  facade over the same core;
+* :mod:`repro.serving.errors` — the load-shed error vocabulary;
+* :mod:`repro.serving.cli` — the ``repro-serve`` console entry point.
+
+Quick start::
+
+    from repro.serving import SamplerService
+
+    with SamplerService(
+        {"kind": "g", "measure": {"name": "huber"}, "instances": 64},
+        shards=8, seed=0, ingest_workers=4,
+    ) as svc:
+        svc.submit(items)              # routed, queued, worker-ingested
+        res = svc.sample()             # lock-free off the published fold
+        svc.flush(); svc.refresh()     # read-your-writes when needed
+"""
+
+from repro.serving.aio import AsyncSamplerService
+from repro.serving.errors import (
+    Backpressure,
+    FlushTimeout,
+    RateLimited,
+    ServiceClosed,
+    ServingError,
+)
+from repro.serving.executor import PublishedFold, QueryExecutor
+from repro.serving.router import ShardRouter, TenantRateLimiter, TokenBucket
+from repro.serving.service import SamplerService
+from repro.serving.workers import IngestWorker, ShardQueues
+
+__all__ = [
+    "AsyncSamplerService",
+    "SamplerService",
+    "QueryExecutor",
+    "PublishedFold",
+    "ShardRouter",
+    "TenantRateLimiter",
+    "TokenBucket",
+    "IngestWorker",
+    "ShardQueues",
+    "ServingError",
+    "Backpressure",
+    "RateLimited",
+    "ServiceClosed",
+    "FlushTimeout",
+]

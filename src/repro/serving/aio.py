@@ -1,0 +1,102 @@
+"""AsyncSamplerService — the asyncio facade over the threaded core.
+
+One serving core, two front doors: :class:`SamplerService` for thread
+-based callers, this wrapper for event-loop applications.  Every call
+(queue backpressure, flush, queries, fold refresh, stats) is pushed
+onto an executor via ``asyncio.to_thread``-style dispatch so the loop
+never stalls on the service's internal locks or state walks.
+
+The facade adds no second implementation — it owns a
+:class:`SamplerService` and forwards, so thread and asyncio callers can
+even share one service instance (pass an existing service in).  That is
+the design the tests exercise: the asyncio smoke job drives the same
+core the thread-pool job does.
+
+Usage::
+
+    async with AsyncSamplerService({"kind": "g", ...}, shards=8) as svc:
+        await svc.submit(batch)
+        res = await svc.sample()
+"""
+
+from __future__ import annotations
+
+import asyncio
+import functools
+
+from repro.serving.service import SamplerService
+
+__all__ = ["AsyncSamplerService"]
+
+
+class AsyncSamplerService:
+    """Asyncio front door over a :class:`SamplerService` core.
+
+    Accepts either a sampler config (a service is built with the given
+    keyword arguments, same surface as :class:`SamplerService`) or an
+    already-running service to wrap.  ``concurrency`` bounds how many
+    blocking calls may be in flight on the default executor at once —
+    a semaphore, so a flood of async clients degrades to queueing
+    rather than unbounded thread fan-out.
+    """
+
+    def __init__(self, config, *, concurrency: int = 32, **kwargs) -> None:
+        if isinstance(config, SamplerService):
+            if kwargs:
+                raise ValueError(
+                    "keyword arguments are for building a new service; "
+                    "got an existing SamplerService plus "
+                    f"{sorted(kwargs)}"
+                )
+            self._service = config
+        else:
+            self._service = SamplerService(config, **kwargs)
+        if concurrency < 1:
+            raise ValueError(f"concurrency must be ≥ 1, got {concurrency}")
+        self._gate = asyncio.Semaphore(concurrency)
+
+    @property
+    def service(self) -> SamplerService:
+        """The threaded core (shared-use is fine; it is thread-safe)."""
+        return self._service
+
+    async def _dispatch(self, fn, /, *args, **kwargs):
+        loop = asyncio.get_running_loop()
+        async with self._gate:
+            return await loop.run_in_executor(
+                None, functools.partial(fn, *args, **kwargs)
+            )
+
+    async def submit(self, items, timestamps=None, **kwargs) -> int:
+        """Async :meth:`SamplerService.submit` — backpressure blocking
+        happens off-loop; admission errors propagate unchanged."""
+        return await self._dispatch(
+            self._service.submit, items, timestamps, **kwargs
+        )
+
+    async def sample(self, **kwargs):
+        return await self._dispatch(self._service.sample, **kwargs)
+
+    async def sample_many(self, k: int, **kwargs):
+        return await self._dispatch(self._service.sample_many, k, **kwargs)
+
+    async def flush(self, timeout: float | None = None) -> None:
+        await self._dispatch(self._service.flush, timeout)
+
+    async def refresh(self) -> bool:
+        return await self._dispatch(self._service.refresh)
+
+    async def stats(self) -> dict:
+        """Off-loop like every other call: the stats payload includes
+        ``engine.approx_size_bytes()``, an O(state) walk across all
+        shards — too heavy to run on the event loop for a big engine."""
+        return await self._dispatch(self._service.stats)
+
+    async def close(self, drain: bool = True, timeout: float | None = None) -> None:
+        await self._dispatch(self._service.close, drain, timeout)
+
+    async def __aenter__(self) -> "AsyncSamplerService":
+        return self
+
+    async def __aexit__(self, *exc_info) -> None:
+        await self.close()

@@ -1,0 +1,63 @@
+"""The serving layer's error vocabulary.
+
+Every failure the front door can hand a client is a
+:class:`ServingError`, so callers can catch one base class at the
+service boundary.  The admission-control errors (:class:`Backpressure`,
+:class:`RateLimited`) are *load-shed signals*: the submitted batch was
+rejected atomically — no shard queue received any part of it — and the
+client may retry after backing off.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ServingError",
+    "Backpressure",
+    "RateLimited",
+    "ServiceClosed",
+    "FlushTimeout",
+]
+
+
+class ServingError(RuntimeError):
+    """Base class for every error raised at the service boundary."""
+
+
+class Backpressure(ServingError):
+    """A shard queue is at its high-water mark and the service is
+    configured to shed rather than block.
+
+    The whole submit was rejected atomically (capacity is reserved on
+    every target shard before anything is enqueued), so retrying the
+    identical batch after a backoff is safe and lossless.
+    """
+
+    def __init__(self, message: str, *, shard: int | None = None) -> None:
+        super().__init__(message)
+        self.shard = shard
+
+
+class RateLimited(ServingError):
+    """The tenant's token bucket cannot cover the batch right now.
+
+    Carries ``retry_after`` — the seconds until the bucket will have
+    refilled enough to admit a batch of this size.
+    """
+
+    def __init__(self, message: str, *, tenant: str, retry_after: float) -> None:
+        super().__init__(message)
+        self.tenant = tenant
+        self.retry_after = retry_after
+
+
+class ServiceClosed(ServingError):
+    """The service has been closed; no further submits or queries."""
+
+
+class FlushTimeout(ServingError):
+    """``flush(timeout=...)`` expired with items still queued or
+    in-flight (carries the residue count for diagnostics)."""
+
+    def __init__(self, message: str, *, pending: int) -> None:
+        super().__init__(message)
+        self.pending = pending

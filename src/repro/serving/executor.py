@@ -1,0 +1,318 @@
+"""The concurrent query plane: epoch-validated folds, per-reader RNGs.
+
+The PR 4 fast path left one concurrency caveat: a retained fold's
+*state* is frozen between refolds, but its private RNG stream advances
+on every query, so a shared fold cannot serve concurrent readers
+lock-free.  :class:`QueryExecutor` resolves it with two modes:
+
+* ``per-reader`` (default, lock-free reads) — the executor publishes an
+  immutable :class:`PublishedFold` (fold + epoch snapshot + watermark +
+  generation counter); each reader thread lazily spawns its own *query
+  view* of the published fold (:func:`repro.lifecycle.spawn_query_view`)
+  with an independent RNG stream derived from ``(service seed,
+  generation, reader index)``.  A query is then a plain method call on
+  thread-local state — no locks, no shared mutation.  Each reader's
+  sequence is exactly target-distributed and reproducible given the
+  seed and its reader index; the cross-reader interleaving is not a
+  single replayable stream (that is what ``locked`` is for).
+* ``locked`` (bitwise replay) — queries serialize on one lock around
+  the engine's own ``sample``/``sample_many``, quiescing the shard
+  writers for the duration.  The answer sequence is bitwise identical
+  to direct single-threaded engine calls — the replay/debug mode, and
+  the serialized-serving determinism gate in CI.
+
+**Publication protocol.**  ``refresh()`` quiesces all shard writers
+(taking every shard lock in ascending order), asks the engine for its
+merged view (``acquire_fold`` — the epoch-keyed cache does full-hit /
+prefix-rebase / from-scratch exactly as for direct queries), and
+publishes a new generation only when the epochs actually moved.
+Readers pick up a new generation at their next query by a single
+reference read — the swap is one Python assignment, torn folds cannot
+be observed.  Between refreshes readers serve the previous generation:
+bounded staleness is the price of lock-free reads, and the ticker's
+``refresh_interval`` is the bound.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+import time
+import weakref
+
+from repro.lifecycle.rng import derive_reader_rng, spawn_query_view
+
+__all__ = ["PublishedFold", "QueryExecutor"]
+
+#: The two query-plane RNG modes.
+RNG_MODES = ("per-reader", "locked")
+
+
+class PublishedFold:
+    """One immutable published generation of the merged view."""
+
+    __slots__ = ("generation", "fold", "epochs", "watermark", "published_at")
+
+    def __init__(self, generation, fold, epochs, watermark, published_at):
+        self.generation = generation
+        self.fold = fold
+        self.epochs = epochs
+        self.watermark = watermark
+        self.published_at = published_at
+
+
+class _ReaderSlot(threading.local):
+    """Thread-local reader state: a stable reader index, the query view
+    spawned for the currently-published generation, and this reader's
+    served-query tally (single-writer, so increments are race-free; the
+    stats endpoint sums tallies across the registry)."""
+
+    index: int | None = None
+    generation: int = -1
+    view = None
+    tally = None
+
+
+class QueryExecutor:
+    """Serve ``sample``/``sample_many`` off the engine's epoch-validated
+    merged view, concurrently.  See the module docstring for the two
+    RNG modes and the publication protocol."""
+
+    def __init__(
+        self,
+        engine,
+        shard_locks: list[threading.Lock],
+        *,
+        seed: int | None,
+        rng_mode: str = "per-reader",
+    ) -> None:
+        if rng_mode not in RNG_MODES:
+            raise ValueError(
+                f"unknown rng_mode {rng_mode!r}; choose from {RNG_MODES}"
+            )
+        self._engine = engine
+        self._locks = shard_locks
+        self._seed = seed
+        self._mode = rng_mode
+        self._published: PublishedFold | None = None
+        self._refresh_lock = threading.Lock()
+        self._query_lock = threading.Lock()
+        self._reader_ids = itertools.count()
+        self._slot = _ReaderSlot()
+        self._refreshes = 0
+        # A failed refresh (e.g. WatermarkSkewError) latches here and is
+        # re-raised by every lock-free query until a refresh succeeds —
+        # mirroring the direct engine, where each query re-checks skew.
+        # Without it the ticker's failure would silently pin readers to
+        # an ever-staler fold.
+        self._refresh_error: Exception | None = None
+        # Served-query counts live in per-reader single-writer tallies
+        # (registered under a lock, summed by stats()) so the lock-free
+        # query path never does a racy shared-counter increment.  A
+        # tally retires into the aggregate when its thread dies, so a
+        # thread-per-request caller doesn't grow the registry forever.
+        self._tally_lock = threading.Lock()
+        self._tally_keys = itertools.count()
+        self._tallies: dict[int, list[int]] = {}
+        self._tally_watchers: dict[int, weakref.ref] = {}
+        self._retired_served = 0
+        self._readers_ever = 0
+
+    @property
+    def rng_mode(self) -> str:
+        return self._mode
+
+    @property
+    def generation(self) -> int:
+        """The currently-published fold generation (-1 before the first
+        refresh)."""
+        published = self._published
+        return -1 if published is None else published.generation
+
+    def _retire_tally(self, key: int) -> None:
+        """Fold a dead thread's tally into the aggregate (weakref
+        callback on the owning Thread object)."""
+        with self._tally_lock:
+            tally = self._tallies.pop(key, None)
+            if tally is not None:
+                self._retired_served += tally[0]
+            self._tally_watchers.pop(key, None)
+
+    def _tally(self) -> list[int]:
+        """This thread's served-query tally, registered on first use and
+        retired into the aggregate when the thread dies."""
+        slot = self._slot
+        if slot.tally is None:
+            tally = [0]
+            slot.tally = tally
+            thread = threading.current_thread()
+            # A fresh key, not id(thread): thread ids recycle, and a
+            # recycled id could overwrite a dead-but-uncollected
+            # reader's live entry.
+            key = next(self._tally_keys)
+            with self._tally_lock:
+                self._tallies[key] = tally
+                self._readers_ever += 1
+                self._tally_watchers[key] = weakref.ref(
+                    thread, lambda ref, key=key: self._retire_tally(key)
+                )
+        return slot.tally
+
+    def stats(self) -> dict:
+        published = self._published
+        with self._tally_lock:
+            served = self._retired_served + sum(
+                t[0] for t in self._tallies.values()
+            )
+            readers = self._readers_ever
+        return {
+            "rng_mode": self._mode,
+            "served": served,
+            "refreshes": self._refreshes,
+            "generation": self.generation,
+            "readers": readers,
+            "fold_age_s": (
+                None
+                if published is None
+                else time.monotonic() - published.published_at
+            ),
+            "fold_watermark": None if published is None else published.watermark,
+        }
+
+    # -- publication --------------------------------------------------------
+    def _quiesce(self):
+        """Acquire every shard lock in ascending order (the one global
+        ordering, so refresh can never deadlock against the workers'
+        single-lock acquisitions)."""
+        for lock in self._locks:
+            lock.acquire()
+
+    def _release(self):
+        for lock in self._locks:
+            lock.release()
+
+    def refresh(self, force: bool = False) -> bool:
+        """Re-acquire the merged view and publish a new generation if
+        the shard epochs moved (or ``force``); returns whether a new
+        generation was published.
+
+        Cheap when nothing changed: an epoch-list compare under no shard
+        locks, then return.  Concurrent refreshes coalesce on an
+        internal lock.
+        """
+        published = self._published
+        if (
+            published is not None
+            and not force
+            and list(published.epochs) == self._engine.mutation_epochs()
+        ):
+            return False
+        with self._refresh_lock:
+            published = self._published
+            if (
+                published is not None
+                and not force
+                and list(published.epochs) == self._engine.mutation_epochs()
+            ):
+                return False
+            self._quiesce()
+            try:
+                handle = self._engine.acquire_fold()
+            except Exception as exc:
+                self._refresh_error = exc
+                raise
+            finally:
+                self._release()
+            self._refresh_error = None
+            generation = 0 if published is None else published.generation + 1
+            self._published = PublishedFold(
+                generation, handle.fold, handle.epochs, handle.watermark,
+                time.monotonic(),
+            )
+            self._refreshes += 1
+            return True
+
+    def published(self) -> PublishedFold:
+        """The current generation, refreshing synchronously only when
+        nothing was ever published.  Re-raises a latched refresh failure
+        (watermark skew, fold errors) instead of serving the stale
+        pre-failure fold — exactly the error a direct engine query would
+        keep raising; it clears on the next successful refresh."""
+        error = self._refresh_error
+        if error is not None:
+            raise error
+        published = self._published
+        if published is None:
+            # Non-forced: concurrent first readers coalesce on the
+            # refresh lock and share one initial generation.
+            self.refresh()
+            published = self._published
+        return published
+
+    # -- queries ------------------------------------------------------------
+    def _pin_clock(self, published: PublishedFold, kwargs: dict) -> dict:
+        """The fold-handle analogue of the engine's query-clock pinning:
+        default ``now`` to the fold's watermark, reject a ``now`` behind
+        it (a cached fold must fail a stale clock exactly as a fresh one
+        would)."""
+        mark = published.watermark
+        if mark is None:
+            return kwargs
+        now = kwargs.get("now")
+        if now is None:
+            return {**kwargs, "now": mark}
+        if float(now) < mark:
+            raise ValueError(
+                f"cannot sample at {now}, fold already reflects ingest up "
+                f"to {mark}"
+            )
+        return kwargs
+
+    def _reader_view(self, published: PublishedFold):
+        """This thread's query view of the published generation,
+        (re)spawned lazily when the generation moved."""
+        slot = self._slot
+        if slot.index is None:
+            slot.index = next(self._reader_ids)
+        if slot.view is None or slot.generation != published.generation:
+            rng = derive_reader_rng(self._seed, published.generation, slot.index)
+            slot.view = spawn_query_view(published.fold, rng)
+            slot.generation = published.generation
+        return slot.view
+
+    def sample(self, **kwargs):
+        """One truly perfect sample off the published fold (lock-free in
+        ``per-reader`` mode; engine-identical under the query lock in
+        ``locked`` mode)."""
+        self._tally()[0] += 1
+        if self._mode == "locked":
+            with self._query_lock:
+                self._quiesce()
+                try:
+                    return self._engine.sample(**kwargs)
+                finally:
+                    self._release()
+        published = self.published()
+        view = self._reader_view(published)
+        return view.sample(**self._pin_clock(published, kwargs))
+
+    def sample_many(self, k: int, **kwargs):
+        """``k`` samples amortizing one view lookup (and, for kinds with
+        a vectorized ``sample_many``, one batched coin block)."""
+        self._tally()[0] += 1
+        if self._mode == "locked":
+            with self._query_lock:
+                self._quiesce()
+                try:
+                    return self._engine.sample_many(k, **kwargs)
+                finally:
+                    self._release()
+        if k < 0:
+            raise ValueError(f"need a non-negative draw count, got {k}")
+        published = self.published()
+        view = self._reader_view(published)
+        kwargs = self._pin_clock(published, kwargs)
+        many = getattr(view, "sample_many", None)
+        if callable(many):
+            return many(k, **kwargs)
+        return [view.sample(**kwargs) for __ in range(k)]

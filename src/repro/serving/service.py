@@ -1,0 +1,399 @@
+"""SamplerService — the concurrent front door over the sharded engine.
+
+One object wires the whole serving path together::
+
+    submit(batch) ──► admission (per-tenant token buckets)
+                  ──► router (engine-identical hash partition)
+                  ──► bounded per-shard queues  ──► N ingest workers
+                                                        │ (per-shard locks)
+    sample()/sample_many() ◄── per-reader query views ◄─┴─ fold refresh +
+                               (lock-free)                 compaction ticker
+
+Ingestion is shard-parallel and bitwise-deterministic: per-shard FIFO
+and single shard ownership make the final engine state identical to a
+sequential ``engine.ingest`` of the same submits, for any worker count.
+Queries serve off the epoch-validated merged view concurrently — see
+:mod:`repro.serving.executor` for the ``per-reader`` / ``locked`` RNG
+contract.  Backpressure (queue high-water marks), per-tenant rate caps,
+and load-shed errors guard the front; a background ticker refreshes the
+fold (bounded staleness) and runs expiry compaction.
+
+**Serialized mode** (``serialized=True``) is the replay/debug
+configuration: one worker, locked single-stream queries, and an
+implicit ``flush()`` before every query — the full request sequence
+(submits and queries) becomes bitwise identical to driving the engine
+directly from one thread, which is how the CI determinism gate compares
+the service against the engine.
+
+The asyncio facade over this same core lives in
+:mod:`repro.serving.aio`; a tiny CLI (``repro-serve``) in
+:mod:`repro.serving.cli`.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+from repro.engine.registry import kind_spec
+from repro.engine.shard import ShardedSamplerEngine
+from repro.serving.errors import Backpressure, ServiceClosed
+from repro.serving.executor import QueryExecutor
+from repro.serving.router import ShardRouter, TenantRateLimiter
+from repro.serving.workers import IngestWorker, ShardQueues
+
+__all__ = ["SamplerService"]
+
+#: Default coalescing limit for worker micro-batches (items).
+DEFAULT_MAX_BATCH = 1 << 16
+
+
+class SamplerService:
+    """Concurrent ingest + query serving over a sharded sampler engine.
+
+    Parameters
+    ----------
+    config:
+        Sampler config for the engine registry (``{"kind": ..., ...}``),
+        or an already-built :class:`ShardedSamplerEngine` to serve (the
+        service then owns its concurrency: stop driving it directly).
+    shards, seed, max_watermark_skew:
+        Engine construction knobs (ignored when ``config`` is an
+        engine).  The service always builds the engine with the query
+        cache on and no ``compact_every`` cadence — the ticker owns
+        compaction here.
+    ingest_workers:
+        Ingest worker threads (clamped to the shard count).  Shards are
+        assigned round-robin, each owned by exactly one worker.
+    queue_capacity:
+        Per-shard queue high-water mark, in items (queued + in-flight).
+    backpressure:
+        ``"block"`` (default): ``submit`` waits for capacity (up to its
+        ``timeout``); ``"shed"``: a full lane rejects the whole submit
+        with :class:`~repro.serving.errors.Backpressure` immediately.
+        Either way admission is atomic — a rejected submit enqueued
+        nothing.
+    tenant_rates / default_rate:
+        Per-tenant ``(items_per_second, burst)`` caps, and the cap for
+        tenants not listed (``None`` = unlimited).
+    rng_mode:
+        ``"per-reader"`` (lock-free concurrent queries, default) or
+        ``"locked"`` (serialized bitwise-replay queries) — see
+        :mod:`repro.serving.executor`.
+    refresh_interval:
+        Fold publication cadence in seconds — the staleness bound for
+        lock-free reads.  ``0`` disables the ticker's refresh leg and
+        refreshes synchronously before *every* query instead (freshest
+        answers, writers quiesced per query).
+    compact_interval:
+        Expiry-compaction cadence in seconds (``None`` disables; the
+        pass runs shard-by-shard under each shard's own lock, never
+        stopping the world).
+    max_batch:
+        Worker micro-batch coalescing limit, in items.
+    serialized:
+        Replay/debug mode — see the module docstring.
+    """
+
+    def __init__(
+        self,
+        config,
+        *,
+        shards: int = 8,
+        seed: int | None = None,
+        max_watermark_skew: float = float("inf"),
+        ingest_workers: int = 4,
+        queue_capacity: int = 1 << 18,
+        backpressure: str = "block",
+        tenant_rates: dict[str, tuple[float, float]] | None = None,
+        default_rate: tuple[float, float] | None = None,
+        rng_mode: str = "per-reader",
+        refresh_interval: float = 0.05,
+        compact_interval: float | None = 1.0,
+        max_batch: int = DEFAULT_MAX_BATCH,
+        serialized: bool = False,
+    ) -> None:
+        if backpressure not in ("block", "shed"):
+            raise ValueError(
+                f"backpressure must be 'block' or 'shed', got {backpressure!r}"
+            )
+        if refresh_interval < 0:
+            raise ValueError(
+                f"refresh_interval must be ≥ 0, got {refresh_interval}"
+            )
+        if compact_interval is not None and compact_interval <= 0:
+            raise ValueError(
+                f"compact_interval must be positive or None, got {compact_interval}"
+            )
+        if max_batch < 1:
+            raise ValueError(f"max_batch must be ≥ 1, got {max_batch}")
+        if serialized:
+            ingest_workers = 1
+            rng_mode = "locked"
+            refresh_interval = 0.0
+        if isinstance(config, ShardedSamplerEngine):
+            self._engine = config
+        else:
+            # Fail actionably before building K shards' worth of state.
+            kind_spec(dict(config).get("kind"))
+            self._engine = ShardedSamplerEngine(
+                config,
+                shards=shards,
+                seed=seed,
+                max_watermark_skew=max_watermark_skew,
+                query_cache=True,
+            )
+        k = self._engine.shards
+        if ingest_workers < 1:
+            raise ValueError(f"need at least one worker, got {ingest_workers}")
+        ingest_workers = min(ingest_workers, k)
+        self._serialized = serialized
+        self._block = backpressure == "block"
+        self._refresh_interval = float(refresh_interval)
+        self._compact_interval = compact_interval
+        self._shard_locks = [threading.Lock() for _ in range(k)]
+        self._router = ShardRouter(self._engine.partitioner)
+        self._queues = ShardQueues(k, queue_capacity)
+        self._limiter = TenantRateLimiter(tenant_rates, default_rate)
+        self._executor = QueryExecutor(
+            self._engine, self._shard_locks, seed=seed, rng_mode=rng_mode
+        )
+        self._workers = [
+            IngestWorker(
+                w,
+                self._engine,
+                self._queues,
+                self._shard_locks,
+                owned_shards=[s for s in range(k) if s % ingest_workers == w],
+                max_batch=max_batch,
+                on_error=self._record_worker_error,
+            )
+            for w in range(ingest_workers)
+        ]
+        self._worker_errors: list[tuple[Exception, int]] = []
+        self._closed = False
+        self._compaction_passes = 0
+        self._compaction_bytes = 0
+        self._ticker_stop = threading.Event()
+        self._ticker: threading.Thread | None = None
+        for worker in self._workers:
+            worker.start()
+        if self._refresh_interval > 0 or self._compact_interval is not None:
+            self._ticker = threading.Thread(
+                target=self._tick_loop, name="repro-serving-ticker", daemon=True
+            )
+            self._ticker.start()
+
+    # -- background ticker --------------------------------------------------
+    def _tick_loop(self) -> None:
+        period = min(
+            self._refresh_interval or float("inf"),
+            self._compact_interval or float("inf"),
+        )
+        last_refresh = last_compact = time.monotonic()
+        while not self._ticker_stop.wait(period):
+            now = time.monotonic()
+            if (
+                self._refresh_interval > 0
+                and now - last_refresh >= self._refresh_interval
+            ):
+                try:
+                    self._executor.refresh()
+                except Exception:
+                    # Must not kill the ticker.  The executor latches
+                    # the failure and re-raises it on every query until
+                    # a refresh succeeds, so readers cannot be silently
+                    # pinned to the stale pre-failure fold.
+                    pass
+                last_refresh = now
+            if (
+                self._compact_interval is not None
+                and now - last_compact >= self._compact_interval
+            ):
+                self._run_compaction()
+                last_compact = now
+
+    def _run_compaction(self) -> None:
+        """One expiry-compaction pass, shard by shard — each under its
+        own write lock, so ingest of the other shards keeps flowing."""
+        freed = 0
+        for shard in range(self._engine.shards):
+            with self._shard_locks[shard]:
+                freed += self._engine.compact_shard(shard)
+        self._compaction_passes += 1
+        self._compaction_bytes += freed
+
+    def _record_worker_error(self, exc: Exception, shard: int) -> None:
+        self._worker_errors.append((exc, shard))
+
+    # -- front door ---------------------------------------------------------
+    @property
+    def engine(self) -> ShardedSamplerEngine:
+        """The wrapped engine.  While the service is open, mutate it
+        only through the service (the workers own the shard writes)."""
+        return self._engine
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise ServiceClosed("service is closed")
+        if self._worker_errors:
+            exc, shard = self._worker_errors[0]
+            raise ServiceClosed(
+                f"ingest worker for shard {shard} failed: {exc!r}"
+            ) from exc
+
+    def submit(
+        self,
+        items,
+        timestamps=None,
+        *,
+        tenant: str | None = None,
+        timeout: float | None = None,
+    ) -> int:
+        """Admit, route, and enqueue one batch; returns items accepted.
+
+        Raises :class:`~repro.serving.errors.RateLimited` (tenant over
+        its cap), :class:`~repro.serving.errors.Backpressure` (queues at
+        the high-water mark under the ``shed`` policy, or still full
+        after ``timeout`` under ``block``), or
+        :class:`~repro.serving.errors.ServiceClosed` — in every case the
+        batch was rejected atomically, and a backpressure rejection
+        refunds the tenant's rate tokens (a shed submit costs nothing).
+        Accepts a plain item array, a ``TimestampedStream``, or explicit
+        ``timestamps`` (required form for time-windowed kinds).
+        """
+        self._check_open()
+        arr, ts = self._router.normalize(items, timestamps)
+        total = int(arr.size)
+        if total == 0:
+            return 0
+        # Admission first, on the raw count: a rate-limited batch never
+        # pays for hash partitioning.
+        self._limiter.admit(tenant, total)
+        parts = self._router.route_normalized(arr, ts)
+        try:
+            return self._queues.put(parts, block=self._block, timeout=timeout)
+        except (Backpressure, ServiceClosed, ValueError):
+            # Every put() rejection is atomic (nothing enqueued), so the
+            # admitted tokens go back — a refused submit costs nothing.
+            self._limiter.refund(tenant, total)
+            raise
+
+    def flush(self, timeout: float | None = None) -> None:
+        """Block until every accepted item has landed in its shard
+        (:class:`~repro.serving.errors.FlushTimeout` on expiry).  Does
+        not force a fold refresh — pair with :meth:`refresh` when a
+        subsequent lock-free query must observe the flushed writes."""
+        self._queues.wait_empty(timeout)
+        self._check_open()
+
+    def refresh(self) -> bool:
+        """Publish a fresh fold generation now (quiesces writers);
+        returns whether the epochs had moved.  Lock-free queries observe
+        it immediately."""
+        self._check_open()
+        return self._executor.refresh()
+
+    def sample(self, **kwargs):
+        """One truly perfect sample from the query plane.
+
+        ``per-reader`` mode serves the last *published* fold lock-free —
+        answers lag ingest by at most ``refresh_interval`` (call
+        :meth:`flush` + :meth:`refresh` for read-your-writes).
+        ``locked`` mode serializes on the live engine; serialized mode
+        additionally flushes first, making the whole request sequence
+        bitwise identical to direct engine calls.
+        """
+        self._check_open()
+        if self._serialized:
+            self.flush()
+        elif self._refresh_interval == 0 and self._executor.rng_mode != "locked":
+            self._executor.refresh()
+        return self._executor.sample(**kwargs)
+
+    def sample_many(self, k: int, **kwargs):
+        """``k`` truly perfect samples, amortized — same freshness
+        contract as :meth:`sample`."""
+        self._check_open()
+        if self._serialized:
+            self.flush()
+        elif self._refresh_interval == 0 and self._executor.rng_mode != "locked":
+            self._executor.refresh()
+        return self._executor.sample_many(k, **kwargs)
+
+    # -- observability ------------------------------------------------------
+    def stats(self) -> dict:
+        """The service's stats endpoint: queue/ingest counters, query
+        plane state, engine cache hit/miss/rebase counters, compaction
+        totals.
+
+        Advisory, not transactional: the engine fields (position,
+        watermark, ``approx_size_bytes`` — the latter an O(state) walk)
+        are read without quiescing the workers, so under live ingest
+        they reflect a best-effort instant, not a consistent cut.
+        """
+        queues = self._queues
+        return {
+            "closed": self._closed,
+            "serialized": self._serialized,
+            "shards": self._engine.shards,
+            "workers": len(self._workers),
+            "ingest": {
+                "submitted_items": queues.submitted_items,
+                "applied_items": queues.applied_items,
+                "failed_items": queues.failed_items,
+                "pending_items": queues.pending(),
+                "queue_depths": queues.depths(),
+                "queue_capacity": queues.capacity,
+                "backpressure_shed": queues.shed_count,
+                "rate_limited": self._limiter.shed_count,
+                "worker_errors": len(self._worker_errors),
+            },
+            "query": self._executor.stats(),
+            "engine": {
+                "position": self._engine.position,
+                "watermark": self._engine.watermark(),
+                "approx_size_bytes": self._engine.approx_size_bytes(),
+                "cache": self._engine.cache_info(),
+            },
+            "compaction": {
+                "passes": self._compaction_passes,
+                "bytes_reclaimed": self._compaction_bytes,
+            },
+        }
+
+    @property
+    def position(self) -> int:
+        """Items applied to shard state so far (excludes queued)."""
+        return self._engine.position
+
+    # -- shutdown -----------------------------------------------------------
+    def close(self, drain: bool = True, timeout: float | None = None) -> None:
+        """Stop the service: reject new work, optionally drain the
+        queues, stop workers and ticker.  Idempotent."""
+        if self._closed:
+            return
+        self._closed = True
+        self._queues.close()
+        if drain:
+            try:
+                self._queues.wait_empty(timeout)
+            except Exception:
+                pass
+        for worker in self._workers:
+            worker.stop()
+        self._ticker_stop.set()
+        for worker in self._workers:
+            worker.join(timeout=5.0)
+        if self._ticker is not None:
+            self._ticker.join(timeout=5.0)
+
+    def __enter__(self) -> "SamplerService":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

@@ -28,6 +28,8 @@ shards — the bank's analogue of the engine's shared-seed F0 rule).
 
 from __future__ import annotations
 
+import copy
+
 import numpy as np
 
 from repro.core.measures import Measure
@@ -305,6 +307,30 @@ class WindowBank:
         """``k`` independent uniform samples of the rung's active
         distinct items with one batched index draw."""
         return self.f0_sampler(horizon).sample_many(k, now=now)
+
+    def spawn_query_rng(self, rng: np.random.Generator) -> "WindowBank":
+        """The optional lifecycle query-view hook (see
+        :mod:`repro.lifecycle.rng`): a query-only clone of the bank
+        whose members each draw from their *own* child stream derived
+        from ``rng``.
+
+        Distinct per-member streams mirror the live bank's RNG layout
+        (one stream per rung), so a view's per-rung query sequences
+        stay independent of each other — the generic fallback would
+        collapse them onto one shared stream, which is distributionally
+        fine but couples the rungs' coin consumption.  This bank's own
+        streams are never touched.
+        """
+        view = copy.deepcopy(self)
+        members = list(view._pool_samplers.values()) + list(
+            view._f0_samplers.values()
+        )
+        for member, seed in zip(members, rng.integers(2**63, size=len(members))):
+            # Every time-window member draws query coins from its own
+            # `_rng` (generation pools carry ingest-only streams the
+            # query path never touches).
+            member._rng = np.random.default_rng(int(seed))
+        return view
 
     # -- mergeable state ----------------------------------------------------
     def snapshot(self) -> dict:

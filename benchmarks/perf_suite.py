@@ -17,6 +17,10 @@ Measures, on one process with fixed seeds:
   interleaves the identical write batches and cached-fold queries:
   served query p50/p99 off the published fold, and aggregate ingest
   throughput while serving.
+* **obs overhead (PR 6)** — the identical served workload with the
+  metrics registry enabled vs. disabled (``metrics=False``), best of
+  several reps per mode: served ingest throughput and query p50 with
+  metrics on must stay within 10% of the no-op configuration.
 
 Results land in machine-readable JSON (default: ``BENCH_E23.json`` at
 the repo root) so the bench trajectory is tracked from PR 4 forward.
@@ -38,7 +42,9 @@ The suite *gates* itself (exit code 1 on failure):
   batched path serving that workload (the engine loop pays a refold per
   query burst; the service amortizes folds across its refresh cadence —
   that amortization, not thread parallelism, is what the gate pins, so
-  it holds on a single-core runner too).
+  it holds on a single-core runner too);
+* metrics-enabled served ingest throughput must be ≥0.9x and query p50
+  ≤1.10x the metrics-disabled run (instrumentation must stay cheap).
 
 Run ``--smoke`` in CI for a reduced-scale pass with the same gates.
 """
@@ -74,9 +80,12 @@ MIN_READ_HEAVY_SPEEDUP = 10.0
 MIN_SAMPLE_MANY_SPEEDUP = 5.0
 MAX_SERVED_P50_RATIO = 3.0
 MIN_SERVED_INGEST_SPEEDUP = 2.0
+MIN_OBS_THROUGHPUT_RATIO = 0.9
+MAX_OBS_P50_RATIO = 1.10
 SERVED_WORKERS = 4
 SERVED_CLIENTS = 8
 SERVED_SHARDS = 8
+OBS_REPS = 3
 
 
 def _percentiles(latencies_ns: list[int]) -> dict:
@@ -316,6 +325,74 @@ def bench_served(
     }
 
 
+def _obs_run(
+    preload: np.ndarray,
+    work: np.ndarray,
+    write_batch: int,
+    queries: int,
+    enabled: bool,
+) -> tuple[float, float]:
+    """One rep of the served workload with metrics on/off; returns
+    (ingest items/sec, query p50 µs on the warm published fold)."""
+    batches = work.size // write_batch
+    with SamplerService(
+        CONFIG,
+        shards=SERVED_SHARDS,
+        seed=7,
+        ingest_workers=SERVED_WORKERS,
+        refresh_interval=0.02,
+        metrics=enabled,
+    ) as svc:
+        svc.submit(preload)
+        svc.flush()
+        svc.refresh()
+        t0 = time.perf_counter()
+        for w in range(batches):
+            svc.submit(work[w * write_batch:(w + 1) * write_batch])
+        svc.flush()
+        wall = time.perf_counter() - t0
+        svc.refresh()
+        for __ in range(16):  # untimed query warmup (reader view spawn)
+            svc.sample()
+        latencies: list[int] = []
+        for __ in range(queries):
+            q0 = time.perf_counter_ns()
+            svc.sample()
+            latencies.append(time.perf_counter_ns() - q0)
+    return work.size / wall, statistics.median(ns / 1e3 for ns in latencies)
+
+
+def bench_obs_overhead(
+    preload: np.ndarray, work: np.ndarray, write_batch: int, queries: int
+) -> dict:
+    """Metrics-on vs. metrics-off served workload, best of OBS_REPS
+    reps per mode (max throughput, min p50) so scheduler noise does not
+    masquerade as instrumentation overhead.  Modes alternate within
+    each rep, so drift penalizes neither systematically."""
+    best = {
+        True: {"items_per_sec": 0.0, "p50_us": float("inf")},
+        False: {"items_per_sec": 0.0, "p50_us": float("inf")},
+    }
+    for __ in range(OBS_REPS):
+        for enabled in (False, True):
+            tput, p50 = _obs_run(preload, work, write_batch, queries, enabled)
+            best[enabled]["items_per_sec"] = max(
+                best[enabled]["items_per_sec"], tput
+            )
+            best[enabled]["p50_us"] = min(best[enabled]["p50_us"], p50)
+    return {
+        "reps": OBS_REPS,
+        "queries": queries,
+        "items": int(work.size),
+        "enabled": best[True],
+        "disabled": best[False],
+        "throughput_ratio": (
+            best[True]["items_per_sec"] / best[False]["items_per_sec"]
+        ),
+        "p50_ratio": best[True]["p50_us"] / best[False]["p50_us"],
+    }
+
+
 def evaluate_gates(report: dict) -> list[str]:
     failures = []
     for row in report["query_latency"]:
@@ -368,6 +445,19 @@ def evaluate_gates(report: dict) -> list[str]:
             f"queries < baseline's {served['baseline']['queries']} — the "
             "throughput comparison would be unfair"
         )
+    obs = report["obs_overhead"]
+    if obs["throughput_ratio"] < MIN_OBS_THROUGHPUT_RATIO:
+        failures.append(
+            f"metrics-enabled served ingest throughput is only "
+            f"{obs['throughput_ratio']:.3f}x the metrics-disabled run "
+            f"(< {MIN_OBS_THROUGHPUT_RATIO}x)"
+        )
+    if obs["p50_ratio"] > MAX_OBS_P50_RATIO:
+        failures.append(
+            f"metrics-enabled query p50 {obs['enabled']['p50_us']:.1f}us is "
+            f"{obs['p50_ratio']:.3f}x the metrics-disabled "
+            f"{obs['disabled']['p50_us']:.1f}us (> {MAX_OBS_P50_RATIO}x)"
+        )
     return failures
 
 
@@ -417,6 +507,9 @@ def main(argv: list[str] | None = None) -> int:
         "query_latency": bench_queries(items, queries, write_batch),
         "sample_many": bench_sample_many(items, k_many),
         "served_scenario": bench_served(items, served_work, served_batch),
+        "obs_overhead": bench_obs_overhead(
+            items, served_work, served_batch, queries
+        ),
     }
     failures = evaluate_gates(report)
     report["gates"] = {
@@ -425,6 +518,8 @@ def main(argv: list[str] | None = None) -> int:
         "min_sample_many_speedup": MIN_SAMPLE_MANY_SPEEDUP,
         "max_served_p50_ratio": MAX_SERVED_P50_RATIO,
         "min_served_ingest_speedup": MIN_SERVED_INGEST_SPEEDUP,
+        "min_obs_throughput_ratio": MIN_OBS_THROUGHPUT_RATIO,
+        "max_obs_p50_ratio": MAX_OBS_P50_RATIO,
         "failures": failures,
         "passed": not failures,
     }
@@ -462,6 +557,15 @@ def main(argv: list[str] | None = None) -> int:
         f"{sv['served']['queries']} under-load + "
         f"{sv['served']['quiescent_tail_queries']} tail vs "
         f"{sv['baseline']['queries']} baseline queries)"
+    )
+    ob = report["obs_overhead"]
+    print(
+        f"  obs     metrics on/off: ingest "
+        f"{ob['enabled']['items_per_sec'] / 1e3:6.0f}k / "
+        f"{ob['disabled']['items_per_sec'] / 1e3:6.0f}k items/s "
+        f"({ob['throughput_ratio']:.3f}x) | q p50 "
+        f"{ob['enabled']['p50_us']:.1f} / {ob['disabled']['p50_us']:.1f}us "
+        f"({ob['p50_ratio']:.3f}x, best of {ob['reps']})"
     )
     if failures:
         print("GATE FAILURES:")

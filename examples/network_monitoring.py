@@ -19,7 +19,13 @@ against a fresh sampler each time, this one runs the real serving path —
   rebuilding samplers;
 * every sample is truly perfect, so the published sequence is *exactly*
   target-distributed minute after minute: an auditor comparing it
-  against the true traffic distribution sees zero drift, forever.
+  against the true traffic distribution sees zero drift, forever;
+* traffic arrives from **tenants** (two ingest sites plus a rate-capped
+  "scanner" whose burst is refused at admission), and the run ends with
+  a per-tenant summary — admitted packets, shed submits, ingest latency
+  p99 — read straight off the service's metrics registry
+  (``service.metrics``, the same counters `stats()` and the Prometheus
+  exposition report).
 
 Run:  python examples/network_monitoring.py
 """
@@ -29,7 +35,7 @@ import time
 
 import numpy as np
 
-from repro.serving import SamplerService
+from repro.serving import RateLimited, SamplerService
 from repro.stats import lp_target
 from repro.streams import zipf_stream
 from repro.streams.timestamped import uniform_arrivals
@@ -42,6 +48,11 @@ CONSOLES = 4
 PLANTED = 0  # the heavy flow whose publication rate we audit
 
 CONFIG = {"kind": "tw_lp", "p": 2.0, "horizon": MINUTE, "instances": 64}
+
+#: The two ingest sites traffic alternates between, plus the abusive
+#: tenant whose one oversized burst the token bucket refuses outright.
+SITES = ("backbone", "branch")
+SCANNER_RATE = (500.0, 1_000.0)  # 500 pkt/s sustained, 1 000 burst cap
 
 
 def make_portion(k: int):
@@ -65,6 +76,7 @@ def main() -> None:
         ingest_workers=4,
         refresh_interval=0.01,
         compact_interval=0.05,
+        tenant_rates={"scanner": SCANNER_RATE},
     ) as service:
 
         def console(idx: int) -> None:
@@ -84,11 +96,25 @@ def main() -> None:
             thread.start()
 
         print(f"monitoring {PORTIONS} portions of {PORTION} packets each\n")
+        scanner_refusals = 0
         for k in range(PORTIONS):
             packets, arrivals = make_portion(k)
-            # Live ingest through the concurrent front door, in batches.
-            for lo in range(0, PORTION, 1000):
-                service.submit(packets[lo:lo + 1000], arrivals[lo:lo + 1000])
+            # Live ingest through the concurrent front door, in batches,
+            # alternating between the two ingest sites.
+            for b, lo in enumerate(range(0, PORTION, 1000)):
+                service.submit(
+                    packets[lo:lo + 1000],
+                    arrivals[lo:lo + 1000],
+                    tenant=SITES[b % len(SITES)],
+                )
+            if k == 0:
+                # The scanner tries to dump a whole minute at once; the
+                # burst exceeds its token-bucket cap, so admission
+                # refuses it atomically — nothing is half-enqueued.
+                try:
+                    service.submit(packets, arrivals, tenant="scanner")
+                except RateLimited:
+                    scanner_refusals += 1
             # Publish this minute's sample: drain, republish, draw once.
             service.flush()
             service.refresh()
@@ -98,6 +124,7 @@ def main() -> None:
         for thread in consoles:
             thread.join()
         stats = service.stats()
+        metrics = service.metrics
 
     hits = sum(1 for r in published if r.is_item and r.item == PLANTED)
     answered = sum(1 for r in published if r.is_item)
@@ -128,6 +155,36 @@ def main() -> None:
             "continuous ingest; the ticker matters for idle tenants"
         )
         + ")\n"
+    )
+
+    # Per-tenant front-door summary, read straight off the service's
+    # metrics registry — the same counters stats() and the Prometheus
+    # exposition report.
+    submitted = metrics.get("repro_serving_submitted_items_total")
+    rate_limited = metrics.get("repro_serving_rate_limited_total")
+    shed = metrics.get("repro_serving_backpressure_shed_total")
+    print("per-tenant front door (from service.metrics):")
+    for tenant in (*SITES, "scanner"):
+        refused = int(
+            rate_limited.total(tenant=tenant) + shed.total(tenant=tenant)
+        )
+        print(
+            f"  {tenant:<9} admitted {int(submitted.total(tenant=tenant)):>7} "
+            f"packets, refused {refused} submit(s)"
+        )
+    assert int(rate_limited.total(tenant="scanner")) == scanner_refusals == 1
+    submit_p99 = metrics.get("repro_serving_submit_seconds").labels(
+        outcome="accepted"
+    ).quantile(0.99)
+    apply_p99 = max(
+        child.quantile(0.99)
+        for child in metrics.get(
+            "repro_serving_ingest_apply_seconds"
+        ).children().values()
+    )
+    print(
+        f"  ingest latency p99: submit {submit_p99 * 1e6:.0f} µs (accepted), "
+        f"worst-shard apply {apply_p99 * 1e6:.0f} µs\n"
     )
 
     print(f"flow {PLANTED}: true L2 sampling mass ≈ {target_mass:.3f}")

@@ -41,6 +41,10 @@ Package map (see DESIGN.md for the full inventory):
   ingest workers behind bounded queues with admission control, a
   lock-free query plane with per-reader RNG streams, thread and
   asyncio facades, and the ``repro-serve`` CLI.
+* :mod:`repro.obs` — zero-dependency observability: labeled
+  counters/gauges/log-bucketed histograms with Prometheus and JSON
+  exposition, span tracing with a ring buffer and JSONL export, the
+  metric catalog, and the ``promcheck`` format gate.
 
 Engine quick start::
 

@@ -56,6 +56,7 @@ from __future__ import annotations
 
 import copy
 import math
+import time
 from typing import NamedTuple
 
 import numpy as np
@@ -66,6 +67,9 @@ from repro.engine.partition import UniversePartitioner
 from repro.engine.registry import build_sampler, kind_spec
 from repro.engine.state import merged
 from repro.lifecycle import WatermarkSkewError, missing_hooks
+from repro.obs.catalog import CATALOG_HELP
+from repro.obs.metrics import current_registry, use_registry
+from repro.obs.trace import span
 
 __all__ = ["FoldHandle", "ShardedSamplerEngine"]
 
@@ -119,6 +123,17 @@ class ShardedSamplerEngine:
         Keep the merged-view cache (default).  ``False`` restores the
         PR 1 fold-per-query behavior: every :meth:`sample` re-folds from
         scratch and replays the same coins until the next ingest.
+    metrics:
+        :class:`~repro.obs.MetricsRegistry` the engine's fold/epoch/
+        compaction instruments register in; ``None`` (default) resolves
+        :func:`repro.obs.current_registry` at construction time, so a
+        service that installs its own registry (``use_registry``) owns
+        the engines it builds.  The registry is also installed while the
+        shard samplers are built, so sampler-internal instruments (e.g.
+        :class:`~repro.windows.WindowBank` rung counters) land in the
+        same place.  Metrics record counts and wall time only — they
+        never consume RNG, so the bitwise determinism contracts hold
+        with metrics on or off.
     """
 
     def __init__(
@@ -130,6 +145,7 @@ class ShardedSamplerEngine:
         max_watermark_skew: float = math.inf,
         compact_every: int | None = None,
         query_cache: bool = True,
+        metrics=None,
     ) -> None:
         if shards < 1:
             raise ValueError(f"need at least one shard, got {shards}")
@@ -166,11 +182,15 @@ class ShardedSamplerEngine:
             shard_seeds = [int(shared)] * shards
         else:
             shard_seeds = [int(s.generate_state(1)[0]) for s in root.spawn(shards)]
+        registry = current_registry() if metrics is None else metrics
+        self._metrics = registry
+        self._metrics_on = registry.enabled
         self._samplers = []
-        for shard_seed in shard_seeds:
-            cfg = dict(self._config)
-            cfg["seed"] = shard_seed
-            self._samplers.append(build_sampler(cfg))
+        with use_registry(registry):
+            for shard_seed in shard_seeds:
+                cfg = dict(self._config)
+                cfg["seed"] = shard_seed
+                self._samplers.append(build_sampler(cfg))
         missing = missing_hooks(self._samplers[0])
         if missing:
             raise ValueError(
@@ -188,6 +208,47 @@ class ShardedSamplerEngine:
         self._cache_hits = 0
         self._cache_misses = 0
         self._cache_partial = 0
+        # Pre-resolved instrument children (shared NOOP when the
+        # registry is disabled) so the hot paths skip label lookups.
+        fold_c = registry.counter(
+            "repro_engine_fold_total",
+            CATALOG_HELP["repro_engine_fold_total"],
+            labels=("regime",),
+        )
+        self._m_fold = {
+            r: fold_c.labels(regime=r) for r in ("hit", "rebase", "scratch")
+        }
+        fold_s = registry.histogram(
+            "repro_engine_fold_seconds",
+            CATALOG_HELP["repro_engine_fold_seconds"],
+            labels=("regime",),
+        )
+        self._m_fold_seconds = {
+            r: fold_s.labels(regime=r) for r in ("rebase", "scratch")
+        }
+        epoch_c = registry.counter(
+            "repro_engine_epoch_bumps_total",
+            CATALOG_HELP["repro_engine_epoch_bumps_total"],
+            labels=("reason",),
+        )
+        self._m_epoch = {
+            r: epoch_c.labels(reason=r)
+            for r in ("ingest", "compact", "restore", "merge", "invalidate")
+        }
+        self._m_compact_passes = registry.counter(
+            "repro_engine_compaction_passes_total",
+            CATALOG_HELP["repro_engine_compaction_passes_total"],
+        )
+        self._m_compact_bytes = registry.counter(
+            "repro_engine_compaction_reclaimed_bytes_total",
+            CATALOG_HELP["repro_engine_compaction_reclaimed_bytes_total"],
+        )
+
+    @property
+    def metrics(self):
+        """The :class:`~repro.obs.MetricsRegistry` this engine reports
+        into."""
+        return self._metrics
 
     @property
     def shards(self) -> int:
@@ -222,6 +283,7 @@ class ShardedSamplerEngine:
         else:
             sampler.update(item, timestamp)
         self._epochs[shard] += 1
+        self._m_epoch["ingest"].inc()
         self._after_ingest(1)
 
     def ingest(
@@ -242,12 +304,16 @@ class ShardedSamplerEngine:
             timestamps = getattr(items, "timestamps", None)
         if timestamps is None:
             total = 0
+            bumps = 0
             for shard, subchunk in enumerate(self._partitioner.split(items)):
                 if subchunk.size:
                     total += ingest(
                         self._samplers[shard], subchunk, chunk_size=chunk_size
                     )
                     self._epochs[shard] += 1
+                    bumps += 1
+            if bumps:
+                self._m_epoch["ingest"].add(bumps)
             self._after_ingest(total)
             return total
         inner = getattr(items, "items", None)
@@ -257,6 +323,7 @@ class ShardedSamplerEngine:
             raise ValueError("items and timestamps must be matching 1-d arrays")
         assignment = self._partitioner.assign(arr)
         total = 0
+        bumps = 0
         for shard in range(len(self._samplers)):
             mask = assignment == shard
             if mask.any():
@@ -267,6 +334,9 @@ class ShardedSamplerEngine:
                     timestamps=ts[mask],
                 )
                 self._epochs[shard] += 1
+                bumps += 1
+        if bumps:
+            self._m_epoch["ingest"].add(bumps)
         self._after_ingest(total)
         return total
 
@@ -302,6 +372,7 @@ class ShardedSamplerEngine:
             timestamps=timestamps,
         )
         self._epochs[shard] += 1
+        self._m_epoch["ingest"].inc()
         return total
 
     # -- lifecycle ----------------------------------------------------------
@@ -329,11 +400,17 @@ class ShardedSamplerEngine:
         """
         self._ingested_since_compact = 0
         total = 0
+        bumps = 0
         for shard, sampler in enumerate(self._samplers):
             freed = sampler.compact(now)
             if freed:
                 self._epochs[shard] += 1
+                bumps += 1
             total += freed
+        self._m_compact_passes.inc()
+        if total:
+            self._m_compact_bytes.add(total)
+            self._m_epoch["compact"].add(bumps)
         return total
 
     def compact_shard(self, shard: int, now: float | None = None) -> int:
@@ -348,6 +425,8 @@ class ShardedSamplerEngine:
         freed = self._samplers[shard].compact(now)
         if freed:
             self._epochs[shard] += 1
+            self._m_compact_bytes.add(freed)
+            self._m_epoch["compact"].inc()
         return freed
 
     def watermarks(self) -> list[float | None]:
@@ -399,27 +478,39 @@ class ShardedSamplerEngine:
         cached fold containing it is stale."""
         return list(self._epochs)
 
+    def _bump_all(self, reason: str) -> None:
+        """Bump every shard's mutation epoch, attributing the bumps to
+        ``reason`` in the epoch-bump counter."""
+        for shard in range(len(self._epochs)):
+            self._epochs[shard] += 1
+        self._m_epoch[reason].add(len(self._epochs))
+
     def invalidate_cache(self) -> None:
         """Force the next query to re-fold, by bumping every shard's
         epoch.  Call this after mutating a shard obtained from
         :attr:`samplers` directly — the engine cannot see those writes."""
-        for shard in range(len(self._epochs)):
-            self._epochs[shard] += 1
+        self._bump_all("invalidate")
 
     def cache_info(self) -> dict:
         """Merged-view cache counters: full ``hits``, from-scratch
-        ``misses``, incremental ``rebases`` (prefix-chain rebuilds; the
-        pre-PR 5 name ``partial`` is kept as an alias), and the number
-        of ``prefix_folds`` currently held (each is one merged-state
-        copy — the memory price of incremental refolds)."""
-        return {
+        ``misses``, incremental ``rebases`` (prefix-chain rebuilds), and
+        the number of ``prefix_folds`` currently held (each is one
+        merged-state copy — the memory price of incremental refolds).
+
+        ``partial`` is the pre-PR 5 name for ``rebases`` and is kept as
+        a deprecated alias; it is assigned from the ``rebases`` entry
+        below (one source, no drift) and will go away once downstream
+        dashboards migrate.
+        """
+        info = {
             "enabled": self._query_cache,
             "hits": self._cache_hits,
             "misses": self._cache_misses,
             "rebases": self._cache_partial,
-            "partial": self._cache_partial,
             "prefix_folds": len(self._prefixes) if self._prefixes else 0,
         }
+        info["partial"] = info["rebases"]  # deprecated alias, same counter
+        return info
 
     def acquire_fold(self) -> FoldHandle:
         """Acquire the current merged view for reader-side serving: the
@@ -461,6 +552,7 @@ class ShardedSamplerEngine:
         epochs = list(self._epochs)
         if self._fold is not None and self._fold_epochs == epochs:
             self._cache_hits += 1
+            self._m_fold["hit"].inc()
             return self._fold
         shards = self._samplers
         k = len(shards)
@@ -469,28 +561,36 @@ class ShardedSamplerEngine:
             while clean < k and self._fold_epochs[clean] == epochs[clean]:
                 clean += 1
         usable = min(clean, len(self._prefixes) if self._prefixes else 0)
-        if k == 1 or clean < max(1, k // 2):
-            # Mostly (or fully) dirty: from-scratch fold, no prefix
-            # upkeep — rebuilding a long chain would cost ~2-3x a plain
-            # fold only to be discarded by the next scattered ingest.
-            self._cache_misses += 1
-            self._prefixes = None
-            self._fold = merged(shards)
-        else:
-            # The dirty set is a short suffix: rebase from (or invest
-            # in) the prefix chain so it — and future short suffixes —
-            # re-merge incrementally.
-            self._cache_partial += 1
-            prefixes = list(self._prefixes[:usable]) if usable else []
-            if not prefixes:
-                prefixes.append(copy.deepcopy(shards[0]))
-            for i in range(len(prefixes), k):
-                fold = copy.deepcopy(prefixes[-1])
-                fold.merge(shards[i])
-                prefixes.append(fold)
-            self._prefixes = prefixes
-            self._fold = prefixes[-1]
+        t0 = time.perf_counter() if self._metrics_on else 0.0
+        with span("engine.fold", shards=k) as sp:
+            if k == 1 or clean < max(1, k // 2):
+                # Mostly (or fully) dirty: from-scratch fold, no prefix
+                # upkeep — rebuilding a long chain would cost ~2-3x a plain
+                # fold only to be discarded by the next scattered ingest.
+                regime = "scratch"
+                self._cache_misses += 1
+                self._prefixes = None
+                self._fold = merged(shards)
+            else:
+                # The dirty set is a short suffix: rebase from (or invest
+                # in) the prefix chain so it — and future short suffixes —
+                # re-merge incrementally.
+                regime = "rebase"
+                self._cache_partial += 1
+                prefixes = list(self._prefixes[:usable]) if usable else []
+                if not prefixes:
+                    prefixes.append(copy.deepcopy(shards[0]))
+                for i in range(len(prefixes), k):
+                    fold = copy.deepcopy(prefixes[-1])
+                    fold.merge(shards[i])
+                    prefixes.append(fold)
+                self._prefixes = prefixes
+                self._fold = prefixes[-1]
+            sp.set(regime=regime)
         self._fold_epochs = epochs
+        self._m_fold[regime].inc()
+        if self._metrics_on:
+            self._m_fold_seconds[regime].observe(time.perf_counter() - t0)
         return self._fold
 
     def sample(self, **kwargs) -> SampleResult:
@@ -622,7 +722,7 @@ class ShardedSamplerEngine:
         self._prefixes = None
         self._fold = None
         self._fold_epochs = None
-        self.invalidate_cache()
+        self._bump_all("restore")
 
     def merge(self, other: "ShardedSamplerEngine") -> None:
         """Shard-wise merge of two engines with identical layouts (e.g.
@@ -638,4 +738,4 @@ class ShardedSamplerEngine:
         self._check_watermark_skew(self._samplers + other._samplers)
         for mine, theirs in zip(self._samplers, other._samplers):
             mine.merge(theirs)
-        self.invalidate_cache()
+        self._bump_all("merge")

@@ -1,0 +1,72 @@
+"""repro.obs — zero-dependency metrics, tracing, and profiling.
+
+The observability substrate every serving-path layer reports into:
+
+* :mod:`repro.obs.metrics` — ``Counter`` / ``Gauge`` / log-bucketed
+  ``Histogram`` instruments grouped in a thread-safe
+  :class:`MetricsRegistry` with label support, Prometheus text
+  (format 0.0.4) and JSON exposition, and a process-global default
+  registry.  A *disabled* registry hands out shared no-op instruments,
+  so instrumented code compiles down to a flag check — the
+  bitwise-determinism contracts and perf gates are untouched.
+* :mod:`repro.obs.trace` — lightweight span API
+  (``span("engine.fold", shard=3)``) recording wall time + outcome into
+  a ring buffer of structured events, a JSON-lines exporter for offline
+  analysis, and a :class:`TraceRecorder` test harness.  The ambient
+  tracer is disabled by default; spans then cost one flag check.
+* :mod:`repro.obs.catalog` — the canonical metric-name catalog (the
+  README "Observability" table is generated from it, and the test suite
+  asserts a served workload's exposition carries every entry).
+* :mod:`repro.obs.promcheck` — a Prometheus text-format line checker
+  (``python -m repro.obs.promcheck``), used by the CI serving-smoke job
+  to validate the ``repro-serve stats --format prom`` exposition.
+
+Who reports where: :class:`~repro.serving.SamplerService` owns one
+registry per service (its ``stats()`` endpoint is built on top of it);
+:class:`~repro.engine.ShardedSamplerEngine` and
+:class:`~repro.windows.WindowBank` default to the *current* registry —
+the service installs its own while building the engine, so a served
+engine's fold/window metrics land in the service registry, while
+directly-constructed engines and banks report to the process-global
+default.
+"""
+
+from repro.obs.catalog import METRIC_CATALOG
+from repro.obs.metrics import (
+    NOOP,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    current_registry,
+    log_buckets,
+    set_default_registry,
+    use_registry,
+)
+from repro.obs.trace import (
+    SpanEvent,
+    TraceRecorder,
+    Tracer,
+    current_tracer,
+    set_default_tracer,
+    span,
+)
+
+__all__ = [
+    "METRIC_CATALOG",
+    "NOOP",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "current_registry",
+    "log_buckets",
+    "set_default_registry",
+    "use_registry",
+    "SpanEvent",
+    "TraceRecorder",
+    "Tracer",
+    "current_tracer",
+    "set_default_tracer",
+    "span",
+]

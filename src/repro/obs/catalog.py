@@ -1,0 +1,143 @@
+"""The canonical metric-name catalog.
+
+One row per instrument the serving path registers: name, type, label
+names, and meaning.  The README "Observability" table mirrors this
+list, the test suite asserts a served workload's Prometheus exposition
+carries every entry, and the CI serving-smoke job checks the same
+through ``repro-serve stats --format prom``.
+
+Keep this in sync with the instrumentation sites:
+:mod:`repro.engine.shard`, :mod:`repro.serving.service`,
+:mod:`repro.serving.workers`, :mod:`repro.serving.router`,
+:mod:`repro.serving.executor`, :mod:`repro.windows.bank`.
+"""
+
+from __future__ import annotations
+
+from typing import NamedTuple
+
+__all__ = ["CATALOG_HELP", "CatalogEntry", "METRIC_CATALOG"]
+
+
+class CatalogEntry(NamedTuple):
+    name: str
+    type: str
+    labels: tuple[str, ...]
+    meaning: str
+
+
+METRIC_CATALOG: tuple[CatalogEntry, ...] = (
+    # -- engine (merged-view cache + lifecycle) ------------------------------
+    CatalogEntry(
+        "repro_engine_fold_total", "counter", ("regime",),
+        "Merged-view cache outcomes: full hit / prefix rebase / from-scratch fold",
+    ),
+    CatalogEntry(
+        "repro_engine_fold_seconds", "histogram", ("regime",),
+        "Fold (re)build duration for the rebase and scratch regimes",
+    ),
+    CatalogEntry(
+        "repro_engine_epoch_bumps_total", "counter", ("reason",),
+        "Shard mutation-epoch bumps by cause (ingest/compact/restore/merge/invalidate)",
+    ),
+    CatalogEntry(
+        "repro_engine_compaction_passes_total", "counter", (),
+        "Engine-wide expiry-compaction passes (query-time and cadence legs)",
+    ),
+    CatalogEntry(
+        "repro_engine_compaction_reclaimed_bytes_total", "counter", (),
+        "Approximate bytes of expired state dropped by engine compaction",
+    ),
+    # -- windows (per-resolution ladder) -------------------------------------
+    CatalogEntry(
+        "repro_windows_ingested_items_total", "counter", ("resolution",),
+        "Items ingested per WindowBank ladder rung (every rung sees the full stream)",
+    ),
+    CatalogEntry(
+        "repro_windows_expired_reclaimed_bytes_total", "counter", ("resolution",),
+        "Approximate bytes of expired window generations reclaimed per rung",
+    ),
+    # -- serving front door ---------------------------------------------------
+    CatalogEntry(
+        "repro_serving_submitted_items_total", "counter", ("tenant",),
+        "Items admitted through submit() per tenant",
+    ),
+    CatalogEntry(
+        "repro_serving_applied_items_total", "counter", ("shard",),
+        "Items landed in shard state by the ingest workers",
+    ),
+    CatalogEntry(
+        "repro_serving_failed_items_total", "counter", ("shard",),
+        "Items whose apply raised (occupancy drained, state unchanged)",
+    ),
+    CatalogEntry(
+        "repro_serving_backpressure_shed_total", "counter", ("tenant",),
+        "Submits rejected at the queue high-water mark (shed policy or block timeout)",
+    ),
+    CatalogEntry(
+        "repro_serving_rate_limited_total", "counter", ("tenant",),
+        "Submits rejected by the tenant's token bucket",
+    ),
+    CatalogEntry(
+        "repro_serving_submit_seconds", "histogram", ("outcome",),
+        "Front-door submit latency by outcome (accepted/shed/rate_limited)",
+    ),
+    CatalogEntry(
+        "repro_serving_ingest_apply_seconds", "histogram", ("shard",),
+        "Worker micro-batch apply latency (coalesce + ingest_shard under the lock)",
+    ),
+    CatalogEntry(
+        "repro_serving_batch_coalesce_items", "histogram", (),
+        "Coalesced micro-batch sizes handed to ingest_shard",
+    ),
+    CatalogEntry(
+        "repro_serving_query_seconds", "histogram", ("method", "outcome"),
+        "Query-plane latency for sample/sample_many by outcome",
+    ),
+    CatalogEntry(
+        "repro_serving_queue_depth", "gauge", ("shard",),
+        "Per-shard queue occupancy, queued + in-flight items (live callback)",
+    ),
+    CatalogEntry(
+        "repro_serving_queue_pending_items", "gauge", (),
+        "Total items accepted but not yet applied (live callback)",
+    ),
+    CatalogEntry(
+        "repro_serving_tenant_buckets", "gauge", (),
+        "Token buckets currently tracked by the tenant rate limiter",
+    ),
+    # -- query plane / fold publication ---------------------------------------
+    CatalogEntry(
+        "repro_serving_fold_refresh_total", "counter", ("result",),
+        "Fold refresh attempts: published / unchanged / error",
+    ),
+    CatalogEntry(
+        "repro_serving_fold_generation", "gauge", (),
+        "Currently-published fold generation (-1 before the first publish)",
+    ),
+    CatalogEntry(
+        "repro_serving_fold_age_seconds", "gauge", (),
+        "Seconds since the current fold generation was published",
+    ),
+    CatalogEntry(
+        "repro_serving_fold_epoch_lag", "gauge", (),
+        "Shard mutation-epoch bumps not yet reflected by the published fold",
+    ),
+    CatalogEntry(
+        "repro_serving_watermark_skew_latched", "gauge", (),
+        "1 while a failed refresh (e.g. watermark skew) is latched on the query plane",
+    ),
+    # -- service ticker -------------------------------------------------------
+    CatalogEntry(
+        "repro_serving_compaction_passes_total", "counter", (),
+        "Shard-by-shard expiry-compaction passes run by the service ticker",
+    ),
+    CatalogEntry(
+        "repro_serving_compaction_reclaimed_bytes_total", "counter", (),
+        "Approximate bytes reclaimed by the service ticker's compaction passes",
+    ),
+)
+
+#: name → meaning, so every instrumentation site registers with the
+#: catalog's help text instead of restating it.
+CATALOG_HELP: dict[str, str] = {entry.name: entry.meaning for entry in METRIC_CATALOG}

@@ -1,0 +1,176 @@
+"""Prometheus text-format (0.0.4) line checker.
+
+``check_text`` validates an exposition string line by line — comment
+grammar, metric-name grammar, label quoting, sample-value parseability,
+``# TYPE`` declared before samples, histogram suffix rules (``_bucket``
+carries ``le``; bucket counts are cumulative and non-decreasing) — and
+optionally that the exposition is non-trivial (at least one sample with
+a value > 0, so a wired-but-dead pipeline fails the check).
+
+As a module it is the CI gate for the serving-smoke job::
+
+    repro-serve stats --config '...' --format prom | python -m repro.obs.promcheck
+
+Exit 0 when the exposition parses and carries live samples, 1 with the
+violations on stderr otherwise.  ``--require NAME`` (repeatable) also
+asserts a specific metric family is present.
+"""
+
+from __future__ import annotations
+
+import argparse
+import re
+import sys
+
+__all__ = ["check_text", "main"]
+
+_METRIC_NAME = r"[a-zA-Z_:][a-zA-Z0-9_:]*"
+_LABEL_NAME = r"[a-zA-Z_][a-zA-Z0-9_]*"
+_COMMENT_RE = re.compile(rf"^# (HELP|TYPE) ({_METRIC_NAME})(?: (.*))?$")
+_SAMPLE_RE = re.compile(
+    rf"^({_METRIC_NAME})(\{{(?:{_LABEL_NAME}=\"(?:[^\"\\\n]|\\[\\\"n])*\"(?:,{_LABEL_NAME}=\"(?:[^\"\\\n]|\\[\\\"n])*\")*)?\}})? "
+    r"(\S+)(?: (\S+))?$"
+)
+_TYPES = ("counter", "gauge", "histogram", "summary", "untyped")
+_HISTO_SUFFIX = re.compile(r"(.*)_(bucket|sum|count)$")
+
+
+def _parse_value(text: str) -> float | None:
+    if text in ("+Inf", "-Inf", "NaN"):
+        return {"+Inf": float("inf"), "-Inf": float("-inf"), "NaN": float("nan")}[
+            text
+        ]
+    try:
+        return float(text)
+    except ValueError:
+        return None
+
+
+def check_text(
+    text: str, require: tuple[str, ...] = (), require_samples: bool = True
+) -> list[str]:
+    """Validate one exposition; returns a list of violations (empty =
+    pass)."""
+    errors: list[str] = []
+    types: dict[str, str] = {}
+    live_samples = 0
+    sampled_names: set[str] = set()
+    last_bucket: dict[str, float] = {}  # series key -> last cumulative count
+
+    for lineno, line in enumerate(text.splitlines(), 1):
+        if not line.strip():
+            continue
+        if line.startswith("#"):
+            match = _COMMENT_RE.match(line)
+            if match is None:
+                errors.append(f"line {lineno}: malformed comment: {line!r}")
+                continue
+            kind, name, rest = match.groups()
+            if kind == "TYPE":
+                if rest not in _TYPES:
+                    errors.append(
+                        f"line {lineno}: unknown TYPE {rest!r} for {name}"
+                    )
+                elif name in types:
+                    errors.append(f"line {lineno}: duplicate TYPE for {name}")
+                else:
+                    types[name] = rest or ""
+            continue
+        match = _SAMPLE_RE.match(line)
+        if match is None:
+            errors.append(f"line {lineno}: malformed sample line: {line!r}")
+            continue
+        name, labels, value_text, timestamp = match.groups()
+        value = _parse_value(value_text)
+        if value is None:
+            errors.append(
+                f"line {lineno}: unparseable value {value_text!r} for {name}"
+            )
+            continue
+        if timestamp is not None and _parse_value(timestamp) is None:
+            errors.append(
+                f"line {lineno}: unparseable timestamp {timestamp!r}"
+            )
+        base = name
+        suffix = _HISTO_SUFFIX.match(name)
+        if name not in types and suffix is not None and suffix.group(1) in types:
+            base = suffix.group(1)
+            if types[base] != "histogram" and suffix.group(2) == "bucket":
+                errors.append(
+                    f"line {lineno}: _bucket sample for non-histogram {base}"
+                )
+            if suffix.group(2) == "bucket":
+                if labels is None or 'le="' not in labels:
+                    errors.append(
+                        f"line {lineno}: histogram bucket without le label"
+                    )
+                else:
+                    series = name + re.sub(r',?le="[^"]*"', "", labels)
+                    prev = last_bucket.get(series)
+                    if prev is not None and value < prev:
+                        errors.append(
+                            f"line {lineno}: non-cumulative bucket counts "
+                            f"for {series}"
+                        )
+                    last_bucket[series] = value
+        if base not in types:
+            errors.append(f"line {lineno}: sample {name} has no # TYPE header")
+        sampled_names.add(base)
+        if value == value and value > 0:  # NaN-safe
+            live_samples += 1
+
+    for name in require:
+        if name not in types:
+            errors.append(f"required metric family {name!r} missing")
+    if require_samples and live_samples == 0:
+        errors.append(
+            "exposition has no sample with a value > 0 — the pipeline is "
+            "wired but nothing was observed"
+        )
+    return errors
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs.promcheck",
+        description=__doc__.splitlines()[0],
+    )
+    parser.add_argument(
+        "path",
+        nargs="?",
+        help="exposition file (default: stdin)",
+    )
+    parser.add_argument(
+        "--require",
+        action="append",
+        default=[],
+        metavar="NAME",
+        help="assert this metric family is present (repeatable)",
+    )
+    parser.add_argument(
+        "--allow-empty",
+        action="store_true",
+        help="do not require at least one sample with value > 0",
+    )
+    args = parser.parse_args(argv)
+    if args.path:
+        with open(args.path, encoding="utf-8") as fh:
+            text = fh.read()
+    else:
+        text = sys.stdin.read()
+    errors = check_text(
+        text,
+        require=tuple(args.require),
+        require_samples=not args.allow_empty,
+    )
+    if errors:
+        for error in errors:
+            print(f"promcheck: {error}", file=sys.stderr)
+        return 1
+    lines = sum(1 for ln in text.splitlines() if ln and not ln.startswith("#"))
+    print(f"promcheck: OK ({lines} samples)")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via CLI smoke
+    raise SystemExit(main())

@@ -1,0 +1,231 @@
+"""Lightweight spans: ring-buffered structured events + JSONL export.
+
+A span times one named operation and records where it ended up::
+
+    from repro.obs import span
+
+    with span("engine.fold", shards=8) as sp:
+        ...
+        sp.set(regime="rebase")        # attach attrs discovered mid-span
+
+On exit the span appends one :class:`SpanEvent` — name, start, wall
+duration, outcome (``"ok"`` or the exception type's name; exceptions
+propagate untouched), and its attributes — to the ambient tracer's ring
+buffer (a bounded ``deque``: old events fall off, recording never
+blocks and never grows).
+
+The ambient tracer is **disabled by default**: ``span(...)`` then
+returns a shared no-op context manager, so permanently-instrumented
+hot paths cost one flag check plus a kwargs dict.  Enable tracing by
+installing a live :class:`Tracer` (:func:`set_default_tracer`) or, in
+tests, with the :class:`TraceRecorder` harness::
+
+    with TraceRecorder() as rec:
+        service.submit(batch)
+    assert rec.names().count("serving.apply") >= 1
+
+Export for offline analysis is JSON-lines —
+:meth:`Tracer.export_jsonl` writes one JSON object per event.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from collections import deque
+from typing import NamedTuple
+
+__all__ = [
+    "SpanEvent",
+    "TraceRecorder",
+    "Tracer",
+    "current_tracer",
+    "set_default_tracer",
+    "span",
+]
+
+
+class SpanEvent(NamedTuple):
+    """One finished span."""
+
+    name: str
+    start_ns: int  # perf_counter_ns at entry (monotonic ordering key)
+    duration_ns: int
+    outcome: str  # "ok" or the raising exception type's name
+    attrs: dict
+
+    def to_json(self) -> str:
+        return json.dumps(
+            {
+                "name": self.name,
+                "start_ns": self.start_ns,
+                "duration_us": self.duration_ns / 1e3,
+                "outcome": self.outcome,
+                "attrs": self.attrs,
+            },
+            sort_keys=True,
+        )
+
+
+class _NoopSpan:
+    """The shared do-nothing span a disabled tracer returns."""
+
+    __slots__ = ()
+
+    def set(self, **attrs) -> None:
+        pass
+
+    def __enter__(self) -> "_NoopSpan":
+        return self
+
+    def __exit__(self, *exc_info) -> bool:
+        return False
+
+
+NOOP_SPAN = _NoopSpan()
+
+
+class _Span:
+    __slots__ = ("_tracer", "name", "attrs", "_t0")
+
+    def __init__(self, tracer: "Tracer", name: str, attrs: dict) -> None:
+        self._tracer = tracer
+        self.name = name
+        self.attrs = attrs
+
+    def set(self, **attrs) -> None:
+        """Attach attributes discovered mid-span (e.g. the fold regime,
+        bytes reclaimed)."""
+        self.attrs.update(attrs)
+
+    def __enter__(self) -> "_Span":
+        self._t0 = time.perf_counter_ns()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        duration = time.perf_counter_ns() - self._t0
+        outcome = "ok" if exc_type is None else exc_type.__name__
+        self._tracer._record(
+            SpanEvent(self.name, self._t0, duration, outcome, self.attrs)
+        )
+        return False  # never swallow
+
+
+class Tracer:
+    """A ring buffer of :class:`SpanEvent`\\ s.
+
+    ``capacity`` bounds retained events (oldest drop first);
+    ``enabled=False`` makes :meth:`span` return the shared no-op span.
+    ``deque.append`` is atomic under CPython, so recording takes no
+    lock; the snapshot/clear/export paths do.
+    """
+
+    def __init__(self, capacity: int = 8192, enabled: bool = True) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be ≥ 1, got {capacity}")
+        self.enabled = bool(enabled)
+        self.capacity = capacity
+        self._events: deque[SpanEvent] = deque(maxlen=capacity)
+        self._lock = threading.Lock()
+        self.dropped_hint = 0  # events recorded beyond capacity (approx)
+        self._recorded = 0
+
+    def span(self, name: str, **attrs):
+        """A context manager timing one operation (no-op when the tracer
+        is disabled)."""
+        if not self.enabled:
+            return NOOP_SPAN
+        return _Span(self, name, attrs)
+
+    def _record(self, event: SpanEvent) -> None:
+        self._recorded += 1
+        self._events.append(event)
+        if self._recorded > self.capacity:
+            self.dropped_hint = self._recorded - self.capacity
+
+    def events(self) -> list[SpanEvent]:
+        """A snapshot of the retained events, oldest first."""
+        with self._lock:
+            return list(self._events)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._events.clear()
+            self._recorded = 0
+            self.dropped_hint = 0
+
+    def export_jsonl(self, path_or_file) -> int:
+        """Write the retained events as JSON lines (one object per
+        event) to a path or writable file object; returns the number of
+        events written."""
+        events = self.events()
+        payload = "".join(event.to_json() + "\n" for event in events)
+        if hasattr(path_or_file, "write"):
+            path_or_file.write(payload)
+        else:
+            with open(path_or_file, "w", encoding="utf-8") as fh:
+                fh.write(payload)
+        return len(events)
+
+
+# -- the ambient tracer ------------------------------------------------------
+
+_DEFAULT = Tracer(enabled=False)
+
+
+def current_tracer() -> Tracer:
+    return _DEFAULT
+
+
+def set_default_tracer(tracer: Tracer) -> Tracer:
+    """Install the ambient tracer every module-level :func:`span` call
+    reports to; returns the previous one."""
+    global _DEFAULT
+    old, _DEFAULT = _DEFAULT, tracer
+    return old
+
+
+def span(name: str, **attrs):
+    """A span on the ambient tracer (a shared no-op while tracing is
+    disabled — the default)."""
+    tracer = _DEFAULT
+    if not tracer.enabled:
+        return NOOP_SPAN
+    return _Span(tracer, name, attrs)
+
+
+class TraceRecorder(Tracer):
+    """The test harness: a live tracer that installs itself as the
+    ambient tracer for a ``with`` scope and offers lookup helpers.
+
+    ::
+
+        with TraceRecorder() as rec:
+            engine.sample()
+        assert rec.spans("engine.fold")[0].attrs["regime"] == "scratch"
+    """
+
+    def __init__(self, capacity: int = 65536) -> None:
+        super().__init__(capacity=capacity, enabled=True)
+        self._previous: Tracer | None = None
+
+    def __enter__(self) -> "TraceRecorder":
+        self._previous = set_default_tracer(self)
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        set_default_tracer(self._previous)
+        self._previous = None
+
+    def names(self) -> list[str]:
+        return [event.name for event in self.events()]
+
+    def spans(self, name: str) -> list[SpanEvent]:
+        return [event for event in self.events() if event.name == name]
+
+    def durations_us(self, name: str) -> list[float]:
+        return [event.duration_ns / 1e3 for event in self.spans(name)]
+
+    def outcomes(self, name: str) -> list[str]:
+        return [event.outcome for event in self.spans(name)]

@@ -13,7 +13,14 @@ Time-windowed kinds (``tw_*``, ``window_bank``) get synthetic uniform
 arrival timestamps at ``--rate`` items/second automatically.  Exit code
 0 means every submit was accepted, every query answered, and the
 service closed cleanly — the CI smoke job runs exactly this under a
-strict timeout.
+strict timeout.  ``--metrics-dump PATH`` additionally writes the
+service registry's Prometheus exposition after the run.
+
+The ``stats`` subcommand runs a small canned workload and prints the
+resulting metrics exposition — the scrape-endpoint smoke::
+
+    repro-serve stats --config '{"kind": "g", "measure": {"name": "huber"}}' \\
+        --format prom | python -m repro.obs.promcheck
 """
 
 from __future__ import annotations
@@ -91,10 +98,83 @@ def _parse_args(argv):
         action="store_true",
         help="emit a machine-readable JSON summary instead of prose",
     )
+    parser.add_argument(
+        "--metrics-dump",
+        metavar="PATH",
+        help="write the service's Prometheus exposition here after the run",
+    )
     return parser.parse_args(argv)
 
 
+def _stats_main(argv) -> int:
+    """``repro-serve stats`` — run a small canned served workload and
+    print the metrics exposition (``--format prom`` | ``json``)."""
+    parser = argparse.ArgumentParser(
+        prog="repro-serve stats",
+        description="print a served workload's metrics exposition",
+    )
+    parser.add_argument("--config", required=True, help="sampler config JSON")
+    parser.add_argument(
+        "--format", choices=("prom", "json"), default="prom",
+        help="exposition format (default: prom)",
+    )
+    parser.add_argument("--shards", type=int, default=4)
+    parser.add_argument("--workers", type=int, default=2)
+    parser.add_argument("--items", type=int, default=20_000)
+    parser.add_argument("--universe", type=int, default=4096)
+    parser.add_argument("--queries", type=int, default=16)
+    parser.add_argument("--seed", type=int, default=0)
+    args = parser.parse_args(argv)
+    try:
+        config = json.loads(args.config)
+    except json.JSONDecodeError as exc:
+        print(f"repro-serve: --config is not valid JSON: {exc}", file=sys.stderr)
+        return 2
+    if not isinstance(config, dict):
+        print("repro-serve: --config must be a JSON object", file=sys.stderr)
+        return 2
+    stream = zipf_stream(args.universe, args.items, alpha=1.2, seed=args.seed)
+    items = np.asarray(stream.items)
+    timed = config.get("kind") in TIMED_KINDS
+    timestamps = uniform_arrivals(args.items, 1000.0) if timed else None
+    query_kwargs = (
+        {"horizon": float(min(config["resolutions"]))}
+        if config.get("kind") == "window_bank"
+        else {}
+    )
+    try:
+        service = SamplerService(
+            config, shards=args.shards, seed=args.seed,
+            ingest_workers=args.workers,
+        )
+    except ValueError as exc:
+        print(f"repro-serve: {exc}", file=sys.stderr)
+        return 2
+    with service:
+        batch = 4096
+        for lo in range(0, args.items, batch):
+            hi = min(lo + batch, args.items)
+            service.submit(
+                items[lo:hi],
+                None if timestamps is None else timestamps[lo:hi],
+            )
+        service.flush()
+        service.refresh()
+        for __ in range(args.queries):
+            service.sample(**query_kwargs)
+        service.sample_many(max(1, args.queries), **query_kwargs)
+        if args.format == "prom":
+            print(service.metrics.render_prometheus(), end="")
+        else:
+            print(json.dumps(service.metrics.render_json(), indent=2))
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
+    if argv is None:
+        argv = sys.argv[1:]
+    if argv and argv[0] == "stats":
+        return _stats_main(argv[1:])
     args = _parse_args(argv)
     try:
         config = json.loads(args.config)
@@ -163,6 +243,9 @@ def main(argv: list[str] | None = None) -> int:
             thread.join()
         final = service.sample(**query_kwargs)
         stats = service.stats()
+        if args.metrics_dump:
+            with open(args.metrics_dump, "w", encoding="utf-8") as fh:
+                fh.write(service.metrics.render_prometheus())
 
     if errors:
         print(f"repro-serve: query client failed: {errors[0]!r}", file=sys.stderr)

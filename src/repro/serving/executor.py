@@ -41,6 +41,9 @@ import time
 import weakref
 
 from repro.lifecycle.rng import derive_reader_rng, spawn_query_view
+from repro.obs.catalog import CATALOG_HELP
+from repro.obs.metrics import current_registry
+from repro.obs.trace import span
 
 __all__ = ["PublishedFold", "QueryExecutor"]
 
@@ -85,11 +88,22 @@ class QueryExecutor:
         *,
         seed: int | None,
         rng_mode: str = "per-reader",
+        metrics=None,
     ) -> None:
         if rng_mode not in RNG_MODES:
             raise ValueError(
                 f"unknown rng_mode {rng_mode!r}; choose from {RNG_MODES}"
             )
+        registry = current_registry() if metrics is None else metrics
+        refresh_c = registry.counter(
+            "repro_serving_fold_refresh_total",
+            CATALOG_HELP["repro_serving_fold_refresh_total"],
+            labels=("result",),
+        )
+        self._m_refresh = {
+            r: refresh_c.labels(result=r)
+            for r in ("published", "unchanged", "error")
+        }
         self._engine = engine
         self._locks = shard_locks
         self._seed = seed
@@ -128,6 +142,28 @@ class QueryExecutor:
         refresh)."""
         published = self._published
         return -1 if published is None else published.generation
+
+    @property
+    def refresh_error(self) -> Exception | None:
+        """The latched refresh failure, if any (cleared by the next
+        successful refresh) — the watermark-skew latch the gauges watch."""
+        return self._refresh_error
+
+    def fold_age_seconds(self) -> float:
+        """Seconds since the current generation was published (NaN
+        before the first publish)."""
+        published = self._published
+        if published is None:
+            return float("nan")
+        return time.monotonic() - published.published_at
+
+    def epoch_lag(self) -> int:
+        """Shard mutation-epoch bumps the published fold does not yet
+        reflect (everything counts before the first publish)."""
+        published = self._published
+        total = sum(self._engine.mutation_epochs())
+        seen = 0 if published is None else sum(published.epochs)
+        return total - seen
 
     def _retire_tally(self, key: int) -> None:
         """Fold a dead thread's tally into the aggregate (weakref
@@ -206,6 +242,7 @@ class QueryExecutor:
             and not force
             and list(published.epochs) == self._engine.mutation_epochs()
         ):
+            self._m_refresh["unchanged"].inc()
             return False
         with self._refresh_lock:
             published = self._published
@@ -214,22 +251,27 @@ class QueryExecutor:
                 and not force
                 and list(published.epochs) == self._engine.mutation_epochs()
             ):
+                self._m_refresh["unchanged"].inc()
                 return False
-            self._quiesce()
-            try:
-                handle = self._engine.acquire_fold()
-            except Exception as exc:
-                self._refresh_error = exc
-                raise
-            finally:
-                self._release()
-            self._refresh_error = None
-            generation = 0 if published is None else published.generation + 1
-            self._published = PublishedFold(
-                generation, handle.fold, handle.epochs, handle.watermark,
-                time.monotonic(),
-            )
-            self._refreshes += 1
+            with span("serving.refresh") as sp:
+                self._quiesce()
+                try:
+                    handle = self._engine.acquire_fold()
+                except Exception as exc:
+                    self._refresh_error = exc
+                    self._m_refresh["error"].inc()
+                    raise
+                finally:
+                    self._release()
+                self._refresh_error = None
+                generation = 0 if published is None else published.generation + 1
+                self._published = PublishedFold(
+                    generation, handle.fold, handle.epochs, handle.watermark,
+                    time.monotonic(),
+                )
+                self._refreshes += 1
+                self._m_refresh["published"].inc()
+                sp.set(generation=generation)
             return True
 
     def published(self) -> PublishedFold:

@@ -25,6 +25,8 @@ import time
 import numpy as np
 
 from repro.engine.partition import UniversePartitioner
+from repro.obs.catalog import CATALOG_HELP
+from repro.obs.metrics import current_registry
 from repro.serving.errors import RateLimited
 
 __all__ = ["RoutedBatch", "ShardRouter", "TokenBucket", "TenantRateLimiter"]
@@ -173,6 +175,7 @@ class TenantRateLimiter:
         default: tuple[float, float] | None = None,
         clock=time.monotonic,
         max_tenants: int = 4096,
+        metrics=None,
     ) -> None:
         if max_tenants < 1:
             raise ValueError(f"max_tenants must be ≥ 1, got {max_tenants}")
@@ -186,11 +189,22 @@ class TenantRateLimiter:
             for tenant, (rate, burst) in (limits or {}).items()
         }
         self._shed = 0
+        registry = current_registry() if metrics is None else metrics
+        self._m_rate_limited = registry.counter(
+            "repro_serving_rate_limited_total",
+            CATALOG_HELP["repro_serving_rate_limited_total"],
+            labels=("tenant",),
+        )
 
     @property
     def shed_count(self) -> int:
         """Batches rejected so far (for the stats endpoint)."""
         return self._shed
+
+    def bucket_count(self) -> int:
+        """Token buckets currently tracked (for the tenant-table gauge)."""
+        with self._lock:
+            return len(self._buckets)
 
     def admit(self, tenant: str | None, n: int) -> None:
         """Admit ``n`` items for ``tenant`` or raise
@@ -208,6 +222,9 @@ class TenantRateLimiter:
             wait = bucket.try_consume(n, self._clock())
             if wait > 0.0:
                 self._shed += 1
+                self._m_rate_limited.labels(
+                    tenant=tenant if tenant is not None else "_default"
+                ).inc()
                 if math.isinf(wait):
                     raise RateLimited(
                         f"batch of {n} items exceeds tenant {tenant!r}'s "

@@ -37,7 +37,10 @@ import time
 
 from repro.engine.registry import kind_spec
 from repro.engine.shard import ShardedSamplerEngine
-from repro.serving.errors import Backpressure, ServiceClosed
+from repro.obs.catalog import CATALOG_HELP
+from repro.obs.metrics import MetricsRegistry, use_registry
+from repro.obs.trace import span
+from repro.serving.errors import Backpressure, RateLimited, ServiceClosed
 from repro.serving.executor import QueryExecutor
 from repro.serving.router import ShardRouter, TenantRateLimiter
 from repro.serving.workers import IngestWorker, ShardQueues
@@ -93,6 +96,16 @@ class SamplerService:
         Worker micro-batch coalescing limit, in items.
     serialized:
         Replay/debug mode — see the module docstring.
+    metrics:
+        The service's :class:`~repro.obs.MetricsRegistry`.  ``None``
+        (default) creates one fresh enabled registry per service;
+        ``False`` disables metrics entirely (every instrument is the
+        shared no-op — the zero-overhead configuration); pass a registry
+        instance to aggregate several services into one exposition.  The
+        registry is installed while the engine is built, so engine fold
+        metrics and per-rung window counters land in it too; render it
+        with ``service.metrics.render_prometheus()`` or the
+        ``repro-serve stats`` CLI.
     """
 
     def __init__(
@@ -112,6 +125,7 @@ class SamplerService:
         compact_interval: float | None = 1.0,
         max_batch: int = DEFAULT_MAX_BATCH,
         serialized: bool = False,
+        metrics=None,
     ) -> None:
         if backpressure not in ("block", "shed"):
             raise ValueError(
@@ -131,18 +145,29 @@ class SamplerService:
             ingest_workers = 1
             rng_mode = "locked"
             refresh_interval = 0.0
+        if metrics is None or metrics is True:
+            self._metrics = MetricsRegistry()
+        elif metrics is False:
+            self._metrics = MetricsRegistry(enabled=False)
+        else:
+            self._metrics = metrics
+        self._metrics_on = self._metrics.enabled
         if isinstance(config, ShardedSamplerEngine):
             self._engine = config
         else:
             # Fail actionably before building K shards' worth of state.
             kind_spec(dict(config).get("kind"))
-            self._engine = ShardedSamplerEngine(
-                config,
-                shards=shards,
-                seed=seed,
-                max_watermark_skew=max_watermark_skew,
-                query_cache=True,
-            )
+            # The registry is installed for the build so sampler-internal
+            # instruments (WindowBank rungs) land in the service registry.
+            with use_registry(self._metrics):
+                self._engine = ShardedSamplerEngine(
+                    config,
+                    shards=shards,
+                    seed=seed,
+                    max_watermark_skew=max_watermark_skew,
+                    query_cache=True,
+                    metrics=self._metrics,
+                )
         k = self._engine.shards
         if ingest_workers < 1:
             raise ValueError(f"need at least one worker, got {ingest_workers}")
@@ -154,9 +179,12 @@ class SamplerService:
         self._shard_locks = [threading.Lock() for _ in range(k)]
         self._router = ShardRouter(self._engine.partitioner)
         self._queues = ShardQueues(k, queue_capacity)
-        self._limiter = TenantRateLimiter(tenant_rates, default_rate)
+        self._limiter = TenantRateLimiter(
+            tenant_rates, default_rate, metrics=self._metrics
+        )
         self._executor = QueryExecutor(
-            self._engine, self._shard_locks, seed=seed, rng_mode=rng_mode
+            self._engine, self._shard_locks, seed=seed, rng_mode=rng_mode,
+            metrics=self._metrics,
         )
         self._workers = [
             IngestWorker(
@@ -167,6 +195,7 @@ class SamplerService:
                 owned_shards=[s for s in range(k) if s % ingest_workers == w],
                 max_batch=max_batch,
                 on_error=self._record_worker_error,
+                metrics=self._metrics,
             )
             for w in range(ingest_workers)
         ]
@@ -176,6 +205,7 @@ class SamplerService:
         self._compaction_bytes = 0
         self._ticker_stop = threading.Event()
         self._ticker: threading.Thread | None = None
+        self._register_metrics(k)
         for worker in self._workers:
             worker.start()
         if self._refresh_interval > 0 or self._compact_interval is not None:
@@ -183,6 +213,89 @@ class SamplerService:
                 target=self._tick_loop, name="repro-serving-ticker", daemon=True
             )
             self._ticker.start()
+
+    def _register_metrics(self, k: int) -> None:
+        """Register the front-door instruments and live callback gauges
+        (all shared no-ops when the registry is disabled)."""
+        m = self._metrics
+        self._m_submitted = m.counter(
+            "repro_serving_submitted_items_total",
+            CATALOG_HELP["repro_serving_submitted_items_total"],
+            labels=("tenant",),
+        )
+        self._m_bp_shed = m.counter(
+            "repro_serving_backpressure_shed_total",
+            CATALOG_HELP["repro_serving_backpressure_shed_total"],
+            labels=("tenant",),
+        )
+        submit_s = m.histogram(
+            "repro_serving_submit_seconds",
+            CATALOG_HELP["repro_serving_submit_seconds"],
+            labels=("outcome",),
+        )
+        self._m_submit_s = {
+            o: submit_s.labels(outcome=o)
+            for o in ("accepted", "shed", "rate_limited")
+        }
+        query_s = m.histogram(
+            "repro_serving_query_seconds",
+            CATALOG_HELP["repro_serving_query_seconds"],
+            labels=("method", "outcome"),
+        )
+        self._m_query_s = {
+            (meth, out): query_s.labels(method=meth, outcome=out)
+            for meth in ("sample", "sample_many")
+            for out in ("ok", "error")
+        }
+        self._m_compact_passes = m.counter(
+            "repro_serving_compaction_passes_total",
+            CATALOG_HELP["repro_serving_compaction_passes_total"],
+        )
+        self._m_compact_bytes = m.counter(
+            "repro_serving_compaction_reclaimed_bytes_total",
+            CATALOG_HELP["repro_serving_compaction_reclaimed_bytes_total"],
+        )
+        if not self._metrics_on:
+            return
+        # Live gauges evaluate their callbacks at render/read time; each
+        # callback reads state the owning component already exposes
+        # thread-safely (a raising callback renders NaN, never breaks
+        # exposition).
+        depth = m.gauge(
+            "repro_serving_queue_depth",
+            CATALOG_HELP["repro_serving_queue_depth"],
+            labels=("shard",),
+        )
+        for shard in range(k):
+            depth.labels(shard=str(shard)).set_function(
+                lambda s=shard: self._queues.depths()[s]
+            )
+        m.gauge(
+            "repro_serving_queue_pending_items",
+            CATALOG_HELP["repro_serving_queue_pending_items"],
+        ).set_function(self._queues.pending)
+        m.gauge(
+            "repro_serving_tenant_buckets",
+            CATALOG_HELP["repro_serving_tenant_buckets"],
+        ).set_function(self._limiter.bucket_count)
+        m.gauge(
+            "repro_serving_fold_generation",
+            CATALOG_HELP["repro_serving_fold_generation"],
+        ).set_function(lambda: self._executor.generation)
+        m.gauge(
+            "repro_serving_fold_age_seconds",
+            CATALOG_HELP["repro_serving_fold_age_seconds"],
+        ).set_function(self._executor.fold_age_seconds)
+        m.gauge(
+            "repro_serving_fold_epoch_lag",
+            CATALOG_HELP["repro_serving_fold_epoch_lag"],
+        ).set_function(self._executor.epoch_lag)
+        m.gauge(
+            "repro_serving_watermark_skew_latched",
+            CATALOG_HELP["repro_serving_watermark_skew_latched"],
+        ).set_function(
+            lambda: 0 if self._executor.refresh_error is None else 1
+        )
 
     # -- background ticker --------------------------------------------------
     def _tick_loop(self) -> None:
@@ -217,11 +330,16 @@ class SamplerService:
         """One expiry-compaction pass, shard by shard — each under its
         own write lock, so ingest of the other shards keeps flowing."""
         freed = 0
-        for shard in range(self._engine.shards):
-            with self._shard_locks[shard]:
-                freed += self._engine.compact_shard(shard)
+        with span("serving.compaction") as sp:
+            for shard in range(self._engine.shards):
+                with self._shard_locks[shard]:
+                    freed += self._engine.compact_shard(shard)
+            sp.set(freed=freed)
         self._compaction_passes += 1
         self._compaction_bytes += freed
+        self._m_compact_passes.inc()
+        if freed:
+            self._m_compact_bytes.add(freed)
 
     def _record_worker_error(self, exc: Exception, shard: int) -> None:
         self._worker_errors.append((exc, shard))
@@ -236,6 +354,12 @@ class SamplerService:
     @property
     def closed(self) -> bool:
         return self._closed
+
+    @property
+    def metrics(self) -> MetricsRegistry:
+        """The service's metrics registry — render with
+        ``render_prometheus()`` / ``render_json()``."""
+        return self._metrics
 
     def _check_open(self) -> None:
         if self._closed:
@@ -267,21 +391,49 @@ class SamplerService:
         ``timestamps`` (required form for time-windowed kinds).
         """
         self._check_open()
+        t0 = time.perf_counter() if self._metrics_on else 0.0
         arr, ts = self._router.normalize(items, timestamps)
         total = int(arr.size)
         if total == 0:
             return 0
-        # Admission first, on the raw count: a rate-limited batch never
-        # pays for hash partitioning.
-        self._limiter.admit(tenant, total)
-        parts = self._router.route_normalized(arr, ts)
-        try:
-            return self._queues.put(parts, block=self._block, timeout=timeout)
-        except (Backpressure, ServiceClosed, ValueError):
-            # Every put() rejection is atomic (nothing enqueued), so the
-            # admitted tokens go back — a refused submit costs nothing.
-            self._limiter.refund(tenant, total)
-            raise
+        with span("serving.submit", tenant=tenant, items=total):
+            # Admission first, on the raw count: a rate-limited batch
+            # never pays for hash partitioning.
+            try:
+                self._limiter.admit(tenant, total)
+            except RateLimited:
+                # The limiter owns the per-tenant rate_limited counter;
+                # the front door only times the outcome.
+                if self._metrics_on:
+                    self._m_submit_s["rate_limited"].observe(
+                        time.perf_counter() - t0
+                    )
+                raise
+            parts = self._router.route_normalized(arr, ts)
+            try:
+                accepted = self._queues.put(
+                    parts, block=self._block, timeout=timeout
+                )
+            except (Backpressure, ServiceClosed, ValueError) as exc:
+                # Every put() rejection is atomic (nothing enqueued), so
+                # the admitted tokens go back — a refused submit costs
+                # nothing.
+                self._limiter.refund(tenant, total)
+                if isinstance(exc, Backpressure):
+                    self._m_bp_shed.labels(
+                        tenant=tenant if tenant is not None else "_default"
+                    ).inc()
+                    if self._metrics_on:
+                        self._m_submit_s["shed"].observe(
+                            time.perf_counter() - t0
+                        )
+                raise
+        self._m_submitted.labels(
+            tenant=tenant if tenant is not None else "_default"
+        ).add(accepted)
+        if self._metrics_on:
+            self._m_submit_s["accepted"].observe(time.perf_counter() - t0)
+        return accepted
 
     def flush(self, timeout: float | None = None) -> None:
         """Block until every accepted item has landed in its shard
@@ -313,7 +465,18 @@ class SamplerService:
             self.flush()
         elif self._refresh_interval == 0 and self._executor.rng_mode != "locked":
             self._executor.refresh()
-        return self._executor.sample(**kwargs)
+        if not self._metrics_on:
+            return self._executor.sample(**kwargs)
+        t0 = time.perf_counter()
+        try:
+            result = self._executor.sample(**kwargs)
+        except Exception:
+            self._m_query_s[("sample", "error")].observe(
+                time.perf_counter() - t0
+            )
+            raise
+        self._m_query_s[("sample", "ok")].observe(time.perf_counter() - t0)
+        return result
 
     def sample_many(self, k: int, **kwargs):
         """``k`` truly perfect samples, amortized — same freshness
@@ -323,7 +486,18 @@ class SamplerService:
             self.flush()
         elif self._refresh_interval == 0 and self._executor.rng_mode != "locked":
             self._executor.refresh()
-        return self._executor.sample_many(k, **kwargs)
+        if not self._metrics_on:
+            return self._executor.sample_many(k, **kwargs)
+        t0 = time.perf_counter()
+        try:
+            result = self._executor.sample_many(k, **kwargs)
+        except Exception:
+            self._m_query_s[("sample_many", "error")].observe(
+                time.perf_counter() - t0
+            )
+            raise
+        self._m_query_s[("sample_many", "ok")].observe(time.perf_counter() - t0)
+        return result
 
     # -- observability ------------------------------------------------------
     def stats(self) -> dict:
@@ -331,26 +505,62 @@ class SamplerService:
         plane state, engine cache hit/miss/rebase counters, compaction
         totals.
 
+        Built on the metrics registry: with metrics enabled the ingest
+        and compaction tallies are the registry counter totals (the same
+        numbers the Prometheus exposition reports — the two endpoints
+        cannot drift, every count is written exactly once per event at
+        one site); with ``metrics=False`` they fall back to the
+        components' internal integers.  The dict keys are stable across
+        both modes and across the pre-obs releases.
+
         Advisory, not transactional: the engine fields (position,
         watermark, ``approx_size_bytes`` — the latter an O(state) walk)
         are read without quiescing the workers, so under live ingest
         they reflect a best-effort instant, not a consistent cut.
         """
         queues = self._queues
+        if self._metrics_on:
+            m = self._metrics
+            counts = {
+                "submitted_items": int(self._m_submitted.total()),
+                "applied_items": int(
+                    m.get("repro_serving_applied_items_total").total()
+                ),
+                "failed_items": int(
+                    m.get("repro_serving_failed_items_total").total()
+                ),
+                "backpressure_shed": int(self._m_bp_shed.total()),
+                "rate_limited": int(
+                    m.get("repro_serving_rate_limited_total").total()
+                ),
+            }
+            compaction = {
+                "passes": int(self._m_compact_passes.total()),
+                "bytes_reclaimed": int(self._m_compact_bytes.total()),
+            }
+        else:
+            counts = {
+                "submitted_items": queues.submitted_items,
+                "applied_items": queues.applied_items,
+                "failed_items": queues.failed_items,
+                "backpressure_shed": queues.shed_count,
+                "rate_limited": self._limiter.shed_count,
+            }
+            compaction = {
+                "passes": self._compaction_passes,
+                "bytes_reclaimed": self._compaction_bytes,
+            }
         return {
             "closed": self._closed,
             "serialized": self._serialized,
             "shards": self._engine.shards,
             "workers": len(self._workers),
+            "metrics_enabled": self._metrics_on,
             "ingest": {
-                "submitted_items": queues.submitted_items,
-                "applied_items": queues.applied_items,
-                "failed_items": queues.failed_items,
+                **counts,
                 "pending_items": queues.pending(),
                 "queue_depths": queues.depths(),
                 "queue_capacity": queues.capacity,
-                "backpressure_shed": queues.shed_count,
-                "rate_limited": self._limiter.shed_count,
                 "worker_errors": len(self._worker_errors),
             },
             "query": self._executor.stats(),
@@ -360,10 +570,7 @@ class SamplerService:
                 "approx_size_bytes": self._engine.approx_size_bytes(),
                 "cache": self._engine.cache_info(),
             },
-            "compaction": {
-                "passes": self._compaction_passes,
-                "bytes_reclaimed": self._compaction_bytes,
-            },
+            "compaction": compaction,
         }
 
     @property

@@ -29,6 +29,9 @@ from collections import deque
 
 import numpy as np
 
+from repro.obs.catalog import CATALOG_HELP
+from repro.obs.metrics import SIZE_BUCKETS, current_registry
+from repro.obs.trace import span
 from repro.serving.errors import Backpressure, FlushTimeout, ServiceClosed
 from repro.serving.router import RoutedBatch
 
@@ -244,6 +247,7 @@ class IngestWorker(threading.Thread):
         *,
         max_batch: int,
         on_error=None,
+        metrics=None,
     ) -> None:
         super().__init__(name=f"repro-ingest-{index}", daemon=True)
         self.index = index
@@ -256,6 +260,33 @@ class IngestWorker(threading.Thread):
         self._cursor = 0
         self._on_error = on_error
         self.applied_batches = 0
+        # Children pre-resolved per owned shard (ownership is static),
+        # so the apply loop never does a label lookup.
+        registry = current_registry() if metrics is None else metrics
+        self._metrics_on = registry.enabled
+        applied = registry.counter(
+            "repro_serving_applied_items_total",
+            CATALOG_HELP["repro_serving_applied_items_total"],
+            labels=("shard",),
+        )
+        failed = registry.counter(
+            "repro_serving_failed_items_total",
+            CATALOG_HELP["repro_serving_failed_items_total"],
+            labels=("shard",),
+        )
+        apply_s = registry.histogram(
+            "repro_serving_ingest_apply_seconds",
+            CATALOG_HELP["repro_serving_ingest_apply_seconds"],
+            labels=("shard",),
+        )
+        self._m_applied = {s: applied.labels(shard=str(s)) for s in owned_shards}
+        self._m_failed = {s: failed.labels(shard=str(s)) for s in owned_shards}
+        self._m_apply_s = {s: apply_s.labels(shard=str(s)) for s in owned_shards}
+        self._m_coalesce = registry.histogram(
+            "repro_serving_batch_coalesce_items",
+            CATALOG_HELP["repro_serving_batch_coalesce_items"],
+            buckets=SIZE_BUCKETS,
+        )
 
     def stop(self) -> None:
         self._halt.set()
@@ -264,26 +295,28 @@ class IngestWorker(threading.Thread):
         shard = batches[0].shard
         n = sum(len(batch) for batch in batches)
         ok = False
+        t0 = time.perf_counter() if self._metrics_on else 0.0
         try:
             # Everything from coalescing onward sits inside the guard:
             # a failure anywhere here must still release occupancy and
             # reach on_error, or flush()/close(drain=True) would wedge
             # on items that will never land.
-            items = (
-                batches[0].items
-                if len(batches) == 1
-                else np.concatenate([b.items for b in batches])
-            )
-            if batches[0].timestamps is None:
-                timestamps = None
-            else:
-                timestamps = (
-                    batches[0].timestamps
+            with span("serving.apply", shard=shard, items=n, batches=len(batches)):
+                items = (
+                    batches[0].items
                     if len(batches) == 1
-                    else np.concatenate([b.timestamps for b in batches])
+                    else np.concatenate([b.items for b in batches])
                 )
-            with self._locks[shard]:
-                self._engine.ingest_shard(shard, items, timestamps=timestamps)
+                if batches[0].timestamps is None:
+                    timestamps = None
+                else:
+                    timestamps = (
+                        batches[0].timestamps
+                        if len(batches) == 1
+                        else np.concatenate([b.timestamps for b in batches])
+                    )
+                with self._locks[shard]:
+                    self._engine.ingest_shard(shard, items, timestamps=timestamps)
             self.applied_batches += 1
             ok = True
         except Exception as exc:  # surface, don't die silently
@@ -293,6 +326,13 @@ class IngestWorker(threading.Thread):
                 raise
         finally:
             self._queues.mark_applied(shard, n, ok=ok)
+            if ok:
+                self._m_applied[shard].add(n)
+                if self._metrics_on:
+                    self._m_apply_s[shard].observe(time.perf_counter() - t0)
+                    self._m_coalesce.observe(n)
+            else:
+                self._m_failed[shard].add(n)
 
     def run(self) -> None:
         while True:

@@ -35,6 +35,8 @@ import numpy as np
 from repro.core.measures import Measure
 from repro.core.types import SampleResult, as_timed_arrays
 from repro.lifecycle.memory import INSTANCE_BYTES
+from repro.obs.catalog import CATALOG_HELP
+from repro.obs.metrics import current_registry
 from repro.windows.chunking import as_timed_chunk, bucket_cuts
 from repro.windows.f0 import TimeWindowF0Sampler
 from repro.windows.time_window import (
@@ -148,6 +150,30 @@ class WindowBank:
                 self._f0_samplers[horizon] = TimeWindowF0Sampler(
                     n, horizon, delta=delta, seed=f0_member_seed
                 )
+        # Per-rung ingest/expiry counters, resolved from the *current*
+        # registry at construction time — a serving deployment installs
+        # its own registry while building the engine, so a served bank's
+        # rung counters land there; standalone banks report to the
+        # process-global default.  The children are shared no-ops when
+        # the registry is disabled, and survive deep copies by identity
+        # (query views / folds report into the same counters).
+        registry = current_registry()
+        ingested = registry.counter(
+            "repro_windows_ingested_items_total",
+            CATALOG_HELP["repro_windows_ingested_items_total"],
+            labels=("resolution",),
+        )
+        expired = registry.counter(
+            "repro_windows_expired_reclaimed_bytes_total",
+            CATALOG_HELP["repro_windows_expired_reclaimed_bytes_total"],
+            labels=("resolution",),
+        )
+        self._m_ingested = {
+            h: ingested.labels(resolution=f"{h:g}") for h in horizons
+        }
+        self._m_expired = {
+            h: expired.labels(resolution=f"{h:g}") for h in horizons
+        }
 
     # -- properties ---------------------------------------------------------
     @property
@@ -193,9 +219,19 @@ class WindowBank:
 
     def compact(self, now: float | None = None) -> int:
         """Fan ``compact(now)`` out to every rung (pool and F0 members);
-        returns the total approximate bytes reclaimed.  Passing ``now``
+        returns the total approximate bytes reclaimed, attributed to
+        each rung's resolution in the expiry counter.  Passing ``now``
         advances the whole bank's clock watermark."""
-        return sum(member.compact(now) for member in self._members())
+        total = 0
+        for horizon in self._resolutions:
+            freed = self._pool_samplers[horizon].compact(now)
+            f0 = self._f0_samplers.get(horizon)
+            if f0 is not None:
+                freed += f0.compact(now)
+            if freed:
+                self._m_expired[horizon].add(freed)
+            total += freed
+        return total
 
     def pool_sampler(self, horizon: float):
         """The G/Lp member at ``horizon`` (exact match required)."""
@@ -229,6 +265,13 @@ class WindowBank:
             sampler.update(item, timestamp)
         for sampler in self._f0_samplers.values():
             sampler.update(item, timestamp)
+        self._count_ingested(1)
+
+    def _count_ingested(self, n: int) -> None:
+        # Every rung sees the full stream, so each rung's counter
+        # advances by the whole chunk.
+        for child in self._m_ingested.values():
+            child.add(n)
 
     def extend(self, pairs) -> None:
         """Ingest an iterable of ``(item, timestamp)`` pairs; delegates
@@ -276,6 +319,7 @@ class WindowBank:
                         sampler.update_batch(seg_items, seg_ts)
         for sampler in self._f0_samplers.values():
             sampler.update_batch(arr, ts)
+        self._count_ingested(int(arr.size))
 
     # -- queries ------------------------------------------------------------
     def sample(self, horizon: float, now: float | None = None) -> SampleResult:

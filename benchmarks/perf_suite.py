@@ -21,6 +21,11 @@ Measures, on one process with fixed seeds:
   metrics registry enabled vs. disabled (``metrics=False``), best of
   several reps per mode: served ingest throughput and query p50 with
   metrics on must stay within 10% of the no-op configuration.
+* **audit overhead (PR 7)** — the identical served workload with the
+  statistical audit plane on (shadow truth fed per accepted batch +
+  periodic audit ticks drawing dedicated ``sample_many`` batches) vs.
+  off, metrics enabled in both: audited ingest throughput must stay
+  ≥0.9x and query p50 ≤1.10x the audit-off run.
 
 Results land in machine-readable JSON (default: ``BENCH_E23.json`` at
 the repo root) so the bench trajectory is tracked from PR 4 forward.
@@ -44,7 +49,9 @@ The suite *gates* itself (exit code 1 on failure):
   that amortization, not thread parallelism, is what the gate pins, so
   it holds on a single-core runner too);
 * metrics-enabled served ingest throughput must be ≥0.9x and query p50
-  ≤1.10x the metrics-disabled run (instrumentation must stay cheap).
+  ≤1.10x the metrics-disabled run (instrumentation must stay cheap);
+* audit-enabled served ingest throughput must be ≥0.9x and query p50
+  ≤1.10x the audit-off run (self-verification must stay cheap).
 
 Run ``--smoke`` in CI for a reduced-scale pass with the same gates.
 """
@@ -82,6 +89,8 @@ MAX_SERVED_P50_RATIO = 3.0
 MIN_SERVED_INGEST_SPEEDUP = 2.0
 MIN_OBS_THROUGHPUT_RATIO = 0.9
 MAX_OBS_P50_RATIO = 1.10
+MIN_AUDIT_THROUGHPUT_RATIO = 0.9
+MAX_AUDIT_P50_RATIO = 1.10
 SERVED_WORKERS = 4
 SERVED_CLIENTS = 8
 SERVED_SHARDS = 8
@@ -393,6 +402,84 @@ def bench_obs_overhead(
     }
 
 
+def _audit_run(
+    preload: np.ndarray,
+    work: np.ndarray,
+    write_batch: int,
+    queries: int,
+    audited: bool,
+) -> tuple[float, float, int]:
+    """One rep of the served workload with the audit plane on/off
+    (metrics enabled in both — the audit cost is measured on top of the
+    PR 6 instrumentation, not bundled with it); returns (ingest
+    items/sec, query p50 µs on the warm published fold)."""
+    batches = work.size // write_batch
+    with SamplerService(
+        CONFIG,
+        shards=SERVED_SHARDS,
+        seed=7,
+        ingest_workers=SERVED_WORKERS,
+        refresh_interval=0.02,
+        metrics=True,
+        audit={"interval": 0.05, "draws": 256} if audited else None,
+    ) as svc:
+        svc.submit(preload)
+        svc.flush()
+        svc.refresh()
+        t0 = time.perf_counter()
+        for w in range(batches):
+            svc.submit(work[w * write_batch:(w + 1) * write_batch])
+        svc.flush()
+        wall = time.perf_counter() - t0
+        svc.refresh()
+        for __ in range(16):  # untimed query warmup (reader view spawn)
+            svc.sample()
+        latencies: list[int] = []
+        for __ in range(queries):
+            q0 = time.perf_counter_ns()
+            svc.sample()
+            latencies.append(time.perf_counter_ns() - q0)
+        ticks = (
+            svc.audit_status().get("ticks", 0) if audited else 0
+        )
+    return work.size / wall, statistics.median(ns / 1e3 for ns in latencies), ticks
+
+
+def bench_audit_overhead(
+    preload: np.ndarray, work: np.ndarray, write_batch: int, queries: int
+) -> dict:
+    """Audit-on vs. audit-off served workload, best of OBS_REPS reps per
+    mode (max throughput, min p50), modes alternating within each rep —
+    the same noise discipline as :func:`bench_obs_overhead`."""
+    best = {
+        True: {"items_per_sec": 0.0, "p50_us": float("inf")},
+        False: {"items_per_sec": 0.0, "p50_us": float("inf")},
+    }
+    audit_ticks = 0
+    for __ in range(OBS_REPS):
+        for audited in (False, True):
+            tput, p50, ticks = _audit_run(
+                preload, work, write_batch, queries, audited
+            )
+            best[audited]["items_per_sec"] = max(
+                best[audited]["items_per_sec"], tput
+            )
+            best[audited]["p50_us"] = min(best[audited]["p50_us"], p50)
+            audit_ticks = max(audit_ticks, ticks)
+    return {
+        "reps": OBS_REPS,
+        "queries": queries,
+        "items": int(work.size),
+        "audit_ticks": int(audit_ticks),
+        "enabled": best[True],
+        "disabled": best[False],
+        "throughput_ratio": (
+            best[True]["items_per_sec"] / best[False]["items_per_sec"]
+        ),
+        "p50_ratio": best[True]["p50_us"] / best[False]["p50_us"],
+    }
+
+
 def evaluate_gates(report: dict) -> list[str]:
     failures = []
     for row in report["query_latency"]:
@@ -458,6 +545,19 @@ def evaluate_gates(report: dict) -> list[str]:
             f"{obs['p50_ratio']:.3f}x the metrics-disabled "
             f"{obs['disabled']['p50_us']:.1f}us (> {MAX_OBS_P50_RATIO}x)"
         )
+    audit = report["audit_overhead"]
+    if audit["throughput_ratio"] < MIN_AUDIT_THROUGHPUT_RATIO:
+        failures.append(
+            f"audit-enabled served ingest throughput is only "
+            f"{audit['throughput_ratio']:.3f}x the audit-off run "
+            f"(< {MIN_AUDIT_THROUGHPUT_RATIO}x)"
+        )
+    if audit["p50_ratio"] > MAX_AUDIT_P50_RATIO:
+        failures.append(
+            f"audit-enabled query p50 {audit['enabled']['p50_us']:.1f}us is "
+            f"{audit['p50_ratio']:.3f}x the audit-off "
+            f"{audit['disabled']['p50_us']:.1f}us (> {MAX_AUDIT_P50_RATIO}x)"
+        )
     return failures
 
 
@@ -510,6 +610,9 @@ def main(argv: list[str] | None = None) -> int:
         "obs_overhead": bench_obs_overhead(
             items, served_work, served_batch, queries
         ),
+        "audit_overhead": bench_audit_overhead(
+            items, served_work, served_batch, queries
+        ),
     }
     failures = evaluate_gates(report)
     report["gates"] = {
@@ -520,6 +623,8 @@ def main(argv: list[str] | None = None) -> int:
         "min_served_ingest_speedup": MIN_SERVED_INGEST_SPEEDUP,
         "min_obs_throughput_ratio": MIN_OBS_THROUGHPUT_RATIO,
         "max_obs_p50_ratio": MAX_OBS_P50_RATIO,
+        "min_audit_throughput_ratio": MIN_AUDIT_THROUGHPUT_RATIO,
+        "max_audit_p50_ratio": MAX_AUDIT_P50_RATIO,
         "failures": failures,
         "passed": not failures,
     }
@@ -566,6 +671,16 @@ def main(argv: list[str] | None = None) -> int:
         f"({ob['throughput_ratio']:.3f}x) | q p50 "
         f"{ob['enabled']['p50_us']:.1f} / {ob['disabled']['p50_us']:.1f}us "
         f"({ob['p50_ratio']:.3f}x, best of {ob['reps']})"
+    )
+    au = report["audit_overhead"]
+    print(
+        f"  audit   on/off: ingest "
+        f"{au['enabled']['items_per_sec'] / 1e3:6.0f}k / "
+        f"{au['disabled']['items_per_sec'] / 1e3:6.0f}k items/s "
+        f"({au['throughput_ratio']:.3f}x) | q p50 "
+        f"{au['enabled']['p50_us']:.1f} / {au['disabled']['p50_us']:.1f}us "
+        f"({au['p50_ratio']:.3f}x, {au['audit_ticks']} ticks, "
+        f"best of {au['reps']})"
     )
     if failures:
         print("GATE FAILURES:")

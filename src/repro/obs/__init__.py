@@ -31,7 +31,23 @@ directly-constructed engines and banks report to the process-global
 default.
 """
 
+from repro.obs.audit import (
+    AuditConfig,
+    AuditEvent,
+    Auditor,
+    SequentialMonitor,
+    ShadowTruth,
+    audit_profile,
+    register_audit_profile,
+)
 from repro.obs.catalog import METRIC_CATALOG
+from repro.obs.flight import write_bundle
+from repro.obs.health import (
+    BurnRateTracker,
+    HealthChecker,
+    HealthReport,
+    ProbeResult,
+)
 from repro.obs.metrics import (
     NOOP,
     Counter,
@@ -40,6 +56,7 @@ from repro.obs.metrics import (
     MetricsRegistry,
     current_registry,
     log_buckets,
+    quantile_from_counts,
     set_default_registry,
     use_registry,
 )
@@ -55,18 +72,31 @@ from repro.obs.trace import (
 __all__ = [
     "METRIC_CATALOG",
     "NOOP",
+    "AuditConfig",
+    "AuditEvent",
+    "Auditor",
+    "BurnRateTracker",
     "Counter",
     "Gauge",
+    "HealthChecker",
+    "HealthReport",
     "Histogram",
     "MetricsRegistry",
-    "current_registry",
-    "log_buckets",
-    "set_default_registry",
-    "use_registry",
+    "ProbeResult",
+    "SequentialMonitor",
+    "ShadowTruth",
     "SpanEvent",
     "TraceRecorder",
     "Tracer",
+    "audit_profile",
+    "current_registry",
     "current_tracer",
+    "log_buckets",
+    "quantile_from_counts",
+    "register_audit_profile",
+    "set_default_registry",
     "set_default_tracer",
     "span",
+    "use_registry",
+    "write_bundle",
 ]

@@ -136,6 +136,36 @@ METRIC_CATALOG: tuple[CatalogEntry, ...] = (
         "repro_serving_compaction_reclaimed_bytes_total", "counter", (),
         "Approximate bytes reclaimed by the service ticker's compaction passes",
     ),
+    # -- audit plane ----------------------------------------------------------
+    CatalogEntry(
+        "repro_audit_verdict", "gauge", (),
+        "Audit verdict: 1 passing, 0 flagged (latched), -1 unsupported or no evaluated tick yet",
+    ),
+    CatalogEntry(
+        "repro_audit_draws_total", "counter", (),
+        "Dedicated audit draws taken off published folds",
+    ),
+    CatalogEntry(
+        "repro_audit_tvd_bound", "gauge", (),
+        "Latest certified upper bound on the output-vs-target total variation distance",
+    ),
+    CatalogEntry(
+        "repro_audit_evalue", "gauge", (),
+        "Running e-process value; crossing 1/alpha flags the sampler (anytime-valid)",
+    ),
+    CatalogEntry(
+        "repro_audit_ticks_total", "counter", ("result",),
+        "Audit ticks by outcome (evaluated/skipped_*/discarded_race/unsupported)",
+    ),
+    # -- health / trace -------------------------------------------------------
+    CatalogEntry(
+        "repro_health_status", "gauge", ("probe",),
+        "Health probe status at last check: 1 pass, 0.5 warn, 0 fail",
+    ),
+    CatalogEntry(
+        "repro_trace_dropped_total", "counter", (),
+        "Trace span events dropped by the ring buffer since the tracer was bound",
+    ),
 )
 
 #: name → meaning, so every instrumentation site registers with the

@@ -1,0 +1,130 @@
+"""The flight recorder: one debug bundle per incident.
+
+:func:`write_bundle` freezes a serving instance's observable state into
+a single zip so a field incident or CI failure is reproducible from one
+artifact:
+
+* ``manifest.json`` — bundle format version + entry list
+* ``config.json`` — the sampler config the service was built with
+* ``stats.json`` — the ``stats()`` endpoint (ingest/query/engine/
+  compaction counters + derived latency quantiles)
+* ``metrics.json`` / ``metrics.prom`` — full registry expositions
+* ``health.json`` — the probe report at dump time
+* ``audit.json`` — audit status + recent verdict history
+* ``trace.jsonl`` — the ambient trace ring (empty when tracing is off)
+* ``environment.json`` — python/numpy/platform/pid/time
+* ``shards/shard-NNN.rprs`` — per-shard snapshot envelopes
+  (:func:`repro.engine.state.save_state` bytes, restorable with
+  ``load_state``)
+
+Everything is best-effort *except* the manifest: a section that raises
+is recorded as an ``errors`` entry instead of killing the dump — a
+flight recorder that crashes during the crash is useless.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import sys
+import time
+import zipfile
+
+import numpy as np
+
+from repro.obs.trace import current_tracer
+
+__all__ = ["BUNDLE_FORMAT", "write_bundle"]
+
+BUNDLE_FORMAT = 1
+
+
+def _jsonable(obj):
+    """A json.dumps ``default`` that copes with numpy scalars/arrays and
+    anything else by falling back to ``repr``."""
+    if isinstance(obj, (np.integer,)):
+        return int(obj)
+    if isinstance(obj, (np.floating,)):
+        return float(obj)
+    if isinstance(obj, np.ndarray):
+        return obj.tolist()
+    if isinstance(obj, float) and obj != obj:  # pragma: no cover
+        return None
+    return repr(obj)
+
+
+def _dumps(payload) -> str:
+    return json.dumps(payload, indent=2, sort_keys=True, default=_jsonable)
+
+
+def _environment() -> dict:
+    return {
+        "python": sys.version,
+        "numpy": np.__version__,
+        "platform": platform.platform(),
+        "machine": platform.machine(),
+        "pid": os.getpid(),
+        "wall_time": time.time(),
+        "monotonic": time.monotonic(),
+    }
+
+
+def write_bundle(service, path) -> dict:
+    """Write the debug bundle for ``service`` to ``path`` (a zip file);
+    returns the manifest dict (``entries`` + ``errors``)."""
+    entries: list[str] = []
+    errors: dict[str, str] = {}
+
+    def _add(zf: zipfile.ZipFile, name: str, build) -> None:
+        try:
+            data = build()
+        except Exception as exc:
+            errors[name] = f"{type(exc).__name__}: {exc}"
+            return
+        if isinstance(data, str):
+            data = data.encode("utf-8")
+        zf.writestr(name, data)
+        entries.append(name)
+
+    with zipfile.ZipFile(path, "w", zipfile.ZIP_DEFLATED) as zf:
+        _add(zf, "config.json", lambda: _dumps(service.config))
+        _add(zf, "stats.json", lambda: _dumps(service.stats()))
+        _add(
+            zf,
+            "metrics.json",
+            lambda: _dumps(service.metrics.render_json()),
+        )
+        _add(zf, "metrics.prom", lambda: service.metrics.render_prometheus())
+        _add(
+            zf,
+            "health.json",
+            lambda: _dumps(service.health().to_dict()),
+        )
+        _add(zf, "audit.json", lambda: _dumps(service.audit_status()))
+
+        def _trace() -> str:
+            import io
+
+            buf = io.StringIO()
+            current_tracer().export_jsonl(buf)
+            return buf.getvalue()
+
+        _add(zf, "trace.jsonl", _trace)
+        _add(zf, "environment.json", lambda: _dumps(_environment()))
+        try:
+            blobs = service.snapshot_shards_bytes()
+        except Exception as exc:
+            errors["shards/"] = f"{type(exc).__name__}: {exc}"
+            blobs = []
+        for i, blob in enumerate(blobs):
+            name = f"shards/shard-{i:03d}.rprs"
+            zf.writestr(name, blob)
+            entries.append(name)
+        manifest = {
+            "format": BUNDLE_FORMAT,
+            "entries": sorted(entries),
+            "errors": errors,
+        }
+        zf.writestr("manifest.json", _dumps(manifest))
+    return manifest

@@ -1,0 +1,248 @@
+"""Readiness/liveness probes and multi-window SLO burn rate.
+
+Health is a *derived* signal: every probe reads state the serving stack
+already maintains — queue occupancy, the query plane's latched refresh
+error, fold staleness, worker apply failures, the audit plane's verdict
+— and the SLO probe reads the latency histograms PR 6 installed.  The
+checker computes, it never mutates; calling :meth:`HealthChecker.check`
+twice in a row is safe and cheap.
+
+Semantics follow the usual split:
+
+* **live** — the process is worth keeping: the service is open and its
+  ingest workers haven't died.  A not-live verdict means restart.
+* **ready** — the service should receive traffic: live, and no probe is
+  failing.  Saturated queues, a latched watermark-skew error, a stale
+  fold, a flagged audit, or a burning SLO all take the instance out of
+  rotation without restarting it.
+
+The SLO probe is the standard multi-window burn-rate rule (two windows
+so a short spike alone doesn't page): with objective latency ``T`` and
+target success ratio ``slo``, the burn rate over a window is
+``(fraction of observations over T) / (1 − slo)``; the probe fails when
+*both* the short and long windows burn ≥ 14.4 (the "2% of a 30-day
+budget in one hour" threshold) and warns at ≥ 6.  Windows are built
+from periodic cuts of the cumulative histograms, so the tracker needs
+:meth:`BurnRateTracker.observe` called on a cadence (the service ticker
+does this; standalone checks degrade to "pass — insufficient data").
+
+Probe results land in the ``repro_health_status`` gauge (per-probe
+children plus ``ready`` / ``live``), so health history is scrapeable
+alongside everything else.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import deque
+from dataclasses import dataclass
+from typing import Callable
+
+__all__ = [
+    "BurnRateTracker",
+    "HealthChecker",
+    "HealthReport",
+    "ProbeResult",
+    "STATUS_VALUES",
+]
+
+#: Probe status → gauge value.
+STATUS_VALUES = {"pass": 1.0, "warn": 0.5, "fail": 0.0}
+
+#: Multi-window burn-rate thresholds (Google SRE workbook's fast-burn
+#: page rule): fail at 14.4× budget burn, warn at 6×.
+BURN_FAIL = 14.4
+BURN_WARN = 6.0
+
+
+@dataclass(frozen=True)
+class ProbeResult:
+    """One probe's verdict."""
+
+    name: str
+    status: str  # "pass" | "warn" | "fail"
+    detail: str = ""
+    value: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.status not in STATUS_VALUES:
+            raise ValueError(f"unknown probe status {self.status!r}")
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "status": self.status,
+            "detail": self.detail,
+            "value": self.value,
+        }
+
+
+@dataclass(frozen=True)
+class HealthReport:
+    """The aggregate: every probe, plus the ready/live verdicts."""
+
+    probes: tuple[ProbeResult, ...]
+    live: bool
+    ready: bool
+
+    def probe(self, name: str) -> ProbeResult | None:
+        for result in self.probes:
+            if result.name == name:
+                return result
+        return None
+
+    def to_dict(self) -> dict:
+        return {
+            "live": self.live,
+            "ready": self.ready,
+            "probes": [p.to_dict() for p in self.probes],
+        }
+
+
+class _Cut:
+    __slots__ = ("t", "count", "over")
+
+    def __init__(self, t: float, count: int, over: int) -> None:
+        self.t = t
+        self.count = count
+        self.over = over
+
+
+class BurnRateTracker:
+    """Multi-window SLO burn rate from cumulative latency histograms.
+
+    ``objective_seconds`` is the latency objective ``T``; an observation
+    counts against the error budget when it lands in a bucket wholly
+    above ``T`` (bucket-resolution: choose ``T`` on a bucket boundary
+    for exactness).  :meth:`observe` takes a cut of the histogram
+    family's cumulative counters; burn rates are computed between the
+    newest cut and the oldest cut inside each window.
+    """
+
+    def __init__(
+        self,
+        objective_seconds: float,
+        slo: float = 0.99,
+        short_window: float = 60.0,
+        long_window: float = 600.0,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if not 0 < slo < 1:
+            raise ValueError(f"slo must be in (0, 1), got {slo}")
+        if not 0 < short_window < long_window:
+            raise ValueError("need 0 < short_window < long_window")
+        self.objective_seconds = float(objective_seconds)
+        self.slo = float(slo)
+        self.short_window = float(short_window)
+        self.long_window = float(long_window)
+        self._clock = clock
+        # Cuts older than the long window get pruned; cadence-bounded.
+        self._cuts: deque[_Cut] = deque(maxlen=4096)
+
+    def cut_from_family(self, family) -> tuple[int, int]:
+        """(total, over-objective) observations across a histogram
+        family's children, from their cumulative bucket counts."""
+        total = 0
+        over = 0
+        for child in family.children().values():
+            counts, __, count = child.snapshot()
+            total += count
+            for bound, c in zip(child.bounds, counts):
+                if bound > self.objective_seconds:
+                    over += c
+            over += counts[-1]  # overflow bucket is above any objective
+        return total, over
+
+    def observe(self, family) -> None:
+        """Record one cut of the histogram family (call on a cadence)."""
+        count, over = 0, 0
+        if family is not None:
+            count, over = self.cut_from_family(family)
+        now = self._clock()
+        self._cuts.append(_Cut(now, count, over))
+        horizon = now - self.long_window - 1.0
+        while len(self._cuts) > 2 and self._cuts[0].t < horizon:
+            self._cuts.popleft()
+
+    def _burn(self, window: float) -> float | None:
+        """Burn rate over the trailing ``window`` seconds; None when the
+        cuts don't yet span it or no traffic arrived inside it."""
+        if len(self._cuts) < 2:
+            return None
+        newest = self._cuts[-1]
+        base = None
+        for cut in self._cuts:
+            if cut.t <= newest.t - window:
+                base = cut
+            else:
+                break
+        if base is None:
+            return None
+        d_count = newest.count - base.count
+        if d_count <= 0:
+            return None
+        d_over = newest.over - base.over
+        return (d_over / d_count) / (1.0 - self.slo)
+
+    def probe(self, name: str = "slo_burn") -> ProbeResult:
+        short = self._burn(self.short_window)
+        long = self._burn(self.long_window)
+        if short is None or long is None:
+            return ProbeResult(
+                name, "pass", "insufficient burn-rate history", None
+            )
+        worst = max(short, long)
+        detail = f"burn short={short:.2f}x long={long:.2f}x (slo={self.slo})"
+        # Both windows must burn — the long window filters out spikes,
+        # the short window proves the burn is still happening.
+        if short >= BURN_FAIL and long >= BURN_FAIL:
+            return ProbeResult(name, "fail", detail, worst)
+        if short >= BURN_WARN and long >= BURN_WARN:
+            return ProbeResult(name, "warn", detail, worst)
+        return ProbeResult(name, "pass", detail, worst)
+
+
+class HealthChecker:
+    """Run a set of probe callables into one :class:`HealthReport`.
+
+    ``probes`` maps name → zero-arg callable returning a
+    :class:`ProbeResult`; a raising probe is itself a failure (detail =
+    the exception).  ``liveness_names`` marks the probes whose failure
+    means *restart* rather than *drain* — every other failing probe
+    only takes readiness away.
+    """
+
+    def __init__(
+        self,
+        probes: dict[str, Callable[[], ProbeResult]],
+        liveness_names: tuple[str, ...] = (),
+        status_gauge=None,
+    ) -> None:
+        self._probes = dict(probes)
+        self._liveness = tuple(liveness_names)
+        self._gauge = status_gauge
+
+    def check(self) -> HealthReport:
+        results = []
+        for name, fn in self._probes.items():
+            try:
+                result = fn()
+            except Exception as exc:  # a broken probe is a failing probe
+                result = ProbeResult(
+                    name, "fail", f"probe raised: {type(exc).__name__}: {exc}"
+                )
+            if result.name != name:
+                result = ProbeResult(
+                    name, result.status, result.detail, result.value
+                )
+            results.append(result)
+        live = all(
+            r.status != "fail" for r in results if r.name in self._liveness
+        )
+        ready = live and all(r.status != "fail" for r in results)
+        if self._gauge is not None:
+            for r in results:
+                self._gauge.labels(probe=r.name).set(STATUS_VALUES[r.status])
+            self._gauge.labels(probe="live").set(1.0 if live else 0.0)
+            self._gauge.labels(probe="ready").set(1.0 if ready else 0.0)
+        return HealthReport(tuple(results), live, ready)

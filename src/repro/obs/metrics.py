@@ -58,6 +58,7 @@ __all__ = [
     "MetricsRegistry",
     "current_registry",
     "log_buckets",
+    "quantile_from_counts",
     "set_default_registry",
     "use_registry",
 ]
@@ -183,6 +184,28 @@ class Gauge(_SharedIdentity):
             return math.nan
 
 
+def quantile_from_counts(bounds, counts, total: int, q: float) -> float:
+    """The shared bucket-quantile estimator: linear interpolation inside
+    the bucket holding the q-th observation (bucket-resolution accuracy;
+    the overflow bucket clamps to the top boundary).  NaN when empty."""
+    if not 0.0 < q <= 1.0:
+        raise ValueError(f"need 0 < q <= 1, got {q}")
+    if total == 0:
+        return math.nan
+    target = q * total
+    cum = 0.0
+    for i, c in enumerate(counts):
+        if c == 0:
+            continue
+        prev = cum
+        cum += c
+        if cum >= target:
+            lo = 0.0 if i == 0 else bounds[i - 1]
+            hi = bounds[min(i, len(bounds) - 1)]
+            return lo + (hi - lo) * ((target - prev) / c)
+    return bounds[-1]  # pragma: no cover - unreachable
+
+
 class Histogram(_SharedIdentity):
     """Fixed-boundary log-bucketed histogram with quantile estimation.
 
@@ -229,23 +252,8 @@ class Histogram(_SharedIdentity):
         """Estimate the q-quantile (``0 < q ≤ 1``) from the bucket
         counts; NaN when empty.  The overflow bucket clamps to the top
         boundary — size the ladder so the tail fits."""
-        if not 0.0 < q <= 1.0:
-            raise ValueError(f"need 0 < q <= 1, got {q}")
         counts, __, total = self.snapshot()
-        if total == 0:
-            return math.nan
-        target = q * total
-        cum = 0.0
-        for i, c in enumerate(counts):
-            if c == 0:
-                continue
-            prev = cum
-            cum += c
-            if cum >= target:
-                lo = 0.0 if i == 0 else self.bounds[i - 1]
-                hi = self.bounds[min(i, len(self.bounds) - 1)]
-                return lo + (hi - lo) * ((target - prev) / c)
-        return self.bounds[-1]  # pragma: no cover - unreachable
+        return quantile_from_counts(self.bounds, counts, total, q)
 
     def percentiles(self) -> dict:
         return {
@@ -410,6 +418,34 @@ class Family(_SharedIdentity):
 
     def percentiles(self) -> dict:
         return self._solo.percentiles()
+
+    def merged_percentiles(self) -> dict:
+        """Aggregate p50/p90/p99 across every child of a histogram
+        family (all children share the family's bucket ladder, so their
+        counts sum cell-wise).  Bucket-resolution approximations — see
+        :func:`quantile_from_counts`."""
+        if self.type != "histogram":
+            raise ValueError(f"{self.name} is a {self.type}, not a histogram")
+        merged: list[int] | None = None
+        bounds: tuple[float, ...] = ()
+        total = 0
+        for child in self.children().values():
+            counts, __, count = child.snapshot()
+            total += count
+            bounds = child.bounds
+            if merged is None:
+                merged = counts
+            else:
+                merged = [a + b for a, b in zip(merged, counts)]
+        if merged is None or total == 0:
+            nan = math.nan
+            return {"count": total, "p50": nan, "p90": nan, "p99": nan}
+        return {
+            "count": total,
+            "p50": quantile_from_counts(bounds, merged, total, 0.50),
+            "p90": quantile_from_counts(bounds, merged, total, 0.90),
+            "p99": quantile_from_counts(bounds, merged, total, 0.99),
+        }
 
 
 class MetricsRegistry(_SharedIdentity):

@@ -25,7 +25,11 @@ tests, with the :class:`TraceRecorder` harness::
     assert rec.names().count("serving.apply") >= 1
 
 Export for offline analysis is JSON-lines —
-:meth:`Tracer.export_jsonl` writes one JSON object per event.
+:meth:`Tracer.export_jsonl` writes one JSON object per event — or the
+Chrome trace-event format (:meth:`Tracer.export_chrome`), loadable in
+Perfetto / ``chrome://tracing``.  ``python -m repro.obs.trace`` converts
+a JSONL export to either a summary table or a Chrome trace
+(``--chrome out.json``).
 """
 
 from __future__ import annotations
@@ -54,6 +58,7 @@ class SpanEvent(NamedTuple):
     duration_ns: int
     outcome: str  # "ok" or the raising exception type's name
     attrs: dict
+    thread: str = ""  # recording thread's name (Chrome trace lane)
 
     def to_json(self) -> str:
         return json.dumps(
@@ -63,6 +68,7 @@ class SpanEvent(NamedTuple):
                 "duration_us": self.duration_ns / 1e3,
                 "outcome": self.outcome,
                 "attrs": self.attrs,
+                "thread": self.thread,
             },
             sort_keys=True,
         )
@@ -107,7 +113,14 @@ class _Span:
         duration = time.perf_counter_ns() - self._t0
         outcome = "ok" if exc_type is None else exc_type.__name__
         self._tracer._record(
-            SpanEvent(self.name, self._t0, duration, outcome, self.attrs)
+            SpanEvent(
+                self.name,
+                self._t0,
+                duration,
+                outcome,
+                self.attrs,
+                threading.current_thread().name,
+            )
         )
         return False  # never swallow
 
@@ -130,6 +143,13 @@ class Tracer:
         self._lock = threading.Lock()
         self.dropped_hint = 0  # events recorded beyond capacity (approx)
         self._recorded = 0
+        self._dropped_counter = None
+
+    def bind_dropped_counter(self, counter) -> None:
+        """Mirror ring-buffer drops into a real metric (the catalog's
+        ``repro_trace_dropped_total``): each event recorded beyond
+        capacity evicts exactly one older event, so each is one drop."""
+        self._dropped_counter = counter
 
     def span(self, name: str, **attrs):
         """A context manager timing one operation (no-op when the tracer
@@ -143,6 +163,8 @@ class Tracer:
         self._events.append(event)
         if self._recorded > self.capacity:
             self.dropped_hint = self._recorded - self.capacity
+            if self._dropped_counter is not None:
+                self._dropped_counter.inc()
 
     def events(self) -> list[SpanEvent]:
         """A snapshot of the retained events, oldest first."""
@@ -167,6 +189,19 @@ class Tracer:
             with open(path_or_file, "w", encoding="utf-8") as fh:
                 fh.write(payload)
         return len(events)
+
+    def export_chrome(self, path_or_file) -> int:
+        """Write the retained events as a Chrome trace-event JSON file
+        (loadable in Perfetto / ``chrome://tracing``); returns the
+        number of span events written."""
+        records = [json.loads(event.to_json()) for event in self.events()]
+        payload = json.dumps(_chrome_payload(records))
+        if hasattr(path_or_file, "write"):
+            path_or_file.write(payload)
+        else:
+            with open(path_or_file, "w", encoding="utf-8") as fh:
+                fh.write(payload)
+        return len(records)
 
 
 # -- the ambient tracer ------------------------------------------------------
@@ -229,3 +264,93 @@ class TraceRecorder(Tracer):
 
     def outcomes(self, name: str) -> list[str]:
         return [event.outcome for event in self.spans(name)]
+
+
+# -- Chrome trace-event conversion + CLI -------------------------------------
+
+
+def _chrome_payload(records: list[dict]) -> dict:
+    """JSONL-export records → a Chrome trace-event object.
+
+    Complete events (``ph="X"``) carry microsecond start/duration; one
+    thread lane per recording thread, named via ``thread_name``
+    metadata events.
+    """
+    tids: dict[str, int] = {}
+    trace_events = []
+    for rec in records:
+        thread = rec.get("thread") or "main"
+        tid = tids.setdefault(thread, len(tids))
+        args = dict(rec.get("attrs") or {})
+        args["outcome"] = rec.get("outcome", "ok")
+        trace_events.append(
+            {
+                "name": rec["name"],
+                "ph": "X",
+                "ts": rec["start_ns"] / 1e3,
+                "dur": rec.get("duration_us", 0.0),
+                "pid": 0,
+                "tid": tid,
+                "cat": "repro",
+                "args": args,
+            }
+        )
+    for thread, tid in tids.items():
+        trace_events.append(
+            {
+                "name": "thread_name",
+                "ph": "M",
+                "pid": 0,
+                "tid": tid,
+                "args": {"name": thread},
+            }
+        )
+    return {"traceEvents": trace_events, "displayTimeUnit": "ms"}
+
+
+def main(argv=None) -> int:
+    """``python -m repro.obs.trace``: inspect or convert a JSONL trace
+    export.  Without ``--chrome`` prints a per-span summary table; with
+    ``--chrome OUT`` writes a Perfetto-loadable Chrome trace."""
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs.trace",
+        description="Summarize or convert a repro trace JSONL export.",
+    )
+    parser.add_argument("input", help="JSONL file written by export_jsonl")
+    parser.add_argument(
+        "--chrome",
+        metavar="OUT",
+        help="write a Chrome trace-event JSON file instead of a summary",
+    )
+    args = parser.parse_args(argv)
+    records = []
+    with open(args.input, "r", encoding="utf-8") as fh:
+        for line in fh:
+            line = line.strip()
+            if line:
+                records.append(json.loads(line))
+    if args.chrome:
+        with open(args.chrome, "w", encoding="utf-8") as fh:
+            fh.write(json.dumps(_chrome_payload(records)))
+        print(f"wrote {len(records)} events to {args.chrome}")
+        return 0
+    by_name: dict[str, list[float]] = {}
+    errors: dict[str, int] = {}
+    for rec in records:
+        by_name.setdefault(rec["name"], []).append(rec.get("duration_us", 0.0))
+        if rec.get("outcome", "ok") != "ok":
+            errors[rec["name"]] = errors.get(rec["name"], 0) + 1
+    print(f"{'span':<32} {'count':>8} {'total_ms':>10} {'mean_us':>10} {'errors':>7}")
+    for name in sorted(by_name):
+        durs = by_name[name]
+        print(
+            f"{name:<32} {len(durs):>8} {sum(durs) / 1e3:>10.2f} "
+            f"{sum(durs) / len(durs):>10.1f} {errors.get(name, 0):>7}"
+        )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -21,11 +21,13 @@ import numpy as np
 
 from repro.core.measures import Measure
 from repro.core.types import SampleResult
+from repro.lifecycle.memory import INSTANCE_BYTES
+from repro.lifecycle.protocol import StaticLifecycleMixin
 
-__all__ = ["BiasedGSampler"]
+__all__ = ["BiasedGSampler", "register_biased_kind"]
 
 
-class BiasedGSampler:
+class BiasedGSampler(StaticLifecycleMixin):
     """Exact G-sampler with a planted point-wise-γ bias.
 
     Parameters
@@ -66,13 +68,62 @@ class BiasedGSampler:
     def gamma(self) -> float:
         return self._gamma
 
+    @property
+    def position(self) -> int:
+        return self._t
+
     def update(self, item: int) -> None:
         self._t += 1
         self._freq[item] += 1
 
+    def update_batch(self, items) -> None:
+        arr = np.asarray(items, dtype=np.int64)
+        if arr.size == 0:
+            return
+        np.add.at(self._freq, arr, 1)
+        self._t += int(arr.size)
+
     def extend(self, items) -> None:
         for item in items:
             self.update(item)
+
+    # -- lifecycle (StreamSampler protocol; compact/watermark from the
+    # static mixin — there is no wall clock and nothing to expire) ----------
+    def snapshot(self) -> dict:
+        return {
+            "kind": "biased_g",
+            "n": self._n,
+            "gamma": self._gamma,
+            "bias": np.asarray(self._bias, dtype=np.int64),
+            "t": self._t,
+            "freq": self._freq.copy(),
+        }
+
+    def restore(self, state: dict) -> None:
+        if state.get("kind") != "biased_g":
+            raise ValueError(f"not a biased_g snapshot: {state.get('kind')!r}")
+        self._n = int(state["n"])
+        self._gamma = float(state["gamma"])
+        self._bias = [int(i) for i in state["bias"]]
+        self._t = int(state["t"])
+        self._freq = np.asarray(state["freq"], dtype=np.int64).copy()
+
+    def merge(self, other: "BiasedGSampler") -> None:
+        if not isinstance(other, BiasedGSampler):
+            raise TypeError(
+                f"cannot merge BiasedGSampler with {type(other).__name__}"
+            )
+        if (
+            other._n != self._n
+            or other._gamma != self._gamma
+            or other._bias != self._bias
+        ):
+            raise ValueError("biased_g merge requires identical parameters")
+        self._freq += other._freq
+        self._t += other._t
+
+    def approx_size_bytes(self) -> int:
+        return INSTANCE_BYTES + self._freq.nbytes
 
     def target_distribution(self) -> np.ndarray:
         weights = np.array([self._measure(f) for f in self._freq], dtype=np.float64)
@@ -98,6 +149,53 @@ class BiasedGSampler:
         item = int(self._rng.choice(self._n, p=dist))
         return SampleResult.of(item)
 
+    def sample_many(self, k: int) -> list[SampleResult]:
+        """``k`` draws, consuming coins exactly as ``k`` sequential
+        :meth:`sample` calls (the engine's batched-query contract)."""
+        return [self.sample() for _ in range(int(k))]
+
     def run(self, stream) -> SampleResult:
         self.extend(stream)
         return self.sample()
+
+
+def register_biased_kind(kind: str = "biased_g") -> str:
+    """Register the biased sampler as an engine kind *and* an audit
+    profile — the audit plane's built-in fault injection.
+
+    Config shape: ``{"kind": "biased_g", "measure": {...}, "n": ...,
+    "gamma": ..., "bias_items": [...], "seed": ...}``.  With
+    ``gamma=0`` the sampler is truly perfect (the specificity control);
+    with ``gamma>0`` its output is point-wise within γ of the target —
+    exactly the fault the sequential monitor must flag.  Idempotent;
+    returns the registered kind name.  Imports are deferred so this
+    module stays importable without the engine/audit stack.
+    """
+    from repro.engine.registry import build_measure, register_sampler
+    from repro.obs.audit import (
+        AuditProfile,
+        _measure_weight,
+        register_audit_profile,
+    )
+
+    def _build(cfg: dict) -> BiasedGSampler:
+        seed = cfg.pop("seed", None)
+        cfg.pop("delta", None)  # config-shape parity with registry kinds
+        return BiasedGSampler(
+            build_measure(cfg.pop("measure")),
+            n=int(cfg.pop("n")),
+            gamma=float(cfg.pop("gamma", 0.0)),
+            bias_items=cfg.pop("bias_items", None),
+            seed=seed,
+        )
+
+    register_sampler(kind, _build)
+
+    def _profile(config: dict, query_kwargs) -> AuditProfile:
+        return AuditProfile(
+            "frequency",
+            weight=_measure_weight(build_measure(config["measure"])),
+        )
+
+    register_audit_profile(kind, _profile)
+    return kind

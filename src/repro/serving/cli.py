@@ -21,12 +21,25 @@ resulting metrics exposition — the scrape-endpoint smoke::
 
     repro-serve stats --config '{"kind": "g", "measure": {"name": "huber"}}' \\
         --format prom | python -m repro.obs.promcheck
+
+``health`` runs a canned *audited* workload, executes the audit ticks,
+and prints the readiness/liveness probe report — exit 0 only when the
+service is live, ready, and the audit verdict is clean (the CI audit
+smoke).  ``--dump-on-fail PATH`` writes the flight-recorder bundle when
+it isn't.  ``dump`` runs the same workload and always writes the
+bundle::
+
+    repro-serve health --config '{"kind": "lp", "p": 2.0, "n": 4096}' \\
+        --dump-on-fail flight-bundle.zip
+    repro-serve dump --config '{"kind": "lp", "p": 2.0, "n": 4096}' \\
+        --out bundle.zip
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import math
 import sys
 import threading
 import time
@@ -166,7 +179,164 @@ def _stats_main(argv) -> int:
         if args.format == "prom":
             print(service.metrics.render_prometheus(), end="")
         else:
-            print(json.dumps(service.metrics.render_json(), indent=2))
+            payload = {
+                "metrics": service.metrics.render_json(),
+                # Bucket-resolution approximations computed from the
+                # latency histogram buckets at render time.
+                "derived_quantiles": service.stats()["latency"],
+            }
+            print(json.dumps(_none_nan(payload), indent=2))
+    return 0
+
+
+def _none_nan(obj):
+    """NaN → None recursively, so the JSON output is strict."""
+    if isinstance(obj, float) and math.isnan(obj):
+        return None
+    if isinstance(obj, dict):
+        return {k: _none_nan(v) for k, v in obj.items()}
+    if isinstance(obj, list):
+        return [_none_nan(v) for v in obj]
+    return obj
+
+
+def _load_config(raw: str):
+    try:
+        config = json.loads(raw)
+    except json.JSONDecodeError as exc:
+        print(f"repro-serve: --config is not valid JSON: {exc}", file=sys.stderr)
+        return None
+    if not isinstance(config, dict):
+        print("repro-serve: --config must be a JSON object", file=sys.stderr)
+        return None
+    return config
+
+
+def _audited_canned_run(config, args, audit_ticks: int):
+    """Build an audited service, push the canned stream through it, and
+    run the audit ticks.  Returns the open service (caller closes)."""
+    stream = zipf_stream(args.universe, args.items, alpha=1.2, seed=args.seed)
+    items = np.asarray(stream.items)
+    timed = config.get("kind") in TIMED_KINDS
+    timestamps = uniform_arrivals(args.items, 1000.0) if timed else None
+    service = SamplerService(
+        config, shards=args.shards, seed=args.seed,
+        ingest_workers=args.workers,
+        audit={"interval": 0.0, "draws": args.audit_draws},
+    )
+    batch = 4096
+    for lo in range(0, args.items, batch):
+        hi = min(lo + batch, args.items)
+        service.submit(
+            items[lo:hi],
+            None if timestamps is None else timestamps[lo:hi],
+        )
+    service.flush()
+    service.refresh()
+    for __ in range(audit_ticks):
+        service.audit_tick()
+    return service
+
+
+def _canned_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--config", required=True, help="sampler config JSON")
+    parser.add_argument("--shards", type=int, default=4)
+    parser.add_argument("--workers", type=int, default=2)
+    parser.add_argument("--items", type=int, default=20_000)
+    parser.add_argument("--universe", type=int, default=4096)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--audit-ticks", type=int, default=4,
+        help="audit ticks to run after the canned ingest",
+    )
+    parser.add_argument(
+        "--audit-draws", type=int, default=512,
+        help="dedicated sample_many draws per audit tick",
+    )
+
+
+def _health_main(argv) -> int:
+    """``repro-serve health`` — canned audited workload + probe report;
+    exit 0 iff live, ready, and the audit verdict is clean."""
+    parser = argparse.ArgumentParser(
+        prog="repro-serve health",
+        description="run an audited canned workload and report health",
+    )
+    _canned_args(parser)
+    parser.add_argument(
+        "--json", action="store_true", help="emit the report as JSON"
+    )
+    parser.add_argument(
+        "--dump-on-fail", metavar="PATH",
+        help="write the flight-recorder bundle here when not healthy",
+    )
+    args = parser.parse_args(argv)
+    config = _load_config(args.config)
+    if config is None:
+        return 2
+    try:
+        service = _audited_canned_run(config, args, args.audit_ticks)
+    except ValueError as exc:
+        print(f"repro-serve: {exc}", file=sys.stderr)
+        return 2
+    with service:
+        report = service.health()
+        audit = service.audit_status()
+        ok = report.live and report.ready and not audit.get("flagged", False)
+        if not ok and args.dump_on_fail:
+            service.dump(args.dump_on_fail)
+        if args.json:
+            payload = {
+                "healthy": ok,
+                "report": report.to_dict(),
+                "audit": {
+                    k: v for k, v in audit.items() if k != "history"
+                },
+            }
+            print(json.dumps(_none_nan(payload), indent=2))
+        else:
+            print(f"live={report.live} ready={report.ready}")
+            for probe in report.probes:
+                print(f"  {probe.status.upper():<4} {probe.name}: {probe.detail}")
+            print(
+                f"audit: verdict={audit.get('verdict')} "
+                f"draws={audit.get('draws_total')} "
+                f"e_value={audit.get('e_value'):.3g}"
+                if audit.get("enabled")
+                else "audit: disabled"
+            )
+            if not ok and args.dump_on_fail:
+                print(f"flight-recorder bundle written to {args.dump_on_fail}")
+    return 0 if ok else 1
+
+
+def _dump_main(argv) -> int:
+    """``repro-serve dump`` — canned audited workload + flight-recorder
+    bundle."""
+    parser = argparse.ArgumentParser(
+        prog="repro-serve dump",
+        description="run an audited canned workload and write a debug bundle",
+    )
+    _canned_args(parser)
+    parser.add_argument(
+        "--out", required=True, metavar="PATH", help="bundle zip path"
+    )
+    args = parser.parse_args(argv)
+    config = _load_config(args.config)
+    if config is None:
+        return 2
+    try:
+        service = _audited_canned_run(config, args, args.audit_ticks)
+    except ValueError as exc:
+        print(f"repro-serve: {exc}", file=sys.stderr)
+        return 2
+    with service:
+        manifest = service.dump(args.out)
+    entries = len(manifest["entries"])
+    errors = manifest["errors"]
+    print(f"wrote {entries} bundle entries to {args.out}")
+    if errors:
+        print(f"sections skipped with errors: {sorted(errors)}", file=sys.stderr)
     return 0
 
 
@@ -175,6 +345,10 @@ def main(argv: list[str] | None = None) -> int:
         argv = sys.argv[1:]
     if argv and argv[0] == "stats":
         return _stats_main(argv[1:])
+    if argv and argv[0] == "health":
+        return _health_main(argv[1:])
+    if argv and argv[0] == "dump":
+        return _dump_main(argv[1:])
     args = _parse_args(argv)
     try:
         config = json.loads(args.config)

@@ -37,9 +37,17 @@ import time
 
 from repro.engine.registry import kind_spec
 from repro.engine.shard import ShardedSamplerEngine
+from repro.engine.state import save_state
+from repro.obs.audit import AuditConfig, AuditEvent, Auditor
 from repro.obs.catalog import CATALOG_HELP
+from repro.obs.health import (
+    BurnRateTracker,
+    HealthChecker,
+    HealthReport,
+    ProbeResult,
+)
 from repro.obs.metrics import MetricsRegistry, use_registry
-from repro.obs.trace import span
+from repro.obs.trace import current_tracer, span
 from repro.serving.errors import Backpressure, RateLimited, ServiceClosed
 from repro.serving.executor import QueryExecutor
 from repro.serving.router import ShardRouter, TenantRateLimiter
@@ -49,6 +57,12 @@ __all__ = ["SamplerService"]
 
 #: Default coalescing limit for worker micro-batches (items).
 DEFAULT_MAX_BATCH = 1 << 16
+
+#: Query-latency SLO the burn-rate probe tracks: ``QUERY_SLO`` of
+#: queries under ``QUERY_SLO_OBJECTIVE_SECONDS`` (the objective sits on
+#: a latency-bucket boundary so the cumulative counts are exact).
+QUERY_SLO_OBJECTIVE_SECONDS = 1e-6 * 2**17  # ≈131 ms, a LATENCY_BUCKETS bound
+QUERY_SLO = 0.99
 
 
 class SamplerService:
@@ -106,6 +120,16 @@ class SamplerService:
         metrics and per-rung window counters land in it too; render it
         with ``service.metrics.render_prometheus()`` or the
         ``repro-serve stats`` CLI.
+    audit:
+        The statistical audit plane (off by default).  ``True`` enables
+        it with :class:`~repro.obs.AuditConfig` defaults; pass an
+        ``AuditConfig`` or a kwargs dict to tune it.  Requires a sampler
+        *config dict* (the shadow truth needs the kind's target model),
+        not a prebuilt engine.  Accepted submits also feed the shadow
+        truth; the ticker (or an explicit :meth:`audit_tick`) draws
+        dedicated ``sample_many`` batches off published folds and runs
+        the sequential goodness-of-fit monitor — see
+        :mod:`repro.obs.audit`.
     """
 
     def __init__(
@@ -126,6 +150,7 @@ class SamplerService:
         max_batch: int = DEFAULT_MAX_BATCH,
         serialized: bool = False,
         metrics=None,
+        audit=None,
     ) -> None:
         if backpressure not in ("block", "shed"):
             raise ValueError(
@@ -152,6 +177,29 @@ class SamplerService:
         else:
             self._metrics = metrics
         self._metrics_on = self._metrics.enabled
+        self._config = (
+            None if isinstance(config, ShardedSamplerEngine) else dict(config)
+        )
+        if audit is None or audit is False:
+            audit_cfg = None
+        elif audit is True:
+            audit_cfg = AuditConfig()
+        elif isinstance(audit, AuditConfig):
+            audit_cfg = audit
+        elif isinstance(audit, dict):
+            audit_cfg = AuditConfig(**audit)
+        else:
+            raise ValueError(
+                f"audit must be a bool, AuditConfig, or kwargs dict, "
+                f"got {type(audit).__name__}"
+            )
+        if audit_cfg is not None and self._config is None:
+            raise ValueError(
+                "the audit plane needs the sampler config dict to model "
+                "the target distribution; pass the config, not a "
+                "prebuilt engine"
+            )
+        self._audit_cfg = audit_cfg
         if isinstance(config, ShardedSamplerEngine):
             self._engine = config
         else:
@@ -206,9 +254,47 @@ class SamplerService:
         self._ticker_stop = threading.Event()
         self._ticker: threading.Thread | None = None
         self._register_metrics(k)
+        self._auditor: Auditor | None = None
+        self._audit_error: Exception | None = None
+        self._audit_kwargs: dict = {}
+        if audit_cfg is not None:
+            self._auditor = Auditor(
+                self._config, audit_cfg, metrics=self._metrics
+            )
+            self._audit_kwargs = dict(audit_cfg.query_kwargs or {})
+            if (
+                self._config.get("kind") == "window_bank"
+                and "horizon" not in self._audit_kwargs
+            ):
+                # Pin the audited rung explicitly (same default the
+                # truth's profile uses), so draws and truth agree.
+                self._audit_kwargs["horizon"] = float(
+                    min(self._config["resolutions"])
+                )
+        self._burn = BurnRateTracker(
+            QUERY_SLO_OBJECTIVE_SECONDS, slo=QUERY_SLO
+        )
+        self._health = HealthChecker(
+            {
+                "service_open": self._probe_service_open,
+                "worker_errors": self._probe_worker_errors,
+                "queue_saturation": self._probe_queue_saturation,
+                "refresh_latch": self._probe_refresh_latch,
+                "fold_staleness": self._probe_fold_staleness,
+                "audit": self._probe_audit,
+                "slo_burn": lambda: self._burn.probe("slo_burn"),
+            },
+            liveness_names=("service_open", "worker_errors"),
+            status_gauge=self._m_health if self._metrics_on else None,
+        )
         for worker in self._workers:
             worker.start()
-        if self._refresh_interval > 0 or self._compact_interval is not None:
+        audit_interval = 0.0 if audit_cfg is None else audit_cfg.interval
+        if (
+            self._refresh_interval > 0
+            or self._compact_interval is not None
+            or audit_interval > 0
+        ):
             self._ticker = threading.Thread(
                 target=self._tick_loop, name="repro-serving-ticker", daemon=True
             )
@@ -255,8 +341,40 @@ class SamplerService:
             "repro_serving_compaction_reclaimed_bytes_total",
             CATALOG_HELP["repro_serving_compaction_reclaimed_bytes_total"],
         )
+        # Audit/health/trace families are part of the catalog, so they
+        # register here unconditionally (the Auditor re-acquires the
+        # same families by name when the audit plane is on).
+        self._m_audit_verdict = m.gauge(
+            "repro_audit_verdict", CATALOG_HELP["repro_audit_verdict"]
+        )
+        self._m_audit_verdict.set(-1)  # no auditor, no verdict
+        m.counter(
+            "repro_audit_draws_total", CATALOG_HELP["repro_audit_draws_total"]
+        )
+        m.gauge(
+            "repro_audit_tvd_bound", CATALOG_HELP["repro_audit_tvd_bound"]
+        )
+        m.gauge("repro_audit_evalue", CATALOG_HELP["repro_audit_evalue"])
+        m.counter(
+            "repro_audit_ticks_total",
+            CATALOG_HELP["repro_audit_ticks_total"],
+            labels=("result",),
+        )
+        self._m_health = m.gauge(
+            "repro_health_status",
+            CATALOG_HELP["repro_health_status"],
+            labels=("probe",),
+        )
+        trace_dropped = m.counter(
+            "repro_trace_dropped_total",
+            CATALOG_HELP["repro_trace_dropped_total"],
+        )
         if not self._metrics_on:
             return
+        # Mirror the ambient tracer's ring-buffer drops into this
+        # service's registry (last bound service wins — one live tracer,
+        # one serving registry is the supported production shape).
+        current_tracer().bind_dropped_counter(trace_dropped)
         # Live gauges evaluate their callbacks at render/read time; each
         # callback reads state the owning component already exposes
         # thread-safely (a raising callback renders NaN, never breaks
@@ -299,11 +417,15 @@ class SamplerService:
 
     # -- background ticker --------------------------------------------------
     def _tick_loop(self) -> None:
+        audit_interval = (
+            self._audit_cfg.interval if self._audit_cfg is not None else 0.0
+        )
         period = min(
             self._refresh_interval or float("inf"),
             self._compact_interval or float("inf"),
+            audit_interval or float("inf"),
         )
-        last_refresh = last_compact = time.monotonic()
+        last_refresh = last_compact = last_audit = time.monotonic()
         while not self._ticker_stop.wait(period):
             now = time.monotonic()
             if (
@@ -319,12 +441,26 @@ class SamplerService:
                     # pinned to the stale pre-failure fold.
                     pass
                 last_refresh = now
+                # Piggyback the SLO burn-rate cut on the refresh cadence.
+                if self._metrics_on:
+                    self._burn.observe(
+                        self._metrics.get("repro_serving_query_seconds")
+                    )
             if (
                 self._compact_interval is not None
                 and now - last_compact >= self._compact_interval
             ):
                 self._run_compaction()
                 last_compact = now
+            if (
+                audit_interval > 0
+                and now - last_audit >= audit_interval
+            ):
+                try:
+                    self.audit_tick()
+                except Exception:
+                    pass  # a broken tick must not kill the ticker
+                last_audit = now
 
     def _run_compaction(self) -> None:
         """One expiry-compaction pass, shard by shard — each under its
@@ -428,6 +564,14 @@ class SamplerService:
                             time.perf_counter() - t0
                         )
                 raise
+        if self._auditor is not None and self._audit_error is None:
+            # Same accepted batch the workers will apply (put() is
+            # all-or-nothing, so `accepted == total`).  feed() is one
+            # lock + append; counting is deferred to the audit tick.
+            try:
+                self._auditor.feed(arr, ts, tenant)
+            except Exception as exc:
+                self._audit_error = exc  # latch: audits skip, submits flow
         self._m_submitted.labels(
             tenant=tenant if tenant is not None else "_default"
         ).add(accepted)
@@ -499,6 +643,187 @@ class SamplerService:
         self._m_query_s[("sample_many", "ok")].observe(time.perf_counter() - t0)
         return result
 
+    # -- audit plane --------------------------------------------------------
+    @property
+    def config(self) -> dict | None:
+        """The sampler config the service was built with (``None`` when
+        it wraps a prebuilt engine)."""
+        return None if self._config is None else dict(self._config)
+
+    @property
+    def auditor(self) -> Auditor | None:
+        return self._auditor
+
+    def audit_tick(self) -> AuditEvent | None:
+        """Run one audit tick now: verify the queues are drained, pin a
+        fresh fold, take the dedicated audit draws, and judge them
+        against the shadow truth.  Returns the tick's
+        :class:`~repro.obs.AuditEvent` (``None`` when the audit plane is
+        off).  Ticks that would race live ingest — pending items, a
+        truth-feed or fold-generation move during the draws — are
+        recorded as skips/discards, never judged: a verdict must only
+        ever compare draws and truth that describe the same state.
+        """
+        self._check_open()
+        aud = self._auditor
+        if aud is None:
+            return None
+        if not aud.supported:
+            return aud.record_skip(
+                "unsupported",
+                f"kind {aud.kind!r} exposes no auditable sample()",
+            )
+        if self._audit_error is not None:
+            return aud.record_skip(
+                "skipped_feed_error", repr(self._audit_error)
+            )
+        if self._queues.pending():
+            return aud.record_skip(
+                "skipped_busy", "ingest queues not drained"
+            )
+        try:
+            self._executor.refresh()
+        except Exception as exc:
+            return aud.record_skip("skipped_refresh_error", repr(exc))
+        version = aud.truth_version
+        generation = self._executor.generation
+        try:
+            results = self._executor.sample_many(
+                self._audit_cfg.draws, **self._audit_kwargs
+            )
+            watermark = self._executor.published().watermark
+        except Exception as exc:
+            return aud.record_skip("skipped_query_error", repr(exc))
+        if (
+            aud.truth_version != version
+            or self._executor.generation != generation
+            or self._queues.pending()
+        ):
+            return aud.record_skip(
+                "discarded_race", "ingest raced the audit draws"
+            )
+        return aud.evaluate(results, now=watermark, generation=generation)
+
+    def audit_status(self) -> dict:
+        """The audit plane's machine-readable status (also serialized
+        into the flight-recorder bundle)."""
+        if self._auditor is None:
+            return {"enabled": False}
+        out = self._auditor.status()
+        out["enabled"] = True
+        out["interval"] = self._audit_cfg.interval
+        out["feed_error"] = (
+            None if self._audit_error is None else repr(self._audit_error)
+        )
+        out["history"] = [e.to_dict() for e in self._auditor.history()]
+        return out
+
+    # -- health plane -------------------------------------------------------
+    def _probe_service_open(self) -> ProbeResult:
+        if self._closed:
+            return ProbeResult("service_open", "fail", "service is closed")
+        return ProbeResult("service_open", "pass", "open")
+
+    def _probe_worker_errors(self) -> ProbeResult:
+        n = len(self._worker_errors)
+        if n:
+            exc, shard = self._worker_errors[0]
+            return ProbeResult(
+                "worker_errors", "fail",
+                f"{n} worker error(s); first: shard {shard}: {exc!r}",
+                float(n),
+            )
+        return ProbeResult("worker_errors", "pass", "no worker errors", 0.0)
+
+    def _probe_queue_saturation(self) -> ProbeResult:
+        depths = self._queues.depths()
+        frac = max(depths) / self._queues.capacity if depths else 0.0
+        detail = f"max shard occupancy {frac:.0%} of capacity"
+        if frac > 0.9:
+            return ProbeResult("queue_saturation", "fail", detail, frac)
+        if frac > 0.5:
+            return ProbeResult("queue_saturation", "warn", detail, frac)
+        return ProbeResult("queue_saturation", "pass", detail, frac)
+
+    def _probe_refresh_latch(self) -> ProbeResult:
+        error = self._executor.refresh_error
+        if error is not None:
+            return ProbeResult(
+                "refresh_latch", "fail", f"latched refresh failure: {error!r}"
+            )
+        return ProbeResult("refresh_latch", "pass", "no latched failure")
+
+    def _probe_fold_staleness(self) -> ProbeResult:
+        if self._refresh_interval <= 0:
+            return ProbeResult(
+                "fold_staleness", "pass", "synchronous refresh mode"
+            )
+        if self._executor.generation < 0:
+            return ProbeResult(
+                "fold_staleness", "pass", "no fold published yet"
+            )
+        age = self._executor.fold_age_seconds()
+        lag = self._executor.epoch_lag()
+        detail = f"fold age {age:.3f}s (interval {self._refresh_interval}s)"
+        # A stale fold only matters while ingest has moved past it.
+        if lag > 0 and age > max(20 * self._refresh_interval, 5.0):
+            return ProbeResult("fold_staleness", "fail", detail, age)
+        if lag > 0 and age > max(5 * self._refresh_interval, 1.0):
+            return ProbeResult("fold_staleness", "warn", detail, age)
+        return ProbeResult("fold_staleness", "pass", detail, age)
+
+    def _probe_audit(self) -> ProbeResult:
+        if self._auditor is None:
+            return ProbeResult("audit", "pass", "audit plane disabled")
+        if self._audit_error is not None:
+            return ProbeResult(
+                "audit", "warn",
+                f"truth feed latched an error: {self._audit_error!r}",
+            )
+        if self._auditor.flagged:
+            return ProbeResult(
+                "audit", "fail",
+                f"sequential monitor flagged the sampler "
+                f"(e-value {self._auditor.monitor.e_value:.3g} ≥ "
+                f"1/alpha {self._auditor.monitor.threshold:.3g})",
+                0.0,
+            )
+        if not self._auditor.supported:
+            return ProbeResult(
+                "audit", "pass", f"kind {self._auditor.kind!r} not auditable"
+            )
+        return ProbeResult(
+            "audit", "pass",
+            f"verdict {self._auditor.verdict} after "
+            f"{self._auditor.draws_total} draws",
+            float(self._auditor.verdict),
+        )
+
+    def health(self) -> HealthReport:
+        """Run every readiness/liveness probe now (never raises, safe on
+        a closed service).  ``report.live`` — keep the process;
+        ``report.ready`` — keep the traffic.  Probe statuses also land
+        in the ``repro_health_status`` gauge."""
+        return self._health.check()
+
+    # -- flight recorder ----------------------------------------------------
+    def snapshot_shards_bytes(self) -> list[bytes]:
+        """Per-shard snapshot envelopes (``save_state`` bytes), each
+        captured under its shard's write lock."""
+        blobs = []
+        for shard, sampler in enumerate(self._engine.samplers):
+            with self._shard_locks[shard]:
+                blobs.append(save_state(sampler))
+        return blobs
+
+    def dump(self, path) -> dict:
+        """Write the flight-recorder debug bundle to ``path`` (a zip);
+        returns its manifest.  See :mod:`repro.obs.flight` for the
+        bundle layout."""
+        from repro.obs.flight import write_bundle
+
+        return write_bundle(self, path)
+
     # -- observability ------------------------------------------------------
     def stats(self) -> dict:
         """The service's stats endpoint: queue/ingest counters, query
@@ -538,6 +863,21 @@ class SamplerService:
                 "passes": int(self._m_compact_passes.total()),
                 "bytes_reclaimed": int(self._m_compact_bytes.total()),
             }
+            latency = {
+                "note": (
+                    "p50/p90/p99 are bucket-resolution approximations "
+                    "derived from the latency histogram buckets"
+                ),
+                "submit_seconds": m.get(
+                    "repro_serving_submit_seconds"
+                ).merged_percentiles(),
+                "query_seconds": m.get(
+                    "repro_serving_query_seconds"
+                ).merged_percentiles(),
+                "ingest_apply_seconds": m.get(
+                    "repro_serving_ingest_apply_seconds"
+                ).merged_percentiles(),
+            }
         else:
             counts = {
                 "submitted_items": queues.submitted_items,
@@ -549,6 +889,15 @@ class SamplerService:
             compaction = {
                 "passes": self._compaction_passes,
                 "bytes_reclaimed": self._compaction_bytes,
+            }
+            latency = None
+        audit = None
+        if self._auditor is not None:
+            audit = {
+                "verdict": self._auditor.verdict,
+                "flagged": self._auditor.flagged,
+                "draws_total": self._auditor.draws_total,
+                "e_value": self._auditor.monitor.e_value,
             }
         return {
             "closed": self._closed,
@@ -564,6 +913,8 @@ class SamplerService:
                 "worker_errors": len(self._worker_errors),
             },
             "query": self._executor.stats(),
+            "latency": latency,
+            "audit": audit,
             "engine": {
                 "position": self._engine.position,
                 "watermark": self._engine.watermark(),

@@ -7,7 +7,12 @@ import math
 import numpy as np
 from scipy import stats as sps
 
-__all__ = ["total_variation", "chi_square_gof", "expected_tv_noise"]
+__all__ = [
+    "total_variation",
+    "chi_square_gof",
+    "expected_tv_noise",
+    "tv_upper_bound",
+]
 
 
 def total_variation(p: np.ndarray, q: np.ndarray) -> float:
@@ -27,6 +32,34 @@ def expected_tv_noise(support_size: int, samples: int) -> float:
     if samples <= 0:
         return 1.0
     return 0.5 * math.sqrt(support_size / samples)
+
+
+def tv_upper_bound(
+    observed_tv: float,
+    support_size: int,
+    samples: int,
+    delta: float = 0.05,
+) -> float:
+    """A certified upper bound on the *true* TV distance given the
+    empirical TV of ``samples`` draws over ``support_size`` outcomes.
+
+    Triangle inequality: ``TV(out, target) ≤ TV(emp, target) +
+    TV(emp, out)``.  The second term is bounded by the Monte-Carlo noise
+    floor :func:`expected_tv_noise` plus a McDiarmid deviation term
+    ``√(ln(1/δ)/(2N))`` (empirical TV is a 1/N-bounded-difference
+    function of the draws), so the bound holds with probability
+    ``1 − δ`` over the sampling.  Clamped to ``[0, 1]``.
+    """
+    if samples <= 0:
+        return 1.0
+    if not 0 < delta < 1:
+        raise ValueError(f"delta must be in (0, 1), got {delta}")
+    bound = (
+        float(observed_tv)
+        + expected_tv_noise(support_size, samples)
+        + math.sqrt(math.log(1.0 / delta) / (2.0 * samples))
+    )
+    return float(min(1.0, max(0.0, bound)))
 
 
 def chi_square_gof(

@@ -1,0 +1,609 @@
+"""The statistical audit plane: shadow truth, sequential monitor,
+sensitivity (an injected biased sampler is flagged within the draw
+budget), specificity (every correct registry kind runs clean at the
+configured alpha), health probes, the flight recorder, and the trace
+satellites (Chrome export, dropped-events counter)."""
+
+import copy
+import json
+import math
+import zipfile
+
+import numpy as np
+import pytest
+
+import repro.obs.trace as trace_mod
+from repro.core.types import SampleResult
+from repro.engine import build_sampler
+from repro.engine.state import load_state, save_state
+from repro.obs.audit import (
+    AuditConfig,
+    Auditor,
+    SequentialMonitor,
+    ShadowTruth,
+    audit_profile,
+)
+from repro.obs.health import (
+    BurnRateTracker,
+    HealthChecker,
+    ProbeResult,
+)
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import Tracer
+from repro.perfect.biased import register_biased_kind
+from repro.serving import SamplerService
+from repro.serving.cli import main as cli_main
+from repro.stats.distance import tv_upper_bound
+
+N = 64
+
+#: Every registry kind (all 14), with test-scale configs.  The engine
+#: can serve all but the count-based sliding windows (mergeable=False),
+#: which are audited component-level below.
+SERVED_CONFIGS = {
+    "g": {"kind": "g", "measure": {"name": "huber"}, "instances": 16},
+    "lp": {"kind": "lp", "p": 2.0, "n": N, "instances": 16},
+    "f0": {"kind": "f0", "n": N},
+    "oracle-f0": {"kind": "oracle-f0", "n": N},
+    "algorithm5-f0": {"kind": "algorithm5-f0", "n": N},
+    "pool": {"kind": "pool", "instances": 8},
+    "bounded": {"kind": "bounded", "measure": {"name": "tukey"}, "n": N},
+    "tw_g": {"kind": "tw_g", "measure": {"name": "huber"}, "horizon": 20.0,
+             "instances": 12},
+    "tw_lp": {"kind": "tw_lp", "p": 2.0, "horizon": 20.0, "instances": 12},
+    "tw_f0": {"kind": "tw_f0", "n": N, "horizon": 20.0},
+    "window_bank": {"kind": "window_bank", "resolutions": [10.0, 40.0],
+                    "p": 2.0, "n": N, "instances": 8},
+}
+SW_CONFIGS = {
+    "sw-g": {"kind": "sw-g", "measure": {"name": "huber"}, "window": 400},
+    "sw-lp": {"kind": "sw-lp", "p": 2.0, "window": 400},
+    "sw-f0": {"kind": "sw-f0", "n": N, "window": 400},
+}
+TIMED_KINDS = {"tw_g", "tw_lp", "tw_f0", "window_bank"}
+
+RNG = np.random.default_rng(11)
+ITEMS = RNG.integers(0, N, size=6000).astype(np.int64)
+TS = np.sort(RNG.uniform(0.0, 150.0, size=6000))
+
+AUDIT = {"interval": 0.0, "draws": 512, "alpha": 0.01}
+
+
+@pytest.fixture(scope="module", autouse=True)
+def _scrub_biased_kind():
+    """``register_biased_kind()`` writes to the process-global sampler
+    and audit-profile registries; scrub both afterwards so registry
+    coverage tests in other modules keep seeing only built-in kinds."""
+    yield
+    from repro.engine import registry as engine_registry
+    from repro.obs import audit as audit_mod
+
+    engine_registry._SAMPLERS.pop("biased_g", None)
+    audit_mod._PROFILES.pop("biased_g", None)
+
+
+def _served(config, **kw):
+    """A deterministic audited service: no ticker (manual audit ticks),
+    synchronous refresh."""
+    kw.setdefault("shards", 4)
+    kw.setdefault("seed", 3)
+    kw.setdefault("ingest_workers", 2)
+    kw.setdefault("refresh_interval", 0)
+    kw.setdefault("compact_interval", None)
+    kw.setdefault("audit", dict(AUDIT))
+    return SamplerService(config, **kw)
+
+
+def _ingest(service, kind):
+    ts = TS if kind in TIMED_KINDS else None
+    service.submit(ITEMS, ts)
+    service.flush()
+    service.refresh()
+
+
+# -- shadow truth ------------------------------------------------------------
+
+
+class TestShadowTruth:
+    def test_exact_frequency_target(self):
+        profile = audit_profile({"kind": "lp", "p": 2.0, "n": N})
+        truth = ShadowTruth(profile, AuditConfig())
+        truth.feed(ITEMS[:3000])
+        truth.feed(ITEMS[3000:], tenant="t2")
+        target = truth.target()
+        assert target.mode == "exact"
+        counts = np.bincount(ITEMS, minlength=N).astype(np.float64)
+        support = np.flatnonzero(counts)
+        expected = counts[support] ** 2.0
+        expected /= expected.sum()
+        assert np.array_equal(target.support, support)
+        assert np.allclose(target.probs, expected)
+        assert sum(truth.tenant_items().values()) == ITEMS.size
+
+    def test_distinct_target_is_uniform(self):
+        truth = ShadowTruth(audit_profile({"kind": "f0", "n": N}), AuditConfig())
+        truth.feed(ITEMS)
+        target = truth.target()
+        k = np.unique(ITEMS).size
+        assert target.support.size == k
+        assert np.allclose(target.probs, 1.0 / k)
+
+    def test_count_window_ring(self):
+        profile = audit_profile({"kind": "sw-lp", "p": 2.0, "window": 100})
+        truth = ShadowTruth(profile, AuditConfig())
+        fed = 0
+        for lo in range(0, 1000, 37):  # uneven chunks cross the window
+            truth.feed(ITEMS[lo:lo + 37])
+            fed = lo + 37
+        target = truth.target()
+        live = ITEMS[fed - 100:fed]
+        counts = np.bincount(live, minlength=N).astype(np.float64)
+        support = np.flatnonzero(counts)
+        expected = counts[support] ** 2.0
+        expected /= expected.sum()
+        assert np.array_equal(target.support, support)
+        assert np.allclose(target.probs, expected)
+
+    def test_time_window_expiry_is_strict(self):
+        profile = audit_profile({"kind": "tw_f0", "n": N, "horizon": 20.0})
+        truth = ShadowTruth(profile, AuditConfig())
+        truth.feed(ITEMS, TS)
+        now = float(TS[-1])
+        target = truth.target(now=now)
+        live = ITEMS[TS > now - 20.0]  # strict: ts == now - H is expired
+        assert np.array_equal(target.support, np.unique(live))
+
+    def test_time_window_requires_timestamps(self):
+        profile = audit_profile({"kind": "tw_f0", "n": N, "horizon": 20.0})
+        truth = ShadowTruth(profile, AuditConfig())
+        with pytest.raises(ValueError, match="timestamps"):
+            truth.feed(ITEMS)
+
+    def test_demotes_to_sketch_past_universe_cap(self):
+        profile = audit_profile({"kind": "lp", "p": 1.0, "n": 4096})
+        cfg = AuditConfig(exact_universe_max=32, mg_capacity=64)
+        truth = ShadowTruth(profile, cfg)
+        truth.feed(np.arange(512, dtype=np.int64).repeat(8))
+        target = truth.target()
+        assert truth.mode == "sketch"
+        assert target.mode in ("sketch", "empty")
+        if target.mode == "sketch":
+            # Certified upper bounds: each heavy item's true probability
+            # (f=8 of m=4096, p_true = 8/4096) must sit under p_hi.
+            assert np.all(target.p_hi >= 8.0 / 4096.0)
+
+    def test_sketch_mode_cannot_audit_distinct_kinds(self):
+        profile = audit_profile({"kind": "f0", "n": 4096})
+        cfg = AuditConfig(exact_universe_max=32)
+        truth = ShadowTruth(profile, cfg)
+        truth.feed(np.arange(512, dtype=np.int64))
+        target = truth.target()
+        assert target.mode == "unsupported"
+
+    def test_unknown_kind_is_unsupported(self):
+        assert audit_profile({"kind": "no-such-kind"}).category == "unsupported"
+        assert audit_profile({"kind": "pool"}).category == "unsupported"
+
+
+# -- sequential monitor ------------------------------------------------------
+
+
+class TestSequentialMonitor:
+    def test_e_process_calibrator_math(self):
+        monitor = SequentialMonitor(alpha=0.05, kappa=0.5)
+        monitor.update(0.25)
+        # e(p) = κ p^(κ-1) = 0.5 * 0.25^-0.5 = 1.0
+        assert monitor.e_value == pytest.approx(1.0)
+        monitor.update(0.01)
+        assert monitor.e_value == pytest.approx(0.5 * 0.01 ** -0.5)
+
+    def test_flags_at_ville_threshold_and_latches(self):
+        monitor = SequentialMonitor(alpha=0.01)
+        assert not monitor.update(1e-4)  # e = 0.5/sqrt(1e-4) = 50 < 100
+        assert monitor.update(1e-4)  # product 2500 crosses 1/alpha = 100
+        assert monitor.flagged
+        monitor.update(1.0)  # evidence can shrink, the flag cannot
+        assert monitor.flagged
+
+    def test_zero_p_value_is_floored_not_fatal(self):
+        monitor = SequentialMonitor(alpha=0.01)
+        assert monitor.update(0.0)
+        assert monitor.flagged
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            SequentialMonitor(alpha=0.0)
+        with pytest.raises(ValueError):
+            SequentialMonitor(alpha=0.5, kappa=1.0)
+
+
+def test_tv_upper_bound_dominates_observed():
+    assert tv_upper_bound(0.1, 64, 1024) >= 0.1
+    assert tv_upper_bound(0.9, 64, 16) == 1.0  # clamped
+    assert tv_upper_bound(0.0, 4, 10**9) < 0.01
+    with pytest.raises(ValueError):
+        tv_upper_bound(0.1, 64, 100, delta=0.0)
+
+
+# -- specificity: every correct kind runs clean ------------------------------
+
+
+DISTINCT_KINDS = {"f0", "oracle-f0", "algorithm5-f0", "sw-f0", "tw_f0"}
+
+
+@pytest.mark.parametrize("kind", sorted(SERVED_CONFIGS))
+def test_served_kinds_run_clean(kind):
+    with _served(SERVED_CONFIGS[kind]) as service:
+        _ingest(service, kind)
+        for __ in range(3):
+            event = service.audit_tick()
+        auditor = service.auditor
+        assert not auditor.flagged
+        if kind == "pool":
+            # No sample() hook: reported unsupported, never judged.
+            assert auditor.verdict == -1
+            assert event.result == "unsupported"
+        elif kind in DISTINCT_KINDS:
+            # Membership + conditional uniformity over drawn categories.
+            assert auditor.verdict == 1
+            assert event.result == "evaluated"
+            assert event.tv_bound is not None and 0 <= event.tv_bound <= 1
+            assert "conditional-uniform" in event.detail
+        else:
+            # Streaming frequency kinds hold state-fixed candidates:
+            # the audit certifies live-support membership only.
+            assert auditor.verdict == 1
+            assert event.result == "evaluated"
+            assert "membership" in event.detail
+        # Verdict is mirrored into the catalog gauge.
+        gauge = service.metrics.get("repro_audit_verdict")
+        assert gauge.value == auditor.verdict
+
+
+@pytest.mark.parametrize("kind", sorted(SW_CONFIGS))
+def test_sliding_window_kinds_run_clean_component_level(kind):
+    # The sharded engine rejects mergeable=False kinds, so count-based
+    # windows are audited by feeding a bare sampler and the auditor the
+    # same stream in lockstep.
+    sampler = build_sampler({**SW_CONFIGS[kind], "seed": 5})
+    registry = MetricsRegistry()
+    auditor = Auditor(SW_CONFIGS[kind], AuditConfig(**AUDIT), metrics=registry)
+    for lo in range(0, ITEMS.size, 500):
+        chunk = ITEMS[lo:lo + 500]
+        sampler.update_batch(chunk)
+        auditor.feed(chunk)
+    for __ in range(3):
+        draws = [sampler.sample() for __ in range(512)]
+        event = auditor.evaluate(draws)
+        assert event.result == "evaluated"
+    assert not auditor.flagged
+    assert auditor.verdict == 1
+
+
+# -- sensitivity: the injected biased sampler is flagged ---------------------
+
+
+class TestSensitivity:
+    BIASED = {
+        "kind": "biased_g", "measure": {"name": "huber"}, "n": N,
+        "gamma": 0.25, "bias_items": [0, 1, 2, 3],
+    }
+
+    def test_biased_sampler_flagged_within_draw_budget(self):
+        register_biased_kind()
+        with _served(self.BIASED, seed=1) as service:
+            _ingest(service, "biased_g")
+            while not service.auditor.flagged:
+                service.audit_tick()
+                assert service.auditor.draws_total <= 20_000, (
+                    "audit failed to flag a gamma=0.25 sampler within "
+                    "the 20k-draw budget"
+                )
+            assert service.auditor.verdict == 0
+            assert service.metrics.get("repro_audit_verdict").value == 0
+            # A flagged audit takes readiness away but not liveness.
+            report = service.health()
+            assert report.live and not report.ready
+            assert report.probe("audit").status == "fail"
+
+    def test_unbiased_control_runs_clean(self):
+        register_biased_kind()
+        with _served(dict(self.BIASED, gamma=0.0), seed=1) as service:
+            _ingest(service, "biased_g")
+            for __ in range(6):
+                assert service.audit_tick().result == "evaluated"
+            assert service.auditor.verdict == 1
+
+
+# -- race guards -------------------------------------------------------------
+
+
+def test_audit_tick_race_guards():
+    with _served(SERVED_CONFIGS["lp"]) as service:
+        event = service.audit_tick()
+        assert event.result in ("skipped_empty", "skipped_sparse")
+        _ingest(service, "lp")
+        assert service.audit_tick().result == "evaluated"
+        # A truth feed between the draw capture and the judgment is a
+        # discard, never a verdict.
+        version = service.auditor.truth_version
+        service.auditor.feed(ITEMS[:10])
+        assert service.auditor.truth_version == version + 1
+
+
+def test_audit_requires_config_not_engine():
+    from repro.engine import ShardedSamplerEngine
+
+    engine = ShardedSamplerEngine(SERVED_CONFIGS["lp"], shards=2, seed=0)
+    with pytest.raises(ValueError, match="prebuilt engine"):
+        SamplerService(engine, audit=True, refresh_interval=0,
+                       compact_interval=None)
+
+
+def test_audit_history_and_status():
+    with _served(SERVED_CONFIGS["lp"]) as service:
+        _ingest(service, "lp")
+        service.audit_tick()
+        status = service.audit_status()
+        assert status["enabled"] and status["supported"]
+        assert status["verdict"] == 1
+        assert status["history"][-1]["result"] == "evaluated"
+        assert status["draws_total"] == 512
+    no_audit = SamplerService(SERVED_CONFIGS["lp"], shards=2, seed=0,
+                              refresh_interval=0, compact_interval=None)
+    with no_audit:
+        assert no_audit.audit_status() == {"enabled": False}
+        assert no_audit.audit_tick() is None
+        # Catalog families exist (at -1 / zero) even with the plane off.
+        assert no_audit.metrics.get("repro_audit_verdict").value == -1
+
+
+# -- health plane ------------------------------------------------------------
+
+
+class TestHealth:
+    def test_healthy_service_reports_ready(self):
+        with _served(SERVED_CONFIGS["lp"]) as service:
+            _ingest(service, "lp")
+            service.audit_tick()
+            report = service.health()
+            assert report.live and report.ready
+            names = {p.name for p in report.probes}
+            assert {"service_open", "worker_errors", "queue_saturation",
+                    "refresh_latch", "fold_staleness", "audit",
+                    "slo_burn"} <= names
+            gauge = service.metrics.get("repro_health_status")
+            assert gauge.labels(probe="ready").value == 1.0
+            assert gauge.labels(probe="audit").value == 1.0
+
+    def test_closed_service_is_not_live(self):
+        service = _served(SERVED_CONFIGS["lp"])
+        service.close()
+        report = service.health()  # must not raise on a closed service
+        assert not report.live and not report.ready
+        assert report.probe("service_open").status == "fail"
+
+    def test_raising_probe_is_a_failing_probe(self):
+        def boom():
+            raise RuntimeError("probe exploded")
+
+        checker = HealthChecker({"ok": lambda: ProbeResult("ok", "pass"),
+                                 "bad": boom})
+        report = checker.check()
+        assert report.probe("bad").status == "fail"
+        assert "probe exploded" in report.probe("bad").detail
+        assert not report.ready
+        assert report.live  # neither probe is a liveness probe
+
+    def test_burn_rate_multi_window_rule(self):
+        clock = [0.0]
+        tracker = BurnRateTracker(
+            0.1, slo=0.9, short_window=10.0, long_window=60.0,
+            clock=lambda: clock[0],
+        )
+        registry = MetricsRegistry()
+        family = registry.histogram("t_seconds", buckets=(0.1, 1.0))
+        # 100% of observations over the objective → burn = 1 / (1-0.9) = 10x
+        for t in range(0, 140, 5):
+            clock[0] = float(t)
+            family.observe(0.5)
+            tracker.observe(family)
+        probe = tracker.probe()
+        assert probe.status == "warn"  # 10x: over warn (6), under fail (14.4)
+        assert probe.value == pytest.approx(10.0)
+
+    def test_burn_rate_insufficient_history_passes(self):
+        tracker = BurnRateTracker(0.1)
+        assert tracker.probe().status == "pass"
+
+
+# -- flight recorder ---------------------------------------------------------
+
+
+class TestFlightRecorder:
+    def test_bundle_layout_and_shard_restorability(self, tmp_path):
+        path = tmp_path / "bundle.zip"
+        with _served(SERVED_CONFIGS["lp"]) as service:
+            _ingest(service, "lp")
+            service.audit_tick()
+            manifest = service.dump(path)
+            samplers = service.engine.samplers
+        assert manifest["errors"] == {}
+        with zipfile.ZipFile(path) as zf:
+            names = set(zf.namelist())
+            for required in ("manifest.json", "config.json", "stats.json",
+                             "metrics.json", "metrics.prom", "health.json",
+                             "audit.json", "trace.jsonl", "environment.json"):
+                assert required in names
+            shard_blobs = sorted(n for n in names if n.startswith("shards/"))
+            assert len(shard_blobs) == 4
+            config = json.loads(zf.read("config.json"))
+            assert config["kind"] == "lp"
+            audit = json.loads(zf.read("audit.json"))
+            assert audit["verdict"] == 1
+            health = json.loads(zf.read("health.json"))
+            assert health["ready"] is True
+            # The shard envelopes are real save_state bytes: they
+            # restore, bitwise round-trip, onto a shard-shaped sampler.
+            for i, name in enumerate(shard_blobs):
+                blob = zf.read(name)
+                clone = copy.deepcopy(samplers[i])
+                load_state(clone, blob)
+                assert save_state(clone) == save_state(samplers[i])
+
+    def test_bundle_survives_broken_sections(self, tmp_path):
+        path = tmp_path / "bundle.zip"
+        with _served(SERVED_CONFIGS["lp"]) as service:
+            service.stats = None  # break one section
+            from repro.obs.flight import write_bundle
+
+            manifest = write_bundle(service, path)
+        assert "stats.json" in manifest["errors"]
+        assert "config.json" in manifest["entries"]
+
+
+# -- trace satellites --------------------------------------------------------
+
+
+class TestTraceSatellites:
+    def _traced(self):
+        tracer = Tracer(capacity=64)
+        with tracer.span("unit.op", shard=3):
+            pass
+        with pytest.raises(KeyError):
+            with tracer.span("unit.err"):
+                raise KeyError("x")
+        return tracer
+
+    def test_span_records_thread_name(self):
+        tracer = self._traced()
+        event = tracer.events()[0]
+        assert event.thread  # current thread's name
+        assert '"thread"' in event.to_json()
+
+    def test_export_chrome_is_perfetto_shaped(self, tmp_path):
+        tracer = self._traced()
+        out = tmp_path / "trace.json"
+        assert tracer.export_chrome(out) == 2
+        payload = json.loads(out.read_text())
+        spans = [e for e in payload["traceEvents"] if e["ph"] == "X"]
+        metas = [e for e in payload["traceEvents"] if e["ph"] == "M"]
+        assert len(spans) == 2 and metas
+        assert spans[0]["name"] == "unit.op"
+        assert spans[0]["args"] == {"shard": 3, "outcome": "ok"}
+        assert spans[1]["args"]["outcome"] == "KeyError"
+        assert spans[0]["ts"] == pytest.approx(
+            tracer.events()[0].start_ns / 1e3
+        )
+
+    def test_dropped_counter_is_exact(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("repro_trace_dropped_total")
+        tracer = Tracer(capacity=4)
+        tracer.bind_dropped_counter(counter)
+        for i in range(10):
+            with tracer.span(f"op{i}"):
+                pass
+        # Each record beyond capacity evicts exactly one event.
+        assert counter.value == 6
+        assert tracer.dropped_hint == 6
+
+    def test_trace_module_cli(self, tmp_path, capsys):
+        tracer = self._traced()
+        jsonl = tmp_path / "trace.jsonl"
+        tracer.export_jsonl(jsonl)
+        assert trace_mod.main([str(jsonl)]) == 0
+        out = capsys.readouterr().out
+        assert "unit.op" in out and "unit.err" in out
+        chrome = tmp_path / "chrome.json"
+        assert trace_mod.main([str(jsonl), "--chrome", str(chrome)]) == 0
+        payload = json.loads(chrome.read_text())
+        assert any(e["ph"] == "X" for e in payload["traceEvents"])
+
+
+# -- derived quantiles -------------------------------------------------------
+
+
+def test_stats_carries_derived_latency_quantiles():
+    with _served(SERVED_CONFIGS["lp"]) as service:
+        _ingest(service, "lp")
+        for __ in range(8):
+            service.sample()
+        latency = service.stats()["latency"]
+        q = latency["query_seconds"]
+        assert q["count"] >= 8
+        assert 0 < q["p50"] <= q["p90"] <= q["p99"]
+        assert "bucket-resolution" in latency["note"]
+
+
+def test_merged_percentiles_aggregates_children():
+    registry = MetricsRegistry()
+    family = registry.histogram("h_seconds", labels=("lane",))
+    for v in (0.01, 0.01, 0.01, 10.0):
+        family.labels(lane="a").observe(v)
+    family.labels(lane="b").observe(10.0)
+    merged = family.merged_percentiles()
+    assert merged["count"] == 5
+    assert merged["p50"] < 1.0 < merged["p99"]
+    with pytest.raises(ValueError):
+        registry.counter("c_total").merged_percentiles()
+
+
+# -- CLI ---------------------------------------------------------------------
+
+
+class TestServeCLI:
+    LP = '{"kind": "lp", "p": 2.0, "n": 64}'
+
+    def test_health_exits_zero_and_reports(self, capsys):
+        code = cli_main([
+            "health", "--config", self.LP, "--items", "4000",
+            "--universe", "64", "--audit-ticks", "2", "--json",
+        ])
+        out = capsys.readouterr().out
+        assert code == 0
+        payload = json.loads(out)
+        assert payload["healthy"] is True
+        assert payload["report"]["ready"] is True
+        assert payload["audit"]["verdict"] == 1
+
+    def test_health_flags_biased_and_dumps_bundle(self, tmp_path, capsys):
+        register_biased_kind()
+        bundle = tmp_path / "flight.zip"
+        config = json.dumps({
+            "kind": "biased_g", "measure": {"name": "huber"}, "n": 64,
+            "gamma": 0.25, "bias_items": [0, 1, 2, 3],
+        })
+        code = cli_main([
+            "health", "--config", config, "--items", "4000",
+            "--universe", "64", "--audit-ticks", "2",
+            "--dump-on-fail", str(bundle),
+        ])
+        capsys.readouterr()
+        assert code == 1
+        with zipfile.ZipFile(bundle) as zf:
+            audit = json.loads(zf.read("audit.json"))
+            assert audit["flagged"] is True
+
+    def test_dump_writes_bundle(self, tmp_path, capsys):
+        out = tmp_path / "bundle.zip"
+        code = cli_main([
+            "dump", "--config", self.LP, "--items", "4000",
+            "--universe", "64", "--out", str(out),
+        ])
+        stdout = capsys.readouterr().out
+        assert code == 0 and "bundle entries" in stdout
+        with zipfile.ZipFile(out) as zf:
+            assert "manifest.json" in zf.namelist()
+
+    def test_stats_json_carries_derived_quantiles(self, capsys):
+        code = cli_main([
+            "stats", "--config", self.LP, "--format", "json",
+            "--items", "4000", "--universe", "64",
+        ])
+        out = capsys.readouterr().out
+        assert code == 0
+        payload = json.loads(out)  # strict JSON: NaN must be sanitized
+        assert "derived_quantiles" in payload
+        assert payload["derived_quantiles"]["query_seconds"]["count"] > 0
+        assert "repro_audit_verdict" in payload["metrics"]

@@ -26,6 +26,11 @@ Measures, on one process with fixed seeds:
   periodic audit ticks drawing dedicated ``sample_many`` batches) vs.
   off, metrics enabled in both: audited ingest throughput must stay
   ≥0.9x and query p50 ≤1.10x the audit-off run.
+* **parallel ingest scaling (PR 8)** — identical write workloads
+  through the thread-mode and process-mode ingest planes at 1, 2, and
+  4 workers (K=8, best of ``PARALLEL_REPS``, steady-state: worker
+  startup excluded), preceded by a process-mode serialized bitwise
+  preflight against direct engine calls.
 
 Results land in machine-readable JSON (default: ``BENCH_E23.json`` at
 the repo root) so the bench trajectory is tracked from PR 4 forward.
@@ -51,7 +56,16 @@ The suite *gates* itself (exit code 1 on failure):
 * metrics-enabled served ingest throughput must be ≥0.9x and query p50
   ≤1.10x the metrics-disabled run (instrumentation must stay cheap);
 * audit-enabled served ingest throughput must be ≥0.9x and query p50
-  ≤1.10x the audit-off run (self-verification must stay cheap).
+  ≤1.10x the audit-off run (self-verification must stay cheap);
+* parallel ingest gates are hardware-adaptive: every mode/worker-count
+  combination must clear an absolute throughput floor and adding
+  workers must never collapse (≥0.85x the previous step while within
+  the host's cores; oversubscribed steps — pure time-slicing overhead —
+  only guard against cliffs at ≥0.40x); the strict gates —
+  process ≥1.5x thread at 4 workers, ingest *increasing* with worker
+  count — arm only where the host has the cores to express them
+  (≥4 and ≥2 respectively) and are recorded as skipped-for-cores in
+  the report otherwise, so a pass on a small box is visibly weaker.
 
 Run ``--smoke`` in CI for a reduced-scale pass with the same gates.
 """
@@ -60,6 +74,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import platform
 import statistics
 import sys
@@ -95,6 +110,22 @@ SERVED_WORKERS = 4
 SERVED_CLIENTS = 8
 SERVED_SHARDS = 8
 OBS_REPS = 3
+#: Parallel-ingest scaling gates.  The strict "process beats threads"
+#: comparison only means something when the host can actually run the
+#: workers in parallel, so it arms at >= 4 cores; below that the suite
+#: gates monotonicity-with-tolerance within the host's cores, a cliff
+#: guard on oversubscribed steps (extra workers beyond the cores are
+#: pure coordination overhead — a 1-core box measures ~0.55x per
+#: doubling for four processes time-slicing one CPU, so the guard only
+#: flags collapse, e.g. a stalled pipe or a deadlocked worker), plus an
+#: absolute throughput floor, and records the strict gates as
+#: skipped-for-cores in the report.
+PARALLEL_WORKER_STEPS = (1, 2, 4)
+PARALLEL_REPS = 2
+MIN_PROCESS_VS_THREAD_AT_4 = 1.5
+PARALLEL_TOL_IN_CORES = 0.85
+PARALLEL_TOL_OVERSUBSCRIBED = 0.40
+MIN_PARALLEL_INGEST_FLOOR = 20_000  # items/s, any mode, any worker count
 
 
 def _percentiles(latencies_ns: list[int]) -> dict:
@@ -334,6 +365,152 @@ def bench_served(
     }
 
 
+def check_process_serialized_equals_direct(items: np.ndarray) -> None:
+    """Bitwise preflight for the parallel scenario: serialized serving
+    through worker *processes* replays the request sequence exactly as
+    direct engine calls would — speed without this is meaningless."""
+    engine = ShardedSamplerEngine(CONFIG, shards=SERVED_SHARDS, seed=7)
+    with SamplerService(
+        CONFIG, shards=SERVED_SHARDS, seed=7, serialized=True,
+        workers_mode="process", ingest_workers=2, compact_interval=None,
+    ) as svc:
+        for chunk in np.array_split(items, 4):
+            svc.submit(chunk)
+            engine.ingest(chunk)
+            a, b = svc.sample(), engine.sample()
+            if a != b:
+                raise AssertionError(f"process-served {a} != direct {b}")
+
+
+def _parallel_run(
+    mode: str, workers: int, work: np.ndarray, write_batch: int
+) -> dict:
+    """One parallel-ingest measurement: steady-state submit→flush wall
+    time through ``workers`` shard owners in ``mode``.  Worker startup
+    (thread spawn vs. process fork + replica boot) happens before the
+    clock starts — the scenario measures serving throughput, not cold
+    start."""
+    batches = work.size // write_batch
+    walls = []
+    for __ in range(PARALLEL_REPS):
+        with SamplerService(
+            CONFIG, shards=SERVED_SHARDS, seed=7, ingest_workers=workers,
+            workers_mode=mode, refresh_interval=1e9, compact_interval=None,
+        ) as svc:
+            warm = work[:write_batch]
+            svc.submit(warm)
+            svc.flush()
+            t0 = time.perf_counter()
+            for w in range(batches):
+                svc.submit(work[w * write_batch:(w + 1) * write_batch])
+            svc.flush()
+            walls.append(time.perf_counter() - t0)
+    wall = min(walls)  # best-of: gates compare capability, not jitter
+    return {
+        "mode": mode,
+        "workers": workers,
+        "items": int(batches * write_batch),
+        "reps": PARALLEL_REPS,
+        "wall_seconds": wall,
+        "items_per_sec": batches * write_batch / wall,
+    }
+
+
+def bench_parallel_ingest(work: np.ndarray, write_batch: int) -> dict:
+    """The PR 8 scaling scenario: identical write workloads through
+    thread-mode and process-mode ingest planes at 1, 2, and 4 workers.
+
+    Process mode exists to turn K shards into K cores; the report
+    records the host's core count alongside the runs so the gates can
+    arm only where the hardware can express the speedup (see
+    ``evaluate_gates``)."""
+    runs = [
+        _parallel_run(mode, workers, work, write_batch)
+        for mode in ("thread", "process")
+        for workers in PARALLEL_WORKER_STEPS
+    ]
+    return {
+        "shards": SERVED_SHARDS,
+        "write_batch": write_batch,
+        "cpu_count": os.cpu_count() or 1,
+        "runs": runs,
+    }
+
+
+def _parallel_rate(report: dict, mode: str, workers: int) -> float:
+    for row in report["parallel_ingest"]["runs"]:
+        if row["mode"] == mode and row["workers"] == workers:
+            return row["items_per_sec"]
+    raise KeyError(f"missing parallel_ingest run ({mode}, {workers})")
+
+
+def _parallel_gates(report: dict, failures: list[str]) -> list[str]:
+    """Hardware-adaptive gates for the parallel-ingest scenario; returns
+    the list of gates skipped for lack of cores (recorded in the
+    report, so a pass on a small box is visibly weaker)."""
+    par = report["parallel_ingest"]
+    cores = par["cpu_count"]
+    skipped = []
+    for row in par["runs"]:
+        if row["items_per_sec"] < MIN_PARALLEL_INGEST_FLOOR:
+            failures.append(
+                f"parallel ingest {row['mode']}@{row['workers']}w "
+                f"{row['items_per_sec'] / 1e3:.0f}k items/s is below the "
+                f"{MIN_PARALLEL_INGEST_FLOOR / 1e3:.0f}k floor"
+            )
+    for mode in ("thread", "process"):
+        for lo, hi in zip(PARALLEL_WORKER_STEPS, PARALLEL_WORKER_STEPS[1:]):
+            tol = (
+                PARALLEL_TOL_IN_CORES
+                if hi <= cores
+                else PARALLEL_TOL_OVERSUBSCRIBED
+            )
+            r_lo, r_hi = (
+                _parallel_rate(report, mode, lo),
+                _parallel_rate(report, mode, hi),
+            )
+            if r_hi < tol * r_lo:
+                failures.append(
+                    f"parallel ingest {mode} mode fell off going "
+                    f"{lo}→{hi} workers: {r_hi / 1e3:.0f}k < {tol:.2f}x "
+                    f"{r_lo / 1e3:.0f}k items/s (host has {cores} core(s))"
+                )
+    if cores >= 4:
+        ratio = _parallel_rate(report, "process", 4) / _parallel_rate(
+            report, "thread", 4
+        )
+        if ratio < MIN_PROCESS_VS_THREAD_AT_4:
+            failures.append(
+                f"process-mode ingest at 4 workers is only {ratio:.2f}x "
+                f"thread mode (< {MIN_PROCESS_VS_THREAD_AT_4}x on a "
+                f"{cores}-core host)"
+            )
+    else:
+        skipped.append(
+            f"process>= {MIN_PROCESS_VS_THREAD_AT_4}x thread at 4 workers "
+            f"(requires >= 4 cores; host has {cores})"
+        )
+    if cores >= 2:
+        top = min(4, cores)
+        for mode in ("thread", "process"):
+            r1, r_top = (
+                _parallel_rate(report, mode, 1),
+                _parallel_rate(report, mode, top),
+            )
+            if r_top < r1:
+                failures.append(
+                    f"served ingest does not increase with worker count: "
+                    f"{mode}@{top}w {r_top / 1e3:.0f}k < @1w "
+                    f"{r1 / 1e3:.0f}k items/s on a {cores}-core host"
+                )
+    else:
+        skipped.append(
+            "served-ingest-increases-with-workers (requires >= 2 cores; "
+            f"host has {cores})"
+        )
+    return skipped
+
+
 def _obs_run(
     preload: np.ndarray,
     work: np.ndarray,
@@ -545,6 +722,9 @@ def evaluate_gates(report: dict) -> list[str]:
             f"{obs['p50_ratio']:.3f}x the metrics-disabled "
             f"{obs['disabled']['p50_us']:.1f}us (> {MAX_OBS_P50_RATIO}x)"
         )
+    report["parallel_ingest"]["skipped_gates"] = _parallel_gates(
+        report, failures
+    )
     audit = report["audit_overhead"]
     if audit["throughput_ratio"] < MIN_AUDIT_THROUGHPUT_RATIO:
         failures.append(
@@ -593,6 +773,8 @@ def main(argv: list[str] | None = None) -> int:
     print("bitwise gate: cached == fresh ✓")
     check_serialized_equals_direct(items[:20_000])
     print("bitwise gate: serialized serving == direct engine ✓")
+    check_process_serialized_equals_direct(items[:20_000])
+    print("bitwise gate: process-mode serving == direct engine ✓")
 
     report = {
         "bench": "E23-query-fast-path",
@@ -607,6 +789,7 @@ def main(argv: list[str] | None = None) -> int:
         "query_latency": bench_queries(items, queries, write_batch),
         "sample_many": bench_sample_many(items, k_many),
         "served_scenario": bench_served(items, served_work, served_batch),
+        "parallel_ingest": bench_parallel_ingest(served_work, served_batch),
         "obs_overhead": bench_obs_overhead(
             items, served_work, served_batch, queries
         ),
@@ -621,6 +804,10 @@ def main(argv: list[str] | None = None) -> int:
         "min_sample_many_speedup": MIN_SAMPLE_MANY_SPEEDUP,
         "max_served_p50_ratio": MAX_SERVED_P50_RATIO,
         "min_served_ingest_speedup": MIN_SERVED_INGEST_SPEEDUP,
+        "min_process_vs_thread_at_4": MIN_PROCESS_VS_THREAD_AT_4,
+        "parallel_tol_in_cores": PARALLEL_TOL_IN_CORES,
+        "parallel_tol_oversubscribed": PARALLEL_TOL_OVERSUBSCRIBED,
+        "min_parallel_ingest_floor": MIN_PARALLEL_INGEST_FLOOR,
         "min_obs_throughput_ratio": MIN_OBS_THROUGHPUT_RATIO,
         "max_obs_p50_ratio": MAX_OBS_P50_RATIO,
         "min_audit_throughput_ratio": MIN_AUDIT_THROUGHPUT_RATIO,
@@ -663,6 +850,14 @@ def main(argv: list[str] | None = None) -> int:
         f"{sv['served']['quiescent_tail_queries']} tail vs "
         f"{sv['baseline']['queries']} baseline queries)"
     )
+    par = report["parallel_ingest"]
+    for row in par["runs"]:
+        print(
+            f"  scaling {row['mode']:>7}@{row['workers']}w  "
+            f"{row['items_per_sec'] / 1e3:6.0f}k items/s"
+        )
+    for reason in par["skipped_gates"]:
+        print(f"  scaling gate skipped: {reason}")
     ob = report["obs_overhead"]
     print(
         f"  obs     metrics on/off: ingest "

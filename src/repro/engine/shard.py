@@ -185,6 +185,7 @@ class ShardedSamplerEngine:
         registry = current_registry() if metrics is None else metrics
         self._metrics = registry
         self._metrics_on = registry.enabled
+        self._shard_seeds = list(shard_seeds)
         self._samplers = []
         with use_registry(registry):
             for shard_seed in shard_seeds:
@@ -272,6 +273,21 @@ class ShardedSamplerEngine:
 
     def shard_of(self, item: int) -> int:
         return int(self._partitioner.assign(np.asarray([item]))[0])
+
+    def shard_config(self, shard: int) -> dict:
+        """The exact registry config shard ``shard``'s sampler was built
+        with (kind-spec rewrites applied, per-shard seed set).  This is
+        the bootstrap recipe for an out-of-process replica: build with
+        :func:`~repro.engine.registry.build_sampler` on this config,
+        then restore the shard's snapshot — the replica is bitwise
+        identical to the in-engine sampler."""
+        if not 0 <= shard < len(self._samplers):
+            raise ValueError(
+                f"shard {shard} out of range for {len(self._samplers)} shards"
+            )
+        cfg = dict(self._config)
+        cfg["seed"] = self._shard_seeds[shard]
+        return cfg
 
     def update(self, item: int, timestamp: float | None = None) -> None:
         """Scalar convenience path (route one item; ``timestamp`` for
@@ -723,6 +739,30 @@ class ShardedSamplerEngine:
         self._fold = None
         self._fold_epochs = None
         self._bump_all("restore")
+
+    def restore_shard(self, shard: int, state) -> None:
+        """Restore one shard's sampler from a snapshot tree or enveloped
+        bytes buffer, bumping only that shard's mutation epoch.
+
+        This is the fold collector's write path for process-parallel
+        serving: shard-owning worker processes ship per-shard snapshot
+        deltas back to the front door, and each delta lands here —
+        clean shards keep their epochs, so the merged-view cache still
+        gets its prefix-rebase regime when only a suffix moved.  The
+        caller owns concurrency (hold the shard's write lock in a
+        served deployment)."""
+        if not 0 <= shard < len(self._samplers):
+            raise ValueError(
+                f"shard {shard} out of range for {len(self._samplers)} shards"
+            )
+        if isinstance(state, (bytes, bytearray, memoryview)):
+            from repro.engine.state import load_state
+
+            load_state(self._samplers[shard], bytes(state))
+        else:
+            self._samplers[shard].restore(state)
+        self._epochs[shard] += 1
+        self._m_epoch["restore"].inc()
 
     def merge(self, other: "ShardedSamplerEngine") -> None:
         """Shard-wise merge of two engines with identical layouts (e.g.

@@ -10,7 +10,11 @@ pickling (loading a snapshot never executes code).
 
 This module is the low-level layer; :mod:`repro.lifecycle.envelope`
 wraps trees in a versioned, kind-tagged :class:`Snapshot` envelope,
-which is what the engine ships.
+which is what the engine ships.  The serving layer's process-plane
+transport (:mod:`repro.serving.transport`) reuses the same format for
+its IPC frames, which is why ``bytes`` leaves are first-class: a frame
+can carry a whole nested snapshot buffer (itself RPRS bytes) without
+re-encoding it.
 """
 
 from __future__ import annotations
@@ -31,6 +35,12 @@ def _flatten(node, path: str, arrays: dict[str, np.ndarray]):
     if isinstance(node, np.ndarray):
         arrays[path] = node
         return {"__array__": path}
+    if isinstance(node, (bytes, bytearray, memoryview)):
+        # Bytes ride the array-buffer channel as uint8 and are restored
+        # to ``bytes`` on decode, so nested binary payloads (snapshot
+        # envelopes inside IPC frames) round-trip without base64 bloat.
+        arrays[path] = np.frombuffer(bytes(node), dtype=np.uint8)
+        return {"__bytes__": path}
     if isinstance(node, dict):
         return {
             str(key): _flatten(value, f"{path}/{key}" if path else str(key), arrays)
@@ -49,6 +59,8 @@ def _unflatten(node, arrays: dict[str, np.ndarray]):
     if isinstance(node, dict):
         if set(node) == {"__array__"}:
             return arrays[node["__array__"]]
+        if set(node) == {"__bytes__"}:
+            return arrays[node["__bytes__"]].tobytes()
         return {key: _unflatten(value, arrays) for key, value in node.items()}
     return node
 

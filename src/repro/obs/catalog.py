@@ -106,6 +106,23 @@ METRIC_CATALOG: tuple[CatalogEntry, ...] = (
         "repro_serving_tenant_buckets", "gauge", (),
         "Token buckets currently tracked by the tenant rate limiter",
     ),
+    # -- process-parallel ingest plane ----------------------------------------
+    CatalogEntry(
+        "repro_serving_ipc_frames_total", "counter", ("direction",),
+        "IPC frames crossing the front door's worker pipes, by direction (send/recv)",
+    ),
+    CatalogEntry(
+        "repro_serving_ipc_bytes_total", "counter", ("direction",),
+        "IPC frame payload bytes crossing the worker pipes, by direction",
+    ),
+    CatalogEntry(
+        "repro_serving_worker_restarts_total", "counter", ("worker",),
+        "Lossless shard-process restarts (dead worker rebooted from the mirror)",
+    ),
+    CatalogEntry(
+        "repro_serving_worker_queue_depth", "gauge", ("worker",),
+        "Queued + in-flight items across one worker's owned shard lanes (live callback)",
+    ),
     # -- query plane / fold publication ---------------------------------------
     CatalogEntry(
         "repro_serving_fold_refresh_total", "counter", ("result",),

@@ -9,6 +9,11 @@ service:
   buckets) and engine-identical batch → shard routing;
 * :mod:`repro.serving.workers` — bounded per-shard queues with atomic
   backpressure, drained by shard-owning ingest worker threads;
+* :mod:`repro.serving.transport` / :mod:`repro.serving.procplane` —
+  the process-parallel ingest plane (``workers_mode="process"``):
+  RPRS-coded frames over ``multiprocessing`` pipes to shard-owning
+  worker *processes*, plus the fold collector that pulls their
+  snapshot deltas back into the query plane's mirror engine;
 * :mod:`repro.serving.executor` — the concurrent query plane:
   epoch-validated fold publication, lock-free per-reader RNG views
   (plus the locked bitwise-replay mode);
@@ -42,8 +47,10 @@ from repro.serving.errors import (
     ServingError,
 )
 from repro.serving.executor import PublishedFold, QueryExecutor
+from repro.serving.procplane import ProcessPlane, WorkerDied, WorkerLink
 from repro.serving.router import ShardRouter, TenantRateLimiter, TokenBucket
 from repro.serving.service import SamplerService
+from repro.serving.transport import FrameConnection
 from repro.serving.workers import IngestWorker, ShardQueues
 
 __all__ = [
@@ -56,6 +63,10 @@ __all__ = [
     "TokenBucket",
     "IngestWorker",
     "ShardQueues",
+    "ProcessPlane",
+    "WorkerLink",
+    "WorkerDied",
+    "FrameConnection",
     "ServingError",
     "Backpressure",
     "RateLimited",

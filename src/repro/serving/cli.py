@@ -72,6 +72,15 @@ def _parse_args(argv):
     )
     parser.add_argument("--shards", type=int, default=8)
     parser.add_argument("--workers", type=int, default=4)
+    parser.add_argument(
+        "--workers-mode",
+        choices=("thread", "process"),
+        default="thread",
+        help=(
+            "shard-owning worker threads (GIL-shared) or worker "
+            "processes (one core per worker; see repro.serving.procplane)"
+        ),
+    )
     parser.add_argument("--items", type=int, default=100_000, help="stream length")
     parser.add_argument(
         "--universe", type=int, default=4096, help="stream universe size"
@@ -133,6 +142,9 @@ def _stats_main(argv) -> int:
     )
     parser.add_argument("--shards", type=int, default=4)
     parser.add_argument("--workers", type=int, default=2)
+    parser.add_argument(
+        "--workers-mode", choices=("thread", "process"), default="thread"
+    )
     parser.add_argument("--items", type=int, default=20_000)
     parser.add_argument("--universe", type=int, default=4096)
     parser.add_argument("--queries", type=int, default=16)
@@ -158,7 +170,7 @@ def _stats_main(argv) -> int:
     try:
         service = SamplerService(
             config, shards=args.shards, seed=args.seed,
-            ingest_workers=args.workers,
+            ingest_workers=args.workers, workers_mode=args.workers_mode,
         )
     except ValueError as exc:
         print(f"repro-serve: {exc}", file=sys.stderr)
@@ -221,7 +233,7 @@ def _audited_canned_run(config, args, audit_ticks: int):
     timestamps = uniform_arrivals(args.items, 1000.0) if timed else None
     service = SamplerService(
         config, shards=args.shards, seed=args.seed,
-        ingest_workers=args.workers,
+        ingest_workers=args.workers, workers_mode=args.workers_mode,
         audit={"interval": 0.0, "draws": args.audit_draws},
     )
     batch = 4096
@@ -242,6 +254,9 @@ def _canned_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--config", required=True, help="sampler config JSON")
     parser.add_argument("--shards", type=int, default=4)
     parser.add_argument("--workers", type=int, default=2)
+    parser.add_argument(
+        "--workers-mode", choices=("thread", "process"), default="thread"
+    )
     parser.add_argument("--items", type=int, default=20_000)
     parser.add_argument("--universe", type=int, default=4096)
     parser.add_argument("--seed", type=int, default=0)
@@ -375,6 +390,7 @@ def main(argv: list[str] | None = None) -> int:
             shards=args.shards,
             seed=args.seed,
             ingest_workers=args.workers,
+            workers_mode=args.workers_mode,
             serialized=args.serialized,
         )
     except ValueError as exc:

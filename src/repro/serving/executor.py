@@ -7,14 +7,24 @@ lock-free.  :class:`QueryExecutor` resolves it with two modes:
 
 * ``per-reader`` (default, lock-free reads) — the executor publishes an
   immutable :class:`PublishedFold` (fold + epoch snapshot + watermark +
-  generation counter); each reader thread lazily spawns its own *query
-  view* of the published fold (:func:`repro.lifecycle.spawn_query_view`)
-  with an independent RNG stream derived from ``(service seed,
-  generation, reader index)``.  A query is then a plain method call on
-  thread-local state — no locks, no shared mutation.  Each reader's
-  sequence is exactly target-distributed and reproducible given the
-  seed and its reader index; the cross-reader interleaving is not a
-  single replayable stream (that is what ``locked`` is for).
+  generation counter) and serves readers from a *leased view pool*:
+  copy-on-publish query views of the fold
+  (:func:`repro.lifecycle.spawn_query_view`), each held exclusively for
+  the duration of one query and returned to the generation's free list
+  afterwards.  A view's non-RNG state is frozen (queries only draw
+  coins), so any reader can use any pooled view — a lease just rebinds
+  the view's generators to the reader's own RNG stream, derived from
+  ``(service seed, generation, reader index)``.  Leases are sticky: a
+  reader that gets back the view it used last skips the rebind, so the
+  steady single-reader query is pop + method call + push.  Deep copies
+  of the fold therefore scale with *concurrent* readers (exactly one
+  for any number of sequential readers), not with readers × generations
+  as the previous per-thread views did — ``view_info()`` exposes the
+  ``views_copied`` / ``views_leased`` counters that prove it.  Each
+  reader's sequence is exactly target-distributed and reproducible
+  given the seed and its reader index when readers don't contend for
+  views; the cross-reader interleaving is not a single replayable
+  stream (that is what ``locked`` is for).
 * ``locked`` (bitwise replay) — queries serialize on one lock around
   the engine's own ``sample``/``sample_many``, quiescing the shard
   writers for the duration.  The answer sequence is bitwise identical
@@ -40,7 +50,11 @@ import threading
 import time
 import weakref
 
-from repro.lifecycle.rng import derive_reader_rng, spawn_query_view
+from repro.lifecycle.rng import (
+    derive_reader_rng,
+    rebind_query_rngs,
+    spawn_query_view,
+)
 from repro.obs.catalog import CATALOG_HELP
 from repro.obs.metrics import current_registry
 from repro.obs.trace import span
@@ -52,9 +66,15 @@ RNG_MODES = ("per-reader", "locked")
 
 
 class PublishedFold:
-    """One immutable published generation of the merged view."""
+    """One immutable published generation of the merged view, plus the
+    generation's free list of leasable query views (``pool`` holds
+    ``(view, last_reader_index)`` pairs; views leave the list while
+    leased, so every entry is exclusively owned by whoever pops it).
+    Old generations retire their whole pool with the object."""
 
-    __slots__ = ("generation", "fold", "epochs", "watermark", "published_at")
+    __slots__ = (
+        "generation", "fold", "epochs", "watermark", "published_at", "pool",
+    )
 
     def __init__(self, generation, fold, epochs, watermark, published_at):
         self.generation = generation
@@ -62,17 +82,18 @@ class PublishedFold:
         self.epochs = epochs
         self.watermark = watermark
         self.published_at = published_at
+        self.pool: list = []
 
 
 class _ReaderSlot(threading.local):
-    """Thread-local reader state: a stable reader index, the query view
-    spawned for the currently-published generation, and this reader's
-    served-query tally (single-writer, so increments are race-free; the
-    stats endpoint sums tallies across the registry)."""
+    """Thread-local reader state: a stable reader index, the reader's
+    RNG stream for the currently-published generation, and this
+    reader's served-query tally (single-writer, so increments are
+    race-free; the stats endpoint sums tallies across the registry)."""
 
     index: int | None = None
     generation: int = -1
-    view = None
+    rng = None
     tally = None
 
 
@@ -125,6 +146,13 @@ class QueryExecutor:
         # query path never does a racy shared-counter increment.  A
         # tally retires into the aggregate when its thread dies, so a
         # thread-per-request caller doesn't grow the registry forever.
+        # Leased view pool bookkeeping: the free lists live on each
+        # PublishedFold; one executor-level lock guards them all plus
+        # the cache_info-style counters (pool critical sections are a
+        # few list ops — far cheaper than the deep copies they elide).
+        self._pool_lock = threading.Lock()
+        self._views_copied = 0
+        self._views_leased = 0
         self._tally_lock = threading.Lock()
         self._tally_keys = itertools.count()
         self._tallies: dict[int, list[int]] = {}
@@ -201,12 +229,17 @@ class QueryExecutor:
                 t[0] for t in self._tallies.values()
             )
             readers = self._readers_ever
+        with self._pool_lock:
+            views_copied = self._views_copied
+            views_leased = self._views_leased
         return {
             "rng_mode": self._mode,
             "served": served,
             "refreshes": self._refreshes,
             "generation": self.generation,
             "readers": readers,
+            "views_copied": views_copied,
+            "views_leased": views_leased,
             "fold_age_s": (
                 None
                 if published is None
@@ -310,17 +343,70 @@ class QueryExecutor:
             )
         return kwargs
 
-    def _reader_view(self, published: PublishedFold):
-        """This thread's query view of the published generation,
-        (re)spawned lazily when the generation moved."""
+    def _reader_rng(self, published: PublishedFold):
+        """This thread's RNG stream for the published generation,
+        (re)derived lazily when the generation moved."""
         slot = self._slot
         if slot.index is None:
             slot.index = next(self._reader_ids)
-        if slot.view is None or slot.generation != published.generation:
-            rng = derive_reader_rng(self._seed, published.generation, slot.index)
-            slot.view = spawn_query_view(published.fold, rng)
+        if slot.rng is None or slot.generation != published.generation:
+            slot.rng = derive_reader_rng(
+                self._seed, published.generation, slot.index
+            )
             slot.generation = published.generation
-        return slot.view
+        return slot.rng
+
+    def lease_view(self, published: PublishedFold):
+        """Check a query view of ``published`` out of the generation's
+        pool for this thread's exclusive use (return it with
+        :meth:`return_view`).
+
+        Sticky fast path first: the view this reader returned last
+        still carries its generators, so no rebind.  Otherwise any free
+        view is rebound to the reader's stream; only when the free list
+        is empty — a cold generation, or more *concurrent* readers than
+        views — is the fold deep-copied (``views_copied``)."""
+        rng = self._reader_rng(published)
+        slot = self._slot
+        view = None
+        sticky = False
+        with self._pool_lock:
+            self._views_leased += 1
+            pool = published.pool
+            for i in range(len(pool) - 1, -1, -1):
+                if pool[i][1] == slot.index:
+                    view = pool[i][0]
+                    del pool[i]
+                    sticky = True
+                    break
+            else:
+                if pool:
+                    view = pool.pop()[0]
+        if view is not None:
+            if not sticky:
+                rebind_query_rngs(view, rng)
+            return view
+        view = spawn_query_view(published.fold, rng)
+        with self._pool_lock:
+            self._views_copied += 1
+        return view
+
+    def return_view(self, published: PublishedFold, view) -> None:
+        """Return a leased view to its generation's free list (a stale
+        generation's pool is retained only by the PublishedFold itself,
+        so returning to one is harmless)."""
+        with self._pool_lock:
+            published.pool.append((view, self._slot.index))
+
+    def view_info(self) -> dict:
+        """``cache_info()``-style counters for the leased view pool."""
+        published = self._published
+        with self._pool_lock:
+            return {
+                "views_copied": self._views_copied,
+                "views_leased": self._views_leased,
+                "pool_free": 0 if published is None else len(published.pool),
+            }
 
     def sample(self, **kwargs):
         """One truly perfect sample off the published fold (lock-free in
@@ -335,11 +421,15 @@ class QueryExecutor:
                 finally:
                     self._release()
         published = self.published()
-        view = self._reader_view(published)
-        return view.sample(**self._pin_clock(published, kwargs))
+        kwargs = self._pin_clock(published, kwargs)
+        view = self.lease_view(published)
+        try:
+            return view.sample(**kwargs)
+        finally:
+            self.return_view(published, view)
 
     def sample_many(self, k: int, **kwargs):
-        """``k`` samples amortizing one view lookup (and, for kinds with
+        """``k`` samples amortizing one view lease (and, for kinds with
         a vectorized ``sample_many``, one batched coin block)."""
         self._tally()[0] += 1
         if self._mode == "locked":
@@ -352,9 +442,12 @@ class QueryExecutor:
         if k < 0:
             raise ValueError(f"need a non-negative draw count, got {k}")
         published = self.published()
-        view = self._reader_view(published)
         kwargs = self._pin_clock(published, kwargs)
-        many = getattr(view, "sample_many", None)
-        if callable(many):
-            return many(k, **kwargs)
-        return [view.sample(**kwargs) for __ in range(k)]
+        view = self.lease_view(published)
+        try:
+            many = getattr(view, "sample_many", None)
+            if callable(many):
+                return many(k, **kwargs)
+            return [view.sample(**kwargs) for __ in range(k)]
+        finally:
+            self.return_view(published, view)

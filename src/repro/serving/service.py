@@ -50,6 +50,7 @@ from repro.obs.metrics import MetricsRegistry, use_registry
 from repro.obs.trace import current_tracer, span
 from repro.serving.errors import Backpressure, RateLimited, ServiceClosed
 from repro.serving.executor import QueryExecutor
+from repro.serving.procplane import ProcessPlane, WorkerDied
 from repro.serving.router import ShardRouter, TenantRateLimiter
 from repro.serving.workers import IngestWorker, ShardQueues
 
@@ -80,8 +81,21 @@ class SamplerService:
         cache on and no ``compact_every`` cadence — the ticker owns
         compaction here.
     ingest_workers:
-        Ingest worker threads (clamped to the shard count).  Shards are
+        Ingest workers (clamped to the shard count).  Shards are
         assigned round-robin, each owned by exactly one worker.
+    workers_mode:
+        ``"thread"`` (default): shard-owning worker threads applying
+        into the in-process engine — zero IPC cost, but on CPython all
+        workers share one GIL.  ``"process"``: shard-owning worker
+        *processes* holding bitwise replicas of their shards, fed
+        RPRS-coded frames over pipes (:mod:`repro.serving.procplane`) —
+        K shards use K cores; a fold collector pulls per-shard snapshot
+        deltas back into this process's mirror engine for the query
+        plane.  Requires a config dict (not a prebuilt engine).  The
+        determinism contract is identical in both modes.
+    mp_start_method:
+        ``multiprocessing`` start method for process mode (``"fork"``,
+        ``"spawn"``, ``"forkserver"``; ``None`` = platform default).
     queue_capacity:
         Per-shard queue high-water mark, in items (queued + in-flight).
     backpressure:
@@ -140,6 +154,8 @@ class SamplerService:
         seed: int | None = None,
         max_watermark_skew: float = float("inf"),
         ingest_workers: int = 4,
+        workers_mode: str = "thread",
+        mp_start_method: str | None = None,
         queue_capacity: int = 1 << 18,
         backpressure: str = "block",
         tenant_rates: dict[str, tuple[float, float]] | None = None,
@@ -155,6 +171,19 @@ class SamplerService:
         if backpressure not in ("block", "shed"):
             raise ValueError(
                 f"backpressure must be 'block' or 'shed', got {backpressure!r}"
+            )
+        if workers_mode not in ("thread", "process"):
+            raise ValueError(
+                f"workers_mode must be 'thread' or 'process', "
+                f"got {workers_mode!r}"
+            )
+        if workers_mode == "process" and isinstance(
+            config, ShardedSamplerEngine
+        ):
+            raise ValueError(
+                "process-mode serving needs a config dict (worker "
+                "processes bootstrap shard replicas from the registry "
+                "config); pass config=, or use workers_mode='thread'"
             )
         if refresh_interval < 0:
             raise ValueError(
@@ -234,20 +263,41 @@ class SamplerService:
             self._engine, self._shard_locks, seed=seed, rng_mode=rng_mode,
             metrics=self._metrics,
         )
-        self._workers = [
-            IngestWorker(
-                w,
+        self._workers_mode = workers_mode
+        self._worker_errors: list[tuple[Exception, int]] = []
+        self._plane: ProcessPlane | None = None
+        if workers_mode == "process":
+            self._workers: list[IngestWorker] = []
+            self._plane = ProcessPlane(
                 self._engine,
                 self._queues,
                 self._shard_locks,
-                owned_shards=[s for s in range(k) if s % ingest_workers == w],
+                workers=ingest_workers,
                 max_batch=max_batch,
                 on_error=self._record_worker_error,
                 metrics=self._metrics,
+                start_method=mp_start_method,
             )
-            for w in range(ingest_workers)
-        ]
-        self._worker_errors: list[tuple[Exception, int]] = []
+            # Spawn the shard processes *now*, before any service thread
+            # exists — forking a multithreaded process risks inheriting
+            # a mid-held lock into the child.
+            self._plane.start()
+        else:
+            self._workers = [
+                IngestWorker(
+                    w,
+                    self._engine,
+                    self._queues,
+                    self._shard_locks,
+                    owned_shards=[
+                        s for s in range(k) if s % ingest_workers == w
+                    ],
+                    max_batch=max_batch,
+                    on_error=self._record_worker_error,
+                    metrics=self._metrics,
+                )
+                for w in range(ingest_workers)
+            ]
         self._closed = False
         self._compaction_passes = 0
         self._compaction_bytes = 0
@@ -278,6 +328,7 @@ class SamplerService:
             {
                 "service_open": self._probe_service_open,
                 "worker_errors": self._probe_worker_errors,
+                "workers": self._probe_workers,
                 "queue_saturation": self._probe_queue_saturation,
                 "refresh_latch": self._probe_refresh_latch,
                 "fold_staleness": self._probe_fold_staleness,
@@ -365,6 +416,29 @@ class SamplerService:
             CATALOG_HELP["repro_health_status"],
             labels=("probe",),
         )
+        # Process-plane families likewise register unconditionally so a
+        # thread-mode exposition still carries the whole catalog (empty
+        # families render their headers with no samples).
+        m.counter(
+            "repro_serving_ipc_frames_total",
+            CATALOG_HELP["repro_serving_ipc_frames_total"],
+            labels=("direction",),
+        )
+        m.counter(
+            "repro_serving_ipc_bytes_total",
+            CATALOG_HELP["repro_serving_ipc_bytes_total"],
+            labels=("direction",),
+        )
+        m.counter(
+            "repro_serving_worker_restarts_total",
+            CATALOG_HELP["repro_serving_worker_restarts_total"],
+            labels=("worker",),
+        )
+        m.gauge(
+            "repro_serving_worker_queue_depth",
+            CATALOG_HELP["repro_serving_worker_queue_depth"],
+            labels=("worker",),
+        )
         trace_dropped = m.counter(
             "repro_trace_dropped_total",
             CATALOG_HELP["repro_trace_dropped_total"],
@@ -433,12 +507,14 @@ class SamplerService:
                 and now - last_refresh >= self._refresh_interval
             ):
                 try:
-                    self._executor.refresh()
+                    self._refresh()
                 except Exception:
                     # Must not kill the ticker.  The executor latches
                     # the failure and re-raises it on every query until
                     # a refresh succeeds, so readers cannot be silently
-                    # pinned to the stale pre-failure fold.
+                    # pinned to the stale pre-failure fold.  (A collect
+                    # hitting a dead worker surfaces through the
+                    # worker_errors latch / workers probe instead.)
                     pass
                 last_refresh = now
                 # Piggyback the SLO burn-rate cut on the refresh cadence.
@@ -463,13 +539,25 @@ class SamplerService:
                 last_audit = now
 
     def _run_compaction(self) -> None:
-        """One expiry-compaction pass, shard by shard — each under its
-        own write lock, so ingest of the other shards keeps flowing."""
+        """One expiry-compaction pass.  Thread mode: shard by shard,
+        each under its own write lock, so ingest of the other shards
+        keeps flowing.  Process mode: inside the workers (they own the
+        authoritative state); the mirror picks up compacted snapshots on
+        the next collect."""
         freed = 0
         with span("serving.compaction") as sp:
-            for shard in range(self._engine.shards):
-                with self._shard_locks[shard]:
-                    freed += self._engine.compact_shard(shard)
+            if self._plane is not None:
+                try:
+                    freed = self._plane.compact()
+                except WorkerDied:
+                    # Death bookkeeping (latch or lossless restart) is
+                    # the receiver thread's job; skip this pass.
+                    sp.set(freed=0)
+                    return
+            else:
+                for shard in range(self._engine.shards):
+                    with self._shard_locks[shard]:
+                        freed += self._engine.compact_shard(shard)
             sp.set(freed=freed)
         self._compaction_passes += 1
         self._compaction_bytes += freed
@@ -479,6 +567,14 @@ class SamplerService:
 
     def _record_worker_error(self, exc: Exception, shard: int) -> None:
         self._worker_errors.append((exc, shard))
+
+    def _refresh(self, force: bool = False) -> bool:
+        """Refresh the published fold; in process mode, first pull the
+        workers' snapshot deltas into the mirror engine so the new
+        generation reflects everything acked so far."""
+        if self._plane is not None:
+            self._plane.collect()
+        return self._executor.refresh(force)
 
     # -- front door ---------------------------------------------------------
     @property
@@ -590,9 +686,29 @@ class SamplerService:
     def refresh(self) -> bool:
         """Publish a fresh fold generation now (quiesces writers);
         returns whether the epochs had moved.  Lock-free queries observe
-        it immediately."""
+        it immediately.  In process mode this first collects the shard
+        workers' snapshot deltas, so ``flush()`` + ``refresh()`` is
+        read-your-writes in both modes."""
         self._check_open()
-        return self._executor.refresh()
+        return self._refresh()
+
+    def _pre_query(self, kwargs: dict) -> None:
+        """The freshness leg run before every query.  Serialized mode
+        flushes (and, in process mode, compacts the workers at the query
+        clock then collects their deltas — reproducing the direct
+        engine's exact compact-then-draw lineage, so the locked query's
+        own compaction pass is a bitwise no-op).  Synchronous-refresh
+        mode republishes the fold."""
+        if self._serialized:
+            self.flush()
+            if self._plane is not None:
+                self._plane.compact(now=kwargs.get("now"))
+                self._plane.collect()
+        elif (
+            self._refresh_interval == 0
+            and self._executor.rng_mode != "locked"
+        ):
+            self._refresh()
 
     def sample(self, **kwargs):
         """One truly perfect sample from the query plane.
@@ -602,13 +718,13 @@ class SamplerService:
         :meth:`flush` + :meth:`refresh` for read-your-writes).
         ``locked`` mode serializes on the live engine; serialized mode
         additionally flushes first, making the whole request sequence
-        bitwise identical to direct engine calls.
+        bitwise identical to direct engine calls (in process mode the
+        flush is followed by a worker compact at the query clock and a
+        delta collect, so the mirror holds the exact state a direct
+        engine would query).
         """
         self._check_open()
-        if self._serialized:
-            self.flush()
-        elif self._refresh_interval == 0 and self._executor.rng_mode != "locked":
-            self._executor.refresh()
+        self._pre_query(kwargs)
         if not self._metrics_on:
             return self._executor.sample(**kwargs)
         t0 = time.perf_counter()
@@ -626,10 +742,7 @@ class SamplerService:
         """``k`` truly perfect samples, amortized — same freshness
         contract as :meth:`sample`."""
         self._check_open()
-        if self._serialized:
-            self.flush()
-        elif self._refresh_interval == 0 and self._executor.rng_mode != "locked":
-            self._executor.refresh()
+        self._pre_query(kwargs)
         if not self._metrics_on:
             return self._executor.sample_many(k, **kwargs)
         t0 = time.perf_counter()
@@ -682,7 +795,7 @@ class SamplerService:
                 "skipped_busy", "ingest queues not drained"
             )
         try:
-            self._executor.refresh()
+            self._refresh()
         except Exception as exc:
             return aud.record_skip("skipped_refresh_error", repr(exc))
         version = aud.truth_version
@@ -734,6 +847,49 @@ class SamplerService:
                 float(n),
             )
         return ProbeResult("worker_errors", "pass", "no worker errors", 0.0)
+
+    def _probe_workers(self) -> ProbeResult:
+        """Are the shard-owning workers (threads or processes) serving?
+        Process mode reports dead and stalled shard processes by worker
+        index; lossless restarts keep the probe green (they show up in
+        ``repro_serving_worker_restarts_total`` instead)."""
+        if self._closed:
+            return ProbeResult("workers", "pass", "service closed")
+        if self._plane is not None:
+            statuses = self._plane.status()
+            dead = [st["worker"] for st in statuses if not st["alive"]]
+            stalled = [st["worker"] for st in statuses if st["stalled"]]
+            restarts = sum(st["restarts"] for st in statuses)
+            if dead:
+                return ProbeResult(
+                    "workers", "fail",
+                    f"dead shard process(es) for worker(s) {dead} "
+                    f"(shards {[st['shards'] for st in statuses if not st['alive']]})",
+                    float(len(dead)),
+                )
+            if stalled:
+                return ProbeResult(
+                    "workers", "warn",
+                    f"stalled shard process(es) for worker(s) {stalled} "
+                    "(frames in flight, no ack)",
+                    float(len(stalled)),
+                )
+            return ProbeResult(
+                "workers", "pass",
+                f"{len(statuses)} shard process(es) live"
+                + (f", {restarts} lossless restart(s)" if restarts else ""),
+                0.0,
+            )
+        dead = [w.index for w in self._workers if not w.is_alive()]
+        if dead:
+            return ProbeResult(
+                "workers", "fail",
+                f"dead ingest thread(s) for worker(s) {dead}",
+                float(len(dead)),
+            )
+        return ProbeResult(
+            "workers", "pass", f"{len(self._workers)} ingest thread(s) live", 0.0
+        )
 
     def _probe_queue_saturation(self) -> ProbeResult:
         depths = self._queues.depths()
@@ -809,7 +965,14 @@ class SamplerService:
     # -- flight recorder ----------------------------------------------------
     def snapshot_shards_bytes(self) -> list[bytes]:
         """Per-shard snapshot envelopes (``save_state`` bytes), each
-        captured under its shard's write lock."""
+        captured under its shard's write lock.  In process mode the
+        workers' latest deltas are collected first, so the blobs reflect
+        everything acked at call time."""
+        if self._plane is not None:
+            try:
+                self._plane.collect()
+            except WorkerDied:
+                pass  # dump what the mirror has — better than nothing
         blobs = []
         for shard, sampler in enumerate(self._engine.samplers):
             with self._shard_locks[shard]:
@@ -899,19 +1062,31 @@ class SamplerService:
                 "draws_total": self._auditor.draws_total,
                 "e_value": self._auditor.monitor.e_value,
             }
+        ingest_stats = {
+            **counts,
+            "pending_items": queues.pending(),
+            "queue_depths": queues.depths(),
+            "queue_capacity": queues.capacity,
+            "worker_errors": len(self._worker_errors),
+        }
+        if self._plane is not None:
+            statuses = self._plane.status()
+            ingest_stats["worker_processes"] = statuses
+            ingest_stats["worker_restarts"] = sum(
+                st["restarts"] for st in statuses
+            )
         return {
             "closed": self._closed,
             "serialized": self._serialized,
             "shards": self._engine.shards,
-            "workers": len(self._workers),
+            "workers": (
+                len(self._plane.links)
+                if self._plane is not None
+                else len(self._workers)
+            ),
+            "workers_mode": self._workers_mode,
             "metrics_enabled": self._metrics_on,
-            "ingest": {
-                **counts,
-                "pending_items": queues.pending(),
-                "queue_depths": queues.depths(),
-                "queue_capacity": queues.capacity,
-                "worker_errors": len(self._worker_errors),
-            },
+            "ingest": ingest_stats,
             "query": self._executor.stats(),
             "latency": latency,
             "audit": audit,
@@ -945,6 +1120,8 @@ class SamplerService:
         for worker in self._workers:
             worker.stop()
         self._ticker_stop.set()
+        if self._plane is not None:
+            self._plane.stop()
         for worker in self._workers:
             worker.join(timeout=5.0)
         if self._ticker is not None:

@@ -31,6 +31,13 @@ Measures, on one process with fixed seeds:
   4 workers (K=8, best of ``PARALLEL_REPS``, steady-state: worker
   startup excluded), preceded by a process-mode serialized bitwise
   preflight against direct engine calls.
+* **ingest kernel (PR 9)** — large-batch ingest throughput through the
+  shared-index two-phase kernel at K ∈ {1, 8, 32}, identical stream and
+  chunk size for every K (best of ``INGEST_KERNEL_REPS``), preceded by
+  a bitwise preflight: shared-index ingest, the materialized-subchunk
+  reference path (``shared_index=False``), and item-at-a-time chunking
+  must all land the identical engine snapshot and answer the identical
+  sample.
 
 Results land in machine-readable JSON (default: ``BENCH_E23.json`` at
 the repo root) so the bench trajectory is tracked from PR 4 forward.
@@ -57,6 +64,11 @@ The suite *gates* itself (exit code 1 on failure):
   ≤1.10x the metrics-disabled run (instrumentation must stay cheap);
 * audit-enabled served ingest throughput must be ≥0.9x and query p50
   ≤1.10x the audit-off run (self-verification must stay cheap);
+* ingest-kernel K=8 throughput must be ≥0.5x the K=1 rate on the same
+  stream and chunk size (sharding must not collapse single-core ingest
+  — the shared index is built once per batch, not per shard), and the
+  K=1 rate itself must clear an absolute floor so the ratio cannot pass
+  by both sides degenerating;
 * parallel ingest gates are hardware-adaptive: every mode/worker-count
   combination must clear an absolute throughput floor and adding
   workers must never collapse (≥0.85x the previous step while within
@@ -126,6 +138,15 @@ MIN_PROCESS_VS_THREAD_AT_4 = 1.5
 PARALLEL_TOL_IN_CORES = 0.85
 PARALLEL_TOL_OVERSUBSCRIBED = 0.40
 MIN_PARALLEL_INGEST_FLOOR = 20_000  # items/s, any mode, any worker count
+#: Ingest-kernel scenario (PR 9).  One chunk size for every shard
+#: count — the large-batch serving regime the two-phase kernel exists
+#: for; the K=8 rate must hold ≥ this fraction of the K=1 rate, and
+#: the K=1 rate must clear the absolute floor (so the ratio gate can
+#: never pass by mutual collapse).
+INGEST_KERNEL_CHUNK = 1 << 20
+INGEST_KERNEL_REPS = 3
+MIN_INGEST_KERNEL_K8_RATIO = 0.5
+MIN_INGEST_KERNEL_K1_FLOOR = 2_000_000  # items/s
 
 
 def _percentiles(latencies_ns: list[int]) -> dict:
@@ -172,6 +193,79 @@ def bench_ingest(items: np.ndarray, chunk: int) -> list[dict]:
             }
         )
     return out
+
+
+def _normalized(state):
+    """Snapshot trees carry numpy arrays; normalize to plain lists so
+    bitwise-equal states compare equal regardless of container type."""
+    if isinstance(state, dict):
+        return {k: _normalized(v) for k, v in state.items()}
+    if isinstance(state, (list, tuple)):
+        return [_normalized(v) for v in state]
+    if isinstance(state, np.ndarray):
+        return [_normalized(v) for v in state.tolist()]
+    if isinstance(state, np.generic):
+        return state.item()
+    return state
+
+
+def check_ingest_kernel_bitwise(items: np.ndarray) -> None:
+    """Bitwise gate for the ingest-kernel scenario: the shared-index
+    two-phase path, the materialized-subchunk reference path, and
+    item-at-a-time chunking must all produce the identical engine state
+    (full snapshot: counts, offsets, heaps, RNG streams) and the
+    identical next sample.  Speed on a kernel that drifts from the
+    scalar semantics would be meaningless."""
+    shared = ShardedSamplerEngine(CONFIG, shards=8, seed=7)
+    shared.ingest(items, chunk_size=INGEST_KERNEL_CHUNK)
+    reference = ShardedSamplerEngine(CONFIG, shards=8, seed=7)
+    reference.ingest(items, chunk_size=INGEST_KERNEL_CHUNK, shared_index=False)
+    stepwise = ShardedSamplerEngine(CONFIG, shards=8, seed=7)
+    stepwise.ingest(items, chunk_size=1, shared_index=False)
+    want = _normalized(shared.snapshot())
+    if _normalized(reference.snapshot()) != want:
+        raise AssertionError(
+            "shared-index ingest state != materialized-subchunk reference"
+        )
+    if _normalized(stepwise.snapshot()) != want:
+        raise AssertionError(
+            "shared-index ingest state != item-at-a-time chunking"
+        )
+    a, b, c = shared.sample(), reference.sample(), stepwise.sample()
+    if not (a == b == c):
+        raise AssertionError(f"kernel paths sample differently: {a} {b} {c}")
+
+
+def bench_ingest_kernel(items: np.ndarray) -> dict:
+    """The PR 9 scenario: large-batch ingest through the two-phase
+    shared-index kernel at every shard count, identical stream and
+    chunk size (best of ``INGEST_KERNEL_REPS`` — gates compare
+    capability, not scheduler jitter)."""
+    rows = []
+    for shards in SHARD_COUNTS:
+        wall = float("inf")
+        for __ in range(INGEST_KERNEL_REPS):
+            engine = _build(shards, cache=True)
+            t0 = time.perf_counter()
+            engine.ingest(items, chunk_size=INGEST_KERNEL_CHUNK)
+            wall = min(wall, time.perf_counter() - t0)
+        rows.append(
+            {
+                "shards": shards,
+                "items": int(items.size),
+                "reps": INGEST_KERNEL_REPS,
+                "chunk_size": INGEST_KERNEL_CHUNK,
+                "seconds": wall,
+                "items_per_sec": items.size / wall,
+            }
+        )
+    by_k = {row["shards"]: row["items_per_sec"] for row in rows}
+    return {
+        "chunk_size": INGEST_KERNEL_CHUNK,
+        "runs": rows,
+        "k8_over_k1": by_k[8] / by_k[1],
+        "k32_over_k1": by_k[32] / by_k[1],
+    }
 
 
 def bench_queries(
@@ -722,6 +816,21 @@ def evaluate_gates(report: dict) -> list[str]:
             f"{obs['p50_ratio']:.3f}x the metrics-disabled "
             f"{obs['disabled']['p50_us']:.1f}us (> {MAX_OBS_P50_RATIO}x)"
         )
+    kernel = report["ingest_kernel"]
+    rate_k1 = next(
+        r["items_per_sec"] for r in kernel["runs"] if r["shards"] == 1
+    )
+    if rate_k1 < MIN_INGEST_KERNEL_K1_FLOOR:
+        failures.append(
+            f"ingest-kernel K=1 rate {rate_k1 / 1e6:.2f}M items/s is below "
+            f"the {MIN_INGEST_KERNEL_K1_FLOOR / 1e6:.1f}M floor"
+        )
+    if kernel["k8_over_k1"] < MIN_INGEST_KERNEL_K8_RATIO:
+        failures.append(
+            f"ingest-kernel K=8 rate is only {kernel['k8_over_k1']:.3f}x "
+            f"the K=1 rate (< {MIN_INGEST_KERNEL_K8_RATIO}x at chunk size "
+            f"{kernel['chunk_size']})"
+        )
     report["parallel_ingest"]["skipped_gates"] = _parallel_gates(
         report, failures
     )
@@ -759,14 +868,19 @@ def main(argv: list[str] | None = None) -> int:
     if args.smoke:
         m, queries, write_batch, k_many = 60_000, 120, 200, 1000
         served_batches, served_batch = 60, 1_000
+        kernel_m = 500_000
     else:
         m, queries, write_batch, k_many = 400_000, 400, 500, 1000
         served_batches, served_batch = 150, 2_000
+        kernel_m = 2_000_000
     stream = zipf_stream(
         1 << 14, m + served_batches * served_batch, alpha=1.2, seed=1
     )
     items = np.asarray(stream.items)[:m]
     served_work = np.asarray(stream.items)[m:]
+    kernel_items = np.asarray(
+        zipf_stream(1 << 14, kernel_m, alpha=1.2, seed=2).items
+    )
 
     print(f"perf_suite: m={m} queries/workload={queries} smoke={args.smoke}")
     check_cached_equals_fresh(items[:20_000])
@@ -775,6 +889,8 @@ def main(argv: list[str] | None = None) -> int:
     print("bitwise gate: serialized serving == direct engine ✓")
     check_process_serialized_equals_direct(items[:20_000])
     print("bitwise gate: process-mode serving == direct engine ✓")
+    check_ingest_kernel_bitwise(kernel_items[:20_000])
+    print("bitwise gate: shared-index kernel == reference == scalar-chunked ✓")
 
     report = {
         "bench": "E23-query-fast-path",
@@ -786,6 +902,7 @@ def main(argv: list[str] | None = None) -> int:
             "platform": platform.platform(),
         },
         "ingest": bench_ingest(items, chunk=1 << 16),
+        "ingest_kernel": bench_ingest_kernel(kernel_items),
         "query_latency": bench_queries(items, queries, write_batch),
         "sample_many": bench_sample_many(items, k_many),
         "served_scenario": bench_served(items, served_work, served_batch),
@@ -808,6 +925,8 @@ def main(argv: list[str] | None = None) -> int:
         "parallel_tol_in_cores": PARALLEL_TOL_IN_CORES,
         "parallel_tol_oversubscribed": PARALLEL_TOL_OVERSUBSCRIBED,
         "min_parallel_ingest_floor": MIN_PARALLEL_INGEST_FLOOR,
+        "min_ingest_kernel_k8_ratio": MIN_INGEST_KERNEL_K8_RATIO,
+        "min_ingest_kernel_k1_floor": MIN_INGEST_KERNEL_K1_FLOOR,
         "min_obs_throughput_ratio": MIN_OBS_THROUGHPUT_RATIO,
         "max_obs_p50_ratio": MAX_OBS_P50_RATIO,
         "min_audit_throughput_ratio": MIN_AUDIT_THROUGHPUT_RATIO,
@@ -824,6 +943,17 @@ def main(argv: list[str] | None = None) -> int:
             f"  ingest  K={row['shards']:<3} "
             f"{row['items_per_sec'] / 1e6:6.2f}M items/s"
         )
+    ik = report["ingest_kernel"]
+    for row in ik["runs"]:
+        print(
+            f"  kernel  K={row['shards']:<3} "
+            f"{row['items_per_sec'] / 1e6:6.2f}M items/s "
+            f"(chunk {row['chunk_size']}, best of {row['reps']})"
+        )
+    print(
+        f"  kernel  K8/K1 {ik['k8_over_k1']:.3f}x  "
+        f"K32/K1 {ik['k32_over_k1']:.3f}x"
+    )
     for row in report["query_latency"]:
         print(
             f"  query   K={row['shards']:<3} {row['ratio']:>6}  "

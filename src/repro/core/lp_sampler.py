@@ -24,6 +24,7 @@ import numpy as np
 from repro.core.g_sampler import SamplerPool
 from repro.core.measures import LpMeasure
 from repro.core.rejection import rejection_many
+from repro.core.timeline import ShardView
 from repro.core.types import SampleResult, as_item_array
 from repro.lifecycle.memory import INSTANCE_BYTES
 from repro.lifecycle.protocol import StaticLifecycleMixin
@@ -74,6 +75,14 @@ class TrulyPerfectLpSampler(StaticLifecycleMixin):
     the construction, which never uses ``p ≤ 2`` anywhere except in the
     constant of the acceptance bound.
     """
+
+    #: The engine may pass a shared whole-chunk ChunkDigest to
+    #: :meth:`update_batch` (see :func:`repro.engine.batch.ingest`).
+    accepts_digest = True
+    #: … or a :class:`~repro.core.timeline.ShardView` of a shared
+    #: indexed chunk: the pool consumes the view directly; only the
+    #: Misra–Gries normalizer pass materializes the subchunk values.
+    accepts_index = True
 
     def __init__(
         self,
@@ -134,7 +143,7 @@ class TrulyPerfectLpSampler(StaticLifecycleMixin):
         Misra–Gries normalizer)."""
         self.update_batch(as_item_array(items))
 
-    def update_batch(self, items) -> None:
+    def update_batch(self, items, digest=None) -> None:
         """Vectorized ingestion of a chunk of items.
 
         The pool path is bitwise identical to the scalar loop for a fixed
@@ -142,12 +151,27 @@ class TrulyPerfectLpSampler(StaticLifecycleMixin):
         for ``p > 1`` the certified normalizer ζ may differ slightly from
         the scalar run — the *conditional output distribution* is exactly
         the target either way (any certified ζ is), only the FAIL rate
-        can shift marginally.
+        can shift marginally.  ``digest`` is the engine's shared
+        whole-chunk digest, forwarded to the pool kernel.
         """
+        if isinstance(items, ShardView):
+            self._pool.update_batch(items)
+            if self._mg is not None:
+                self._mg.update_batch(items.values())
+            return
         arr = np.asarray(items, dtype=np.int64)
-        self._pool.update_batch(arr)
+        self._pool.update_batch(arr, digest=digest)
         if self._mg is not None:
             self._mg.update_batch(arr)
+
+    def tracked_values(self) -> np.ndarray:
+        """See :meth:`repro.core.g_sampler.SamplerPool.tracked_values`."""
+        return self._pool.tracked_values()
+
+    def plan_batch(self, length: int) -> tuple[list[int], list[int]]:
+        """See :meth:`repro.core.g_sampler.SamplerPool.plan_batch`
+        (engine-internal)."""
+        return self._pool.plan_batch(length)
 
     def snapshot(self) -> dict:
         state = {

@@ -15,7 +15,12 @@ import math
 
 import numpy as np
 
-__all__ = ["TimestampedReservoir", "KReservoir", "skip_next_replacement"]
+__all__ = [
+    "TimestampedReservoir",
+    "KReservoir",
+    "skip_next_replacement",
+    "skip_next_replacements",
+]
 
 
 def skip_next_replacement(t: int, rng: np.random.Generator) -> int:
@@ -33,6 +38,34 @@ def skip_next_replacement(t: int, rng: np.random.Generator) -> int:
     if u <= 0.0:  # pragma: no cover - measure-zero guard
         return t + 1
     return max(t + 1, math.ceil(t / u))
+
+
+def skip_next_replacements(times, rng: np.random.Generator) -> list[int]:
+    """Chunk-at-a-time :func:`skip_next_replacement`: one batched uniform
+    draw for a whole sequence of positions.
+
+    Bitwise identical to calling the scalar helper once per position in
+    order — positions ≤ 0 consume no draw (they replace at 1
+    unconditionally), and ``rng.random(n)`` hands out exactly the floats
+    ``n`` scalar ``rng.random()`` calls would.  The ceiling stays in
+    Python-int arithmetic so even astronomically small uniforms produce
+    the same (arbitrary-precision) jump targets as the scalar path.
+    """
+    ts = [int(t) for t in times]
+    drawing = sum(1 for t in ts if t > 0)
+    uniforms = iter(rng.random(drawing).tolist()) if drawing else iter(())
+    out: list[int] = []
+    for t in ts:
+        if t <= 0:
+            out.append(1)
+            continue
+        u = next(uniforms)
+        if u <= 0.0:  # pragma: no cover - measure-zero guard
+            out.append(t + 1)
+            continue
+        nxt = math.ceil(t / u)
+        out.append(nxt if nxt > t else t + 1)
+    return out
 
 
 class TimestampedReservoir:

@@ -1,0 +1,423 @@
+"""Timeline-precomputed ingest kernel primitives.
+
+The pool kernel's heap events are *data-independent*: the next
+replacement time of an instance depends only on the current stream
+position and the RNG (``skip_next_replacement``), never on the items.
+That splits batched ingestion into two phases:
+
+1. :func:`simulate_events` replays the whole heap-event schedule for a
+   chunk up front — pop order, event positions, instance ids, next
+   wakeups — drawing the skip-ahead jumps through :class:`BlockUniforms`
+   so the RNG stream is consumed *bitwise identically* to the scalar
+   ``update()`` loop;
+2. the data-dependent remainder (which item sits at each event position,
+   shared-counter settles, the end-of-chunk flush) collapses to
+   vectorized occurrence counting, served by :class:`ChunkDigest` and
+   per-item position indexes.
+
+``ChunkDigest`` is built once per engine batch and shared by every
+shard: a hash partition routes all occurrences of an item to one shard,
+so an item's whole-batch occurrence count *is* its subchunk count.  For
+small universes the digest is a dense ``bincount``; for large ones it
+keeps a sorted copy of the chunk with a Misra–Gries aux whose surviving
+candidates are exactified in one vectorized pass — every heavy item
+(``f > n/(capacity+1)``) is answered from an O(1) dict instead of
+re-scanning the chunk per tracked item.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+
+import numpy as np
+
+from repro.sketches.misra_gries import MisraGries
+
+__all__ = [
+    "BlockUniforms",
+    "ChunkDigest",
+    "PositionIndex",
+    "ShardView",
+    "simulate_events",
+]
+
+#: Dense-count regime bound: same rule the pool's legacy flush used.
+_DENSE_LIMIT_FLOOR = 1 << 20
+
+
+class BlockUniforms:
+    """Uniform draws taken in blocks, bitwise equal to scalar consumption.
+
+    ``rng.random(n)`` produces exactly the same floats, and leaves the
+    generator in exactly the same state, as ``n`` scalar ``rng.random()``
+    calls (one 64-bit draw each, verified by the parity tests).  So a
+    consumer that does not know how many draws it needs can over-draw in
+    blocks and :meth:`close` by rewinding to the saved state and
+    re-drawing exactly the number it took — the stream position ends up
+    where scalar consumption would have left it.
+    """
+
+    __slots__ = ("_rng", "_saved", "_buf", "_pos", "_taken", "_block")
+
+    def __init__(self, rng: np.random.Generator, block: int = 64) -> None:
+        self._rng = rng
+        self._saved = None
+        self._buf: list[float] = []
+        self._pos = 0
+        self._taken = 0
+        self._block = max(1, int(block))
+
+    @property
+    def taken(self) -> int:
+        """Uniforms handed out so far."""
+        return self._taken
+
+    def next(self) -> float:
+        if self._pos >= len(self._buf):
+            if self._saved is None:
+                self._saved = self._rng.bit_generator.state
+            self._buf = self._rng.random(self._block).tolist()
+            self._pos = 0
+            self._block = min(self._block * 2, 1 << 16)
+        u = self._buf[self._pos]
+        self._pos += 1
+        self._taken += 1
+        return u
+
+    def close(self) -> None:
+        """Leave the RNG exactly where ``taken`` scalar draws would."""
+        if self._saved is not None and self._pos < len(self._buf):
+            self._rng.bit_generator.state = self._saved
+            if self._taken:
+                self._rng.random(self._taken)
+        self._saved = None
+        self._buf = []
+        self._pos = 0
+
+
+def simulate_events(
+    heap: list[tuple[int, int]],
+    end: int,
+    rng: np.random.Generator,
+    expect: int = 64,
+) -> tuple[list[int], list[int]]:
+    """Phase 1: replay every heap event scheduled at positions ≤ ``end``.
+
+    Pops ``(time, idx)`` entries in exactly the scalar order, draws each
+    popped instance's next wakeup (``max(t+1, ceil(t/u))``) from ``rng``
+    through :class:`BlockUniforms`, and pushes it back.  On return the
+    heap holds the post-chunk schedule and the RNG stream has advanced by
+    exactly one draw per event — bitwise identical to the scalar loop.
+
+    Returns ``(times, slots)``: the absolute event positions and the
+    instance ids, in pop order.  Pure timeline — no item data involved.
+    """
+    if not heap or heap[0][0] > end:
+        return [], []
+    times: list[int] = []
+    slots: list[int] = []
+    # Inlined BlockUniforms (same save / block-draw / rewind protocol):
+    # the draw is the per-event hot path, so the buffer is managed with
+    # local variables instead of method calls.
+    saved = None
+    buf: list[float] = []
+    pos = 0
+    taken = 0
+    block = max(1, int(expect))
+    pop, push = heapq.heappop, heapq.heappush
+    ceil = math.ceil
+    while heap and heap[0][0] <= end:
+        time, idx = pop(heap)
+        times.append(time)
+        slots.append(idx)
+        if pos >= len(buf):
+            if saved is None:
+                saved = rng.bit_generator.state
+            buf = rng.random(block).tolist()
+            pos = 0
+            block = min(block * 2, 1 << 16)
+        u = buf[pos]
+        pos += 1
+        taken += 1
+        if u <= 0.0:  # pragma: no cover - measure-zero guard
+            nxt = time + 1
+        else:
+            nxt = ceil(time / u)
+            if nxt <= time:
+                nxt = time + 1
+        push(heap, (nxt, idx))
+    if saved is not None and pos < len(buf):
+        # Rewind: leave the RNG exactly where `taken` scalar draws would.
+        rng.bit_generator.state = saved
+        rng.random(taken)
+    return times, slots
+
+
+class ChunkDigest:
+    """Exact whole-chunk occurrence counts, computed once and shared.
+
+    Two regimes, chosen like the pool flush's legacy rule:
+
+    * **dense** — non-negative items with a boundable range: one
+      ``np.bincount`` holds the exact count of every value;
+    * **sorted + Misra–Gries** — a sorted copy of the chunk answers any
+      ``count`` query in O(log n), and a Misra–Gries pass (capacity
+      ``heavy_capacity``) nominates candidates whose counts are then
+      exactified in one vectorized pass: by the MG guarantee every item
+      with ``f > n/(capacity+1)`` survives, so all heavy items are
+      answered from the O(1) ``heavy`` dict.
+
+    The digest is valid only for the exact array it was built from (or,
+    under a value partition, for any subchunk that owns all occurrences
+    of the queried item — the sharded engine's case).
+    """
+
+    __slots__ = ("size", "heavy", "_occ", "_top", "_sorted")
+
+    def __init__(self, items: np.ndarray, heavy_capacity: int = 64) -> None:
+        arr = np.asarray(items, dtype=np.int64)
+        self.size = int(arr.size)
+        self.heavy: dict[int, int] = {}
+        self._occ = None
+        self._top = -1
+        self._sorted = None
+        if self.size == 0:
+            return
+        top = int(arr.max())
+        if int(arr.min()) >= 0 and top < max(_DENSE_LIMIT_FLOOR, 4 * self.size):
+            self._occ = np.bincount(arr, minlength=top + 1)
+            self._top = top
+            return
+        svals = np.sort(arr, kind="stable")
+        self._sorted = svals
+        # Distinct values + exact counts fall out of the sorted copy.
+        cuts = np.flatnonzero(svals[1:] != svals[:-1])
+        bounds = np.concatenate(([0], cuts + 1, [self.size]))
+        uniq = svals[bounds[:-1]]
+        cnts = np.diff(bounds)
+        mg = MisraGries(heavy_capacity)
+        for item, count in zip(uniq.tolist(), cnts.tolist()):
+            mg.update(item, int(count))
+        # Exactify the survivors: MG estimates undercount, but every
+        # survivor's true count is one searchsorted range away.
+        for item in mg.items():
+            lo = int(np.searchsorted(svals, item, side="left"))
+            hi = int(np.searchsorted(svals, item, side="right"))
+            self.heavy[item] = hi - lo
+
+    @property
+    def dense(self) -> bool:
+        return self._occ is not None
+
+    def count(self, item: int) -> int:
+        """Exact occurrences of ``item`` in the digested chunk."""
+        occ = self._occ
+        if occ is not None:
+            return int(occ[item]) if 0 <= item <= self._top else 0
+        hit = self.heavy.get(item)
+        if hit is not None:
+            return hit
+        svals = self._sorted
+        if svals is None:
+            return 0
+        lo = int(np.searchsorted(svals, item, side="left"))
+        hi = int(np.searchsorted(svals, item, side="right"))
+        return hi - lo
+
+
+class PositionIndex:
+    """Candidate-limited position index over one engine batch.
+
+    The pool kernel only ever asks prefix-rank queries — "occurrences of
+    ``v`` at chunk positions ``< g``" — about *candidates*: items a pool
+    tracked when the batch began, plus items sitting at event positions.
+    Both sets are known before any data is applied (heap events are
+    data-independent, so the engine pre-simulates every shard's schedule
+    via ``plan_batch``), which is what makes one shared index per batch
+    possible at all.
+
+    Under a skewed stream the candidates cover most of the chunk (pools
+    track heavy items), so sorting *candidate occurrences* wholesale is
+    nearly as expensive as sorting the chunk.  The index therefore
+    splits candidates by batch mass (taken from the value histogram):
+
+    * **heavy** — the ≤255 candidates with the largest batch counts get
+      their position lists from a single one-pass ``uint8`` radix
+      argsort of the heavy-id array (sentinel 255 = everything else);
+      within a group positions ascend, so a rank query is one
+      ``searchsorted`` into that value's own slice;
+    * **light** — the remaining candidates live in the sentinel tail of
+      the same argsort (in position order).  A second, much smaller sort
+      of the tail's candidate hits builds encoded keys
+      ``cid · stride + position`` (``stride = size + 1``), and one
+      ``searchsorted`` answers all light queries per call.
+
+    Every sort is either one-pass radix over bytes or small, which is
+    the whole trick: the 16-bit whole-chunk radix argsort this replaces
+    costs ~3× the chunk's ingest budget by itself.
+
+    Built once per engine batch and shared by every shard.  Precondition
+    (the engine's gate): every chunk value in ``[0, 0xFFFF]`` and every
+    candidate non-negative, unique.  Queries for items outside
+    ``[0, 0xFFFF]`` return rank 0 (they cannot occur in a gated chunk);
+    queries for in-range non-candidates are a contract violation and
+    also return 0.
+    """
+
+    __slots__ = (
+        "size", "_occ", "_stride", "_hlut", "_horder", "_hstarts",
+        "_llut", "_lkey", "_lstarts",
+    )
+
+    #: Heavy ids fit uint8 with 255 reserved as the miss sentinel.
+    _HEAVY_CAP = 255
+
+    def __init__(
+        self,
+        base: np.ndarray,
+        candidates: np.ndarray,
+        occ: np.ndarray | None = None,
+    ) -> None:
+        self.size = int(base.size)
+        cand = np.asarray(candidates, dtype=np.int64)
+        self._stride = np.int64(self.size + 1)
+        if occ is None:
+            occ = (
+                np.bincount(base, minlength=1 << 16)
+                if self.size
+                else np.zeros(1 << 16, dtype=np.int64)
+            )
+        if occ.size < 1 << 16:
+            occ = np.pad(occ, (0, (1 << 16) - occ.size))
+        self._occ = occ
+        cap = self._HEAVY_CAP
+        if cand.size > cap:
+            sel = np.argpartition(occ[cand], cand.size - cap)[cand.size - cap:]
+            heavy = cand[sel]
+            light_mask = np.ones(cand.size, dtype=bool)
+            light_mask[sel] = False
+            light = cand[light_mask]
+        else:
+            heavy = cand
+            light = cand[:0]
+        nh = int(heavy.size)
+        hlut = np.full(1 << 16, cap, dtype=np.uint8)
+        hlut[heavy] = np.arange(nh, dtype=np.uint8)
+        self._hlut = hlut
+        hid = hlut[base]
+        horder = np.argsort(hid, kind="stable")
+        hstarts = np.zeros(nh + 2, dtype=np.int64)
+        np.cumsum(occ[heavy], out=hstarts[1:nh + 1])
+        hstarts[nh + 1] = self.size
+        self._horder = horder
+        self._hstarts = hstarts
+        llut = np.full(1 << 16, -1, dtype=np.int32)
+        self._llut = llut
+        nl = int(light.size)
+        if nl:
+            llut[light] = np.arange(nl, dtype=np.int32)
+            tail = horder[hstarts[nh]:]
+            li = llut[base[tail]]
+            lhit = np.flatnonzero(li >= 0)
+            lcid = li[lhit].astype(np.uint16)
+            lorder = np.argsort(lcid, kind="stable")
+            lkey = lcid[lorder].astype(np.int64)
+            lkey *= self._stride
+            lkey += tail[lhit][lorder]
+            lstarts = np.zeros(nl + 1, dtype=np.int64)
+            np.cumsum(np.bincount(lcid, minlength=nl), out=lstarts[1:])
+            self._lkey = lkey
+            self._lstarts = lstarts
+        else:
+            self._lkey = np.empty(0, dtype=np.int64)
+            self._lstarts = np.zeros(1, dtype=np.int64)
+
+    def rank_many(self, items, bounds) -> np.ndarray:
+        """Batched prefix ranks: entry ``j`` is the number of
+        occurrences of ``items[j]`` at chunk positions ``< bounds[j]``."""
+        it = np.asarray(items, dtype=np.int64)
+        bnd = np.asarray(bounds, dtype=np.int64)
+        out = np.zeros(it.size, dtype=np.int64)
+        valid = (it >= 0) & (it <= 0xFFFF)
+        safe = np.where(valid, it, 0)
+        hid = self._hlut[safe].astype(np.int64)
+        hq = np.flatnonzero(valid & (hid < self._HEAVY_CAP))
+        if hq.size:
+            # Group the heavy queries by value id: each distinct id is
+            # one searchsorted into its own position slice.
+            hs = self._hstarts
+            horder = self._horder
+            qh = hid[hq]
+            qord = np.argsort(qh.astype(np.uint8), kind="stable")
+            qh_s = qh[qord]
+            cuts = np.flatnonzero(
+                np.concatenate(([True], qh_s[1:] != qh_s[:-1]))
+            )
+            cuts = np.append(cuts, qh_s.size)
+            for a, b in zip(cuts[:-1].tolist(), cuts[1:].tolist()):
+                h = int(qh_s[a])
+                grp = horder[hs[h]:hs[h + 1]]
+                sel = hq[qord[a:b]]
+                out[sel] = grp.searchsorted(bnd[sel])
+        li = self._llut[safe].astype(np.int64)
+        lq = np.flatnonzero(valid & (li >= 0))
+        if lq.size:
+            q = li[lq] * self._stride
+            q += bnd[lq]
+            out[lq] = self._lkey.searchsorted(q) - self._lstarts[li[lq]]
+        return out
+
+    def totals(self, items) -> np.ndarray:
+        """Whole-batch occurrence counts (the histogram gather) — the
+        rank at the end of the batch, without touching the sorts."""
+        it = np.asarray(items, dtype=np.int64)
+        valid = (it >= 0) & (it <= 0xFFFF)
+        t = self._occ[np.where(valid, it, 0)]
+        return np.where(valid, t, 0)
+
+
+class ShardView:
+    """A shard's whole-batch slice of an engine chunk, by *position*
+    instead of by copy: the base chunk, the (ascending) positions this
+    shard owns, the shared :class:`PositionIndex` of the base, and the
+    shard's pre-simulated event schedule.
+
+    The ownership contract (what a value partition guarantees): *every*
+    occurrence in ``base`` of any item this shard tracks — or adopts
+    during the batch — sits at one of ``positions``.  That makes global
+    prefix ranks shard-locally meaningful (an owned item has no
+    occurrences outside the view, so its settled rank starts at 0 and
+    its flush total is the whole-batch count), and the pool kernel
+    consumes the view with O(events) work, never materializing the
+    subchunk.
+
+    ``events`` is the ``(times, slots)`` pair the engine obtained from
+    the pool's ``plan_batch`` (phase 1 hoisted so candidates were known
+    before the index was built); the kernel applies it instead of
+    re-simulating.
+    """
+
+    __slots__ = ("base", "positions", "index", "events")
+
+    def __init__(
+        self,
+        base: np.ndarray,
+        positions: np.ndarray,
+        index: PositionIndex,
+        events: tuple[list[int], list[int]] | None = None,
+    ) -> None:
+        self.base = base
+        self.positions = positions
+        self.index = index
+        self.events = events
+
+    @property
+    def size(self) -> int:
+        return int(self.positions.size)
+
+    def values(self) -> np.ndarray:
+        """Materialize the subchunk (the one gather the view otherwise
+        avoids) — for consumers that need the raw items, e.g. the
+        Misra–Gries normalizer pass."""
+        return self.base[self.positions]

@@ -38,7 +38,7 @@ class UniversePartitioner:
         Seeds the multiply–shift constant; ignored for ``"modulo"``.
     """
 
-    __slots__ = ("_shards", "_strategy", "_seed", "_multiplier")
+    __slots__ = ("_shards", "_strategy", "_seed", "_multiplier", "_vmap")
 
     def __init__(self, shards: int, strategy: str = "hash", seed: int = 0) -> None:
         if shards < 1:
@@ -51,6 +51,7 @@ class UniversePartitioner:
         rng = np.random.default_rng(seed)
         # Odd multiplier — multiply-shift needs it to be a bijection.
         self._multiplier = np.uint64(int(rng.integers(1 << 63, 1 << 64, dtype=np.uint64)) | 1)
+        self._vmap: np.ndarray | None = None
 
     @property
     def shards(self) -> int:
@@ -86,12 +87,88 @@ class UniversePartitioner:
             return np.zeros(arr.shape, dtype=np.int64)
         if self._strategy == "modulo":
             return arr % self._shards
-        mixed = arr.astype(np.uint64) * self._multiplier
-        return ((mixed >> np.uint64(32)).astype(np.int64)) % self._shards
+        return self._mix(arr).astype(np.int64)
+
+    def _mix(self, arr: np.ndarray) -> np.ndarray:
+        """Multiply–shift ids as ``uint64`` with in-place intermediates
+        (same values :meth:`assign` returns, minus the final cast)."""
+        mixed = arr.astype(np.uint64)
+        mixed *= self._multiplier
+        mixed >>= np.uint64(32)
+        k = self._shards
+        if k & (k - 1) == 0:
+            mixed &= np.uint64(k - 1)  # == % k for powers of two
+        else:
+            mixed %= np.uint64(k)
+        return mixed
+
+    def split_indices(self, items) -> tuple[np.ndarray | None, np.ndarray]:
+        """One-pass shard grouping: ``(order, bounds)`` such that
+        ``arr[order][bounds[k]:bounds[k+1]]`` is shard ``k``'s subchunk in
+        arrival order.
+
+        A single stable argsort of the shard ids (radix sort for ints)
+        replaces the K boolean-mask passes a per-shard selection would
+        take, so the cost no longer grows with the shard count; callers
+        with parallel arrays (e.g. timestamps) reuse the same ``order``
+        for each.  ``order`` is ``None`` for the identity grouping
+        (single shard).
+        """
+        arr = np.asarray(items, dtype=np.int64)
+        n = int(arr.size)
+        if self._shards == 1:
+            return None, np.array([0, n], dtype=np.int64)
+        ids = self._ids(arr)
+        # 8/16-bit keys take numpy's radix path (~5x the 64-bit merge sort).
+        order = np.argsort(ids, kind="stable")
+        counts = np.bincount(ids, minlength=self._shards)
+        bounds = np.zeros(self._shards + 1, dtype=np.int64)
+        np.cumsum(counts, out=bounds[1:])
+        return order, bounds
+
+    def _ids(self, arr: np.ndarray) -> np.ndarray:
+        """Shard ids in the narrowest dtype the shard count allows."""
+        if self._strategy == "modulo":
+            ids = arr % self._shards
+        else:
+            ids = self._mix(arr)
+        if self._shards <= 0xFF:
+            return ids.astype(np.uint8)
+        if self._shards <= 0xFFFF:
+            return ids.astype(np.uint16)
+        return ids.astype(np.int64)
+
+    def value_shards(self, universe: int) -> np.ndarray:
+        """The whole value → shard map for ``[0, universe)`` as one
+        narrow-dtype array (cached: the map is a pure function of the
+        partitioner).
+
+        For bounded universes a gather through this map replaces the
+        per-item hash mix, and a weighted ``bincount`` of it against a
+        value histogram yields per-shard subchunk lengths without
+        touching the items — the sharded engine's shared-index fast path
+        leans on both.
+        """
+        vmap = self._vmap
+        if vmap is None or vmap.size < universe:
+            vmap = self._ids(np.arange(universe, dtype=np.int64))
+            self._vmap = vmap
+        return vmap[:universe]
 
     def split(self, items) -> list[np.ndarray]:
         """Partition a chunk into per-shard subchunks, preserving the
         within-shard arrival order (the only order the samplers see)."""
         arr = np.asarray(items, dtype=np.int64)
-        ids = self.assign(arr)
-        return [arr[ids == k] for k in range(self._shards)]
+        if self._shards == 1:
+            return [arr]
+        if self._shards <= 16:
+            # At small K a selection pass per shard beats the argsort.
+            ids = self._ids(arr)
+            return [
+                arr[np.flatnonzero(ids == k)] for k in range(self._shards)
+            ]
+        order, bounds = self.split_indices(arr)
+        grouped = arr[order]
+        return [
+            grouped[bounds[k]:bounds[k + 1]] for k in range(self._shards)
+        ]

@@ -61,8 +61,14 @@ from typing import NamedTuple
 
 import numpy as np
 
+from repro.core.timeline import ChunkDigest, PositionIndex, ShardView
 from repro.core.types import SampleResult
-from repro.engine.batch import DEFAULT_CHUNK_SIZE, ingest
+from repro.engine.batch import (
+    DEFAULT_CHUNK_SIZE,
+    ingest,
+    supports_digest,
+    supports_index,
+)
 from repro.engine.partition import UniversePartitioner
 from repro.engine.registry import build_sampler, kind_spec
 from repro.engine.state import merged
@@ -244,6 +250,17 @@ class ShardedSamplerEngine:
             "repro_engine_compaction_reclaimed_bytes_total",
             CATALOG_HELP["repro_engine_compaction_reclaimed_bytes_total"],
         )
+        # Ingest-kernel counters are incremented inside SamplerPool (the
+        # pools built above already bound them via use_registry); register
+        # here too so non-pool kinds still expose the catalog entries.
+        registry.counter(
+            "repro_ingest_heap_events_total",
+            CATALOG_HELP["repro_ingest_heap_events_total"],
+        )
+        registry.counter(
+            "repro_ingest_settle_scans_total",
+            CATALOG_HELP["repro_ingest_settle_scans_total"],
+        )
 
     @property
     def metrics(self):
@@ -307,6 +324,7 @@ class ShardedSamplerEngine:
         items,
         chunk_size: int = DEFAULT_CHUNK_SIZE,
         timestamps=None,
+        shared_index: bool = True,
     ) -> int:
         """Split a batch by shard and feed each sampler its subchunk;
         returns the number of items ingested.
@@ -315,19 +333,104 @@ class ShardedSamplerEngine:
         array) to feed time-windowed sampler kinds — each shard receives
         its items *with* their arrival times, so every shard's window
         boundaries line up on the shared wall clock.
+
+        ``shared_index=False`` disables the shared-index two-phase fast
+        path and takes the materialized-subchunk reference route instead.
+        Both paths are bitwise identical by contract; the flag exists so
+        parity tests and bench preflights can pin the comparison.
         """
         if timestamps is None:
             timestamps = getattr(items, "timestamps", None)
         if timestamps is None:
+            arr = np.asarray(items, dtype=np.int64)
+            k = len(self._samplers)
             total = 0
             bumps = 0
-            for shard, subchunk in enumerate(self._partitioner.split(items)):
-                if subchunk.size:
-                    total += ingest(
-                        self._samplers[shard], subchunk, chunk_size=chunk_size
-                    )
-                    self._epochs[shard] += 1
-                    bumps += 1
+            # Shared-index two-phase path (pool-backed shards, 16-bit
+            # values): heap events are data-independent, so every
+            # shard's schedule is pre-simulated (``plan_batch``) before
+            # any data is applied.  Tracked items plus event items are
+            # then *all* the items any kernel will ever ask a rank query
+            # about, so one candidate-limited PositionIndex over the
+            # whole batch — sorting only candidate occurrences, not the
+            # universe — serves every shard's settles and flushes, and
+            # shards ingest position views with no subchunk ever
+            # materialized.
+            use_index = shared_index and bool(arr.size) and k > 1 and supports_index(
+                self._samplers[0]
+            )
+            if use_index:
+                use_index = int(arr.min()) >= 0 and int(arr.max()) <= 0xFFFF
+            if use_index:
+                # Slim split: the value → shard map answers everything
+                # the per-item hash mix would — shard ids come from one
+                # narrow gather, subchunk lengths from a weighted
+                # bincount of the map against the batch histogram — and
+                # one one-pass uint8 radix argsort groups positions by
+                # shard in arrival order.
+                occ = np.bincount(arr, minlength=1 << 16)
+                vmap = self._partitioner.value_shards(1 << 16)
+                ids = vmap[arr]
+                order = np.argsort(ids, kind="stable")
+                lengths = np.bincount(
+                    vmap, weights=occ, minlength=k
+                ).astype(np.int64)
+                bounds = np.zeros(k + 1, dtype=np.int64)
+                np.cumsum(lengths, out=bounds[1:])
+                plans: list[tuple[list[int], list[int]] | None] = []
+                cand_parts: list[np.ndarray] = []
+                for shard in range(k):
+                    lo, hi = int(bounds[shard]), int(bounds[shard + 1])
+                    if hi <= lo:
+                        plans.append(None)
+                        continue
+                    sampler = self._samplers[shard]
+                    tracked = sampler.tracked_values()
+                    if tracked.size:
+                        cand_parts.append(
+                            tracked[(tracked >= 0) & (tracked <= 0xFFFF)]
+                        )
+                    t0 = sampler.position
+                    plan = sampler.plan_batch(hi - lo)
+                    plans.append(plan)
+                    if plan[0]:
+                        offs = np.asarray(plan[0], dtype=np.int64)
+                        offs -= t0 + 1  # shard-local offsets of the events
+                        cand_parts.append(arr[order[lo + offs]])
+                cand = (
+                    np.unique(np.concatenate(cand_parts))
+                    if cand_parts
+                    else np.empty(0, dtype=np.int64)
+                )
+                index = PositionIndex(arr, cand, occ=occ)
+                for shard in range(k):
+                    lo, hi = int(bounds[shard]), int(bounds[shard + 1])
+                    if hi > lo:
+                        view = ShardView(
+                            arr, order[lo:hi], index, events=plans[shard]
+                        )
+                        total += ingest(
+                            self._samplers[shard], view, chunk_size=chunk_size
+                        )
+                        self._epochs[shard] += 1
+                        bumps += 1
+            else:
+                # Fallback: materialized subchunks, with one whole-batch
+                # digest shared across shards (the value partition routes
+                # all of an item's occurrences to one shard, so an item's
+                # whole-batch count *is* its subchunk count).
+                digest = None
+                if arr.size and k > 1 and supports_digest(self._samplers[0]):
+                    digest = ChunkDigest(arr)
+                subchunks = self._partitioner.split(arr)
+                for shard, subchunk in enumerate(subchunks):
+                    if subchunk.size:
+                        total += ingest(
+                            self._samplers[shard], subchunk,
+                            chunk_size=chunk_size, digest=digest,
+                        )
+                        self._epochs[shard] += 1
+                        bumps += 1
             if bumps:
                 self._m_epoch["ingest"].add(bumps)
             self._after_ingest(total)
@@ -337,17 +440,22 @@ class ShardedSamplerEngine:
         ts = np.asarray(timestamps, dtype=np.float64)
         if arr.ndim != 1 or ts.shape != arr.shape:
             raise ValueError("items and timestamps must be matching 1-d arrays")
-        assignment = self._partitioner.assign(arr)
+        # One stable argsort groups items and timestamps alike — K
+        # boolean-mask passes collapse to a single gather.
+        order, bounds = self._partitioner.split_indices(arr)
+        if order is not None:
+            arr = arr[order]
+            ts = ts[order]
         total = 0
         bumps = 0
         for shard in range(len(self._samplers)):
-            mask = assignment == shard
-            if mask.any():
+            lo, hi = int(bounds[shard]), int(bounds[shard + 1])
+            if hi > lo:
                 total += ingest(
                     self._samplers[shard],
-                    arr[mask],
+                    arr[lo:hi],
                     chunk_size=chunk_size,
-                    timestamps=ts[mask],
+                    timestamps=ts[lo:hi],
                 )
                 self._epochs[shard] += 1
                 bumps += 1

@@ -7,9 +7,10 @@ carries every entry, and the CI serving-smoke job checks the same
 through ``repro-serve stats --format prom``.
 
 Keep this in sync with the instrumentation sites:
-:mod:`repro.engine.shard`, :mod:`repro.serving.service`,
-:mod:`repro.serving.workers`, :mod:`repro.serving.router`,
-:mod:`repro.serving.executor`, :mod:`repro.windows.bank`.
+:mod:`repro.core.g_sampler`, :mod:`repro.engine.shard`,
+:mod:`repro.serving.service`, :mod:`repro.serving.workers`,
+:mod:`repro.serving.router`, :mod:`repro.serving.executor`,
+:mod:`repro.windows.bank`.
 """
 
 from __future__ import annotations
@@ -27,6 +28,15 @@ class CatalogEntry(NamedTuple):
 
 
 METRIC_CATALOG: tuple[CatalogEntry, ...] = (
+    # -- ingest kernel (timeline-precomputed pool batch path) ----------------
+    CatalogEntry(
+        "repro_ingest_heap_events_total", "counter", (),
+        "Heap replacement events replayed by the batched pool ingest kernel",
+    ),
+    CatalogEntry(
+        "repro_ingest_settle_scans_total", "counter", (),
+        "Full-chunk position-index scans taken by the batched pool ingest kernel",
+    ),
     # -- engine (merged-view cache + lifecycle) ------------------------------
     CatalogEntry(
         "repro_engine_fold_total", "counter", ("regime",),

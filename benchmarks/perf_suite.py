@@ -38,6 +38,13 @@ Measures, on one process with fixed seeds:
   reference path (``shared_index=False``), and item-at-a-time chunking
   must all land the identical engine snapshot and answer the identical
   sample.
+* **telemetry overhead (PR 10)** — the identical process-mode ingest
+  workload with the cross-process worker telemetry plane on
+  (``worker_telemetry=True``: worker-side registries, span shipping,
+  snapshot merging) vs. off, metrics enabled in both: telemetry-on
+  ingest must stay ≥0.95x the telemetry-off rate.  The process-mode
+  bitwise preflight above already runs with telemetry default-on, so
+  the determinism contract and the overhead gate cover the same plane.
 
 Results land in machine-readable JSON (default: ``BENCH_E23.json`` at
 the repo root) so the bench trajectory is tracked from PR 4 forward.
@@ -64,6 +71,9 @@ The suite *gates* itself (exit code 1 on failure):
   ≤1.10x the metrics-disabled run (instrumentation must stay cheap);
 * audit-enabled served ingest throughput must be ≥0.9x and query p50
   ≤1.10x the audit-off run (self-verification must stay cheap);
+* telemetry-enabled process-mode ingest throughput must be ≥0.95x the
+  telemetry-off run (worker metric/span shipping piggybacks on the
+  pull cadence — it must not tax the ingest path);
 * ingest-kernel K=8 throughput must be ≥0.5x the K=1 rate on the same
   stream and chunk size (sharding must not collapse single-core ingest
   — the shared index is built once per batch, not per shard), and the
@@ -118,6 +128,10 @@ MIN_OBS_THROUGHPUT_RATIO = 0.9
 MAX_OBS_P50_RATIO = 1.10
 MIN_AUDIT_THROUGHPUT_RATIO = 0.9
 MAX_AUDIT_P50_RATIO = 1.10
+#: Cross-process telemetry (PR 10): process-mode ingest with the worker
+#: telemetry plane on must hold >= this fraction of the telemetry-off
+#: rate — shipping snapshots on pull replies is piggyback, not a tax.
+MIN_TELEMETRY_THROUGHPUT_RATIO = 0.95
 SERVED_WORKERS = 4
 SERVED_CLIENTS = 8
 SERVED_SHARDS = 8
@@ -751,6 +765,56 @@ def bench_audit_overhead(
     }
 
 
+def _telemetry_run(
+    preload: np.ndarray, work: np.ndarray, write_batch: int, telemetry: bool
+) -> float:
+    """One rep of the process-mode served ingest with the worker
+    telemetry plane on/off (metrics enabled in both — the telemetry
+    cost is measured on top of the parent-side instrumentation);
+    returns ingest items/sec."""
+    batches = work.size // write_batch
+    with SamplerService(
+        CONFIG,
+        shards=SERVED_SHARDS,
+        seed=7,
+        ingest_workers=SERVED_WORKERS,
+        workers_mode="process",
+        metrics=True,
+        worker_telemetry=telemetry,
+    ) as svc:
+        svc.submit(preload)
+        svc.flush()
+        svc.refresh()
+        t0 = time.perf_counter()
+        for w in range(batches):
+            svc.submit(work[w * write_batch:(w + 1) * write_batch])
+        svc.flush()
+        wall = time.perf_counter() - t0
+        svc.refresh()
+    return work.size / wall
+
+
+def bench_telemetry_overhead(
+    preload: np.ndarray, work: np.ndarray, write_batch: int
+) -> dict:
+    """Telemetry-on vs. telemetry-off process-mode ingest, best of
+    OBS_REPS reps per mode, modes alternating within each rep — the
+    same noise discipline as :func:`bench_obs_overhead`."""
+    best = {True: 0.0, False: 0.0}
+    for __ in range(OBS_REPS):
+        for telemetry in (False, True):
+            tput = _telemetry_run(preload, work, write_batch, telemetry)
+            best[telemetry] = max(best[telemetry], tput)
+    return {
+        "reps": OBS_REPS,
+        "items": int(work.size),
+        "workers": SERVED_WORKERS,
+        "enabled": {"items_per_sec": best[True]},
+        "disabled": {"items_per_sec": best[False]},
+        "throughput_ratio": best[True] / best[False],
+    }
+
+
 def evaluate_gates(report: dict) -> list[str]:
     failures = []
     for row in report["query_latency"]:
@@ -847,6 +911,13 @@ def evaluate_gates(report: dict) -> list[str]:
             f"{audit['p50_ratio']:.3f}x the audit-off "
             f"{audit['disabled']['p50_us']:.1f}us (> {MAX_AUDIT_P50_RATIO}x)"
         )
+    telemetry = report["telemetry_overhead"]
+    if telemetry["throughput_ratio"] < MIN_TELEMETRY_THROUGHPUT_RATIO:
+        failures.append(
+            f"telemetry-enabled process-mode ingest throughput is only "
+            f"{telemetry['throughput_ratio']:.3f}x the telemetry-off run "
+            f"(< {MIN_TELEMETRY_THROUGHPUT_RATIO}x)"
+        )
     return failures
 
 
@@ -913,6 +984,9 @@ def main(argv: list[str] | None = None) -> int:
         "audit_overhead": bench_audit_overhead(
             items, served_work, served_batch, queries
         ),
+        "telemetry_overhead": bench_telemetry_overhead(
+            items, served_work, served_batch
+        ),
     }
     failures = evaluate_gates(report)
     report["gates"] = {
@@ -931,6 +1005,7 @@ def main(argv: list[str] | None = None) -> int:
         "max_obs_p50_ratio": MAX_OBS_P50_RATIO,
         "min_audit_throughput_ratio": MIN_AUDIT_THROUGHPUT_RATIO,
         "max_audit_p50_ratio": MAX_AUDIT_P50_RATIO,
+        "min_telemetry_throughput_ratio": MIN_TELEMETRY_THROUGHPUT_RATIO,
         "failures": failures,
         "passed": not failures,
     }
@@ -1006,6 +1081,14 @@ def main(argv: list[str] | None = None) -> int:
         f"{au['enabled']['p50_us']:.1f} / {au['disabled']['p50_us']:.1f}us "
         f"({au['p50_ratio']:.3f}x, {au['audit_ticks']} ticks, "
         f"best of {au['reps']})"
+    )
+    tl = report["telemetry_overhead"]
+    print(
+        f"  telem   on/off: process ingest "
+        f"{tl['enabled']['items_per_sec'] / 1e3:6.0f}k / "
+        f"{tl['disabled']['items_per_sec'] / 1e3:6.0f}k items/s "
+        f"({tl['throughput_ratio']:.3f}x, {tl['workers']}w, "
+        f"best of {tl['reps']})"
     )
     if failures:
         print("GATE FAILURES:")

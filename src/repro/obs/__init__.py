@@ -14,6 +14,11 @@ The observability substrate every serving-path layer reports into:
   a ring buffer of structured events, a JSON-lines exporter for offline
   analysis, and a :class:`TraceRecorder` test harness.  The ambient
   tracer is disabled by default; spans then cost one flag check.
+* :mod:`repro.obs.telemetry` — serializable registry snapshots/deltas
+  and the per-worker merge state (:class:`WorkerTelemetry`) behind the
+  cross-process telemetry plane: worker processes ship their registries
+  over the frame transport and the parent folds them into one unified,
+  ``worker``-labeled exposition with restart-proof base accounting.
 * :mod:`repro.obs.catalog` — the canonical metric-name catalog (the
   README "Observability" table is generated from it, and the test suite
   asserts a served workload's exposition carries every entry).
@@ -47,6 +52,7 @@ from repro.obs.health import (
     HealthChecker,
     HealthReport,
     ProbeResult,
+    freshness_status,
 )
 from repro.obs.metrics import (
     NOOP,
@@ -60,11 +66,19 @@ from repro.obs.metrics import (
     set_default_registry,
     use_registry,
 )
+from repro.obs.telemetry import (
+    WorkerTelemetry,
+    apply_delta,
+    render_snapshot_prometheus,
+    snapshot_delta,
+    snapshot_registry,
+)
 from repro.obs.trace import (
     SpanEvent,
     TraceRecorder,
     Tracer,
     current_tracer,
+    export_chrome_merged,
     set_default_tracer,
     span,
 )
@@ -88,14 +102,21 @@ __all__ = [
     "SpanEvent",
     "TraceRecorder",
     "Tracer",
+    "WorkerTelemetry",
+    "apply_delta",
     "audit_profile",
     "current_registry",
     "current_tracer",
+    "export_chrome_merged",
+    "freshness_status",
     "log_buckets",
     "quantile_from_counts",
     "register_audit_profile",
+    "render_snapshot_prometheus",
     "set_default_registry",
     "set_default_tracer",
+    "snapshot_delta",
+    "snapshot_registry",
     "span",
     "use_registry",
     "write_bundle",

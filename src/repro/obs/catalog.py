@@ -184,6 +184,27 @@ METRIC_CATALOG: tuple[CatalogEntry, ...] = (
         "repro_audit_ticks_total", "counter", ("result",),
         "Audit ticks by outcome (evaluated/skipped_*/discarded_race/unsupported)",
     ),
+    # -- cross-process telemetry plane ----------------------------------------
+    CatalogEntry(
+        "repro_worker_telemetry_ships_total", "counter", ("worker",),
+        "Telemetry payloads (metric snapshot + span batch) merged from a shard worker",
+    ),
+    CatalogEntry(
+        "repro_worker_telemetry_spans_total", "counter", ("worker",),
+        "Worker-side span events shipped to the parent inside telemetry payloads",
+    ),
+    CatalogEntry(
+        "repro_worker_telemetry_merge_errors_total", "counter", ("worker",),
+        "Telemetry payloads whose metric snapshot failed to merge (type/ladder conflict)",
+    ),
+    CatalogEntry(
+        "repro_worker_telemetry_age_seconds", "gauge", ("worker",),
+        "Seconds since a worker's telemetry was last merged (live callback; -1 before the first)",
+    ),
+    CatalogEntry(
+        "repro_worker_telemetry_clock_offset_seconds", "gauge", ("worker",),
+        "Estimated worker-minus-parent perf-counter clock offset (min-RTT ping midpoint)",
+    ),
     # -- health / trace -------------------------------------------------------
     CatalogEntry(
         "repro_health_status", "gauge", ("probe",),

@@ -12,6 +12,11 @@ artifact:
 * ``health.json`` — the probe report at dump time
 * ``audit.json`` — audit status + recent verdict history
 * ``trace.jsonl`` — the ambient trace ring (empty when tracing is off)
+* ``trace_chrome.json`` — merged parent+worker Chrome trace (distinct
+  pids, clock-aligned; parent-only in thread mode)
+* ``workers/worker-NN-metrics.json`` / ``-trace.jsonl`` — per-worker
+  telemetry: shipping/clock status with the raw unmerged metric
+  snapshot, and the shipped span records (process mode only)
 * ``environment.json`` — python/numpy/platform/pid/time
 * ``shards/shard-NNN.rprs`` — per-shard snapshot envelopes
   (:func:`repro.engine.state.save_state` bytes, restorable with
@@ -111,6 +116,43 @@ def write_bundle(service, path) -> dict:
             return buf.getvalue()
 
         _add(zf, "trace.jsonl", _trace)
+        # Merged parent+worker Chrome trace (distinct pids, clock-aligned)
+        # when the service exports one; the per-worker sections below hold
+        # each worker's raw telemetry (unmerged metric snapshot + spans).
+        export_chrome = getattr(service, "export_chrome", None)
+        if callable(export_chrome):
+
+            def _chrome() -> str:
+                import io
+
+                buf = io.StringIO()
+                export_chrome(buf)
+                return buf.getvalue()
+
+            _add(zf, "trace_chrome.json", _chrome)
+        info_fn = getattr(service, "worker_telemetry_info", None)
+        if callable(info_fn):
+            try:
+                worker_info = info_fn() or []
+            except Exception as exc:
+                errors["workers/"] = f"{type(exc).__name__}: {exc}"
+                worker_info = []
+            for entry in worker_info:
+                idx = int(entry.get("worker", 0))
+                meta = {k: v for k, v in entry.items() if k != "trace"}
+                _add(
+                    zf,
+                    f"workers/worker-{idx:02d}-metrics.json",
+                    lambda meta=meta: _dumps(meta),
+                )
+                _add(
+                    zf,
+                    f"workers/worker-{idx:02d}-trace.jsonl",
+                    lambda entry=entry: "".join(
+                        json.dumps(rec, sort_keys=True, default=_jsonable) + "\n"
+                        for rec in entry.get("trace") or []
+                    ),
+                )
         _add(zf, "environment.json", lambda: _dumps(_environment()))
         try:
             blobs = service.snapshot_shards_bytes()

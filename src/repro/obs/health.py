@@ -44,6 +44,7 @@ __all__ = [
     "HealthReport",
     "ProbeResult",
     "STATUS_VALUES",
+    "freshness_status",
 ]
 
 #: Probe status → gauge value.
@@ -97,6 +98,23 @@ class HealthReport:
             "ready": self.ready,
             "probes": [p.to_dict() for p in self.probes],
         }
+
+
+def freshness_status(
+    age_seconds: float | None, warn_after: float, fail_after: float | None = None
+) -> str:
+    """Map a signal's age to a probe status: ``None`` (never seen) or an
+    age past ``fail_after`` fails, past ``warn_after`` warns, else
+    passes.  With ``fail_after=None`` staleness never escalates past
+    warn — the shape the workers probe wants for telemetry freshness,
+    where a slow shipper should drain-warn, not restart."""
+    if age_seconds is None:
+        return "fail" if fail_after is not None else "warn"
+    if fail_after is not None and age_seconds >= fail_after:
+        return "fail"
+    if age_seconds >= warn_after:
+        return "warn"
+    return "pass"
 
 
 class _Cut:

@@ -139,6 +139,15 @@ class Counter(_SharedIdentity):
         with self._lock:
             self._value += n
 
+    def _merge_to(self, value: float) -> None:
+        """Telemetry-merge setter: adopt a remotely-computed cumulative
+        total, clamped monotone (the merger's generation base accounting
+        should already guarantee it never goes down; the clamp makes a
+        reordered ship harmless instead of a regression)."""
+        with self._lock:
+            if value > self._value:
+                self._value = float(value)
+
     @property
     def value(self) -> float:
         return self._value
@@ -247,6 +256,22 @@ class Histogram(_SharedIdentity):
         """A consistent (bucket counts, sum, count) cut."""
         with self._lock:
             return list(self._counts), self._sum, self._count
+
+    def _merge_to(self, counts, sum_, count) -> None:
+        """Telemetry-merge setter: adopt a remotely-computed cumulative
+        (bucket counts, sum, count) cut.  Rejects ladder-length
+        mismatches loudly and, like :meth:`Counter._merge_to`, never
+        steps the observation count backwards."""
+        if len(counts) != len(self._counts):
+            raise ValueError(
+                f"histogram merge ladder mismatch: {len(counts)} cells "
+                f"vs {len(self._counts)}"
+            )
+        with self._lock:
+            if count >= self._count:
+                self._counts = [int(c) for c in counts]
+                self._sum = float(sum_)
+                self._count = int(count)
 
     def quantile(self, q: float) -> float:
         """Estimate the q-quantile (``0 < q ≤ 1``) from the bucket
@@ -419,24 +444,40 @@ class Family(_SharedIdentity):
     def percentiles(self) -> dict:
         return self._solo.percentiles()
 
-    def merged_percentiles(self) -> dict:
+    def merged_percentiles(self, *others) -> dict:
         """Aggregate p50/p90/p99 across every child of a histogram
         family (all children share the family's bucket ladder, so their
-        counts sum cell-wise).  Bucket-resolution approximations — see
-        :func:`quantile_from_counts`."""
-        if self.type != "histogram":
-            raise ValueError(f"{self.name} is a {self.type}, not a histogram")
+        counts sum cell-wise).  Extra same-name families from *other*
+        registries may be passed (``None`` entries are skipped) — how
+        the serving layer folds the worker-shipped apply-latency
+        histograms into one estimate — provided every child shares an
+        identical bucket ladder; a mismatched ladder raises rather than
+        silently blending incomparable cells.  Bucket-resolution
+        approximations — see :func:`quantile_from_counts`."""
         merged: list[int] | None = None
         bounds: tuple[float, ...] = ()
         total = 0
-        for child in self.children().values():
-            counts, __, count = child.snapshot()
-            total += count
-            bounds = child.bounds
-            if merged is None:
-                merged = counts
-            else:
-                merged = [a + b for a, b in zip(merged, counts)]
+        for family in (self, *others):
+            if family is None:
+                continue
+            if family.type != "histogram":
+                raise ValueError(
+                    f"{family.name} is a {family.type}, not a histogram"
+                )
+            for child in family.children().values():
+                counts, __, count = child.snapshot()
+                if merged is not None and child.bounds != bounds:
+                    raise ValueError(
+                        f"cannot merge {family.name}: bucket ladder "
+                        f"{child.bounds[:3]}…×{len(child.bounds)} differs from "
+                        f"{bounds[:3]}…×{len(bounds)}"
+                    )
+                total += count
+                bounds = child.bounds
+                if merged is None:
+                    merged = counts
+                else:
+                    merged = [a + b for a, b in zip(merged, counts)]
         if merged is None or total == 0:
             nan = math.nan
             return {"count": total, "p50": nan, "p90": nan, "p99": nan}
@@ -457,6 +498,44 @@ class MetricsRegistry(_SharedIdentity):
         self.enabled = bool(enabled)
         self._lock = threading.Lock()
         self._families: dict[str, Family] = {}
+        self._aux: list[MetricsRegistry] = []
+        self._render_hook = None
+        self._hook_running = False
+
+    # -- auxiliary registries ------------------------------------------------
+    def attach_auxiliary(self, registry: "MetricsRegistry") -> None:
+        """Attach another registry whose families render *inside* this
+        registry's exposition.  Same-name families across the primary
+        and auxiliaries share one ``# HELP`` / ``# TYPE`` header (the
+        Prometheus text format forbids duplicates) with their sample
+        lines concatenated — how the serving layer folds the
+        worker-telemetry mirror (same family names, extra ``worker``
+        label) into one unified exposition."""
+        if registry is self:
+            raise ValueError("a registry cannot be its own auxiliary")
+        with self._lock:
+            if registry not in self._aux:
+                self._aux.append(registry)
+
+    def set_render_hook(self, hook) -> None:
+        """Install a callback fired (best-effort, exceptions swallowed,
+        non-reentrant) at the top of every exposition render — how the
+        serving layer pulls fresh worker telemetry right before the
+        registry is read, so ``repro-serve stats`` never shows a stale
+        worker view.  Pass ``None`` to clear."""
+        self._render_hook = hook
+
+    def _run_render_hook(self) -> None:
+        hook = self._render_hook
+        if hook is None or self._hook_running:
+            return
+        self._hook_running = True
+        try:
+            hook()
+        except Exception:
+            pass
+        finally:
+            self._hook_running = False
 
     def _instrument(self, name, type_, help_, labels, buckets=None):
         if not self.enabled:
@@ -497,6 +576,19 @@ class MetricsRegistry(_SharedIdentity):
         with self._lock:
             return [self._families[n] for n in sorted(self._families)]
 
+    def _family_groups(self) -> list[tuple[str, list[Family]]]:
+        """Exposition order: sorted family names across the primary and
+        every auxiliary registry, each name paired with its families
+        (primary first).  With no auxiliaries this is exactly the
+        pre-auxiliary single-registry order."""
+        with self._lock:
+            regs = [self, *self._aux]
+        names = sorted({name for reg in regs for name in reg.names()})
+        return [
+            (name, [f for f in (reg.get(name) for reg in regs) if f is not None])
+            for name in names
+        ]
+
     @staticmethod
     def _labels_str(label_names, key, extra="") -> str:
         parts = [
@@ -506,68 +598,93 @@ class MetricsRegistry(_SharedIdentity):
             parts.append(extra)
         return "{" + ",".join(parts) + "}" if parts else ""
 
-    def render_prometheus(self) -> str:
-        """The whole registry in Prometheus text format 0.0.4.  Families
-        with no children yet still render their ``# HELP`` / ``# TYPE``
-        header, so an exposition check can assert every catalogued
-        instrument is present before traffic has exercised it."""
+    @classmethod
+    def _family_prom_lines(cls, family: Family) -> list[str]:
+        """One family's sample lines (no HELP/TYPE header — the caller
+        owns headers so same-name families across registries share
+        exactly one)."""
         lines: list[str] = []
-        for family in self._families_sorted():
-            lines.append(f"# HELP {family.name} {_escape_help(family.help)}")
-            lines.append(f"# TYPE {family.name} {family.type}")
-            for key, child in sorted(family.children().items()):
-                labels = self._labels_str(family.label_names, key)
-                if family.type in ("counter", "gauge"):
-                    lines.append(f"{family.name}{labels} {_fmt_value(child.value)}")
-                    continue
-                counts, total_sum, count = child.snapshot()
-                cum = 0
-                for bound, c in zip(child.bounds, counts):
-                    cum += c
-                    le = self._labels_str(
-                        family.label_names, key, f'le="{_fmt_value(bound)}"'
-                    )
-                    lines.append(f"{family.name}_bucket{le} {cum}")
-                le = self._labels_str(family.label_names, key, 'le="+Inf"')
-                lines.append(f"{family.name}_bucket{le} {count}")
-                lines.append(f"{family.name}_sum{labels} {_fmt_value(total_sum)}")
-                lines.append(f"{family.name}_count{labels} {count}")
+        for key, child in sorted(family.children().items()):
+            labels = cls._labels_str(family.label_names, key)
+            if family.type in ("counter", "gauge"):
+                lines.append(f"{family.name}{labels} {_fmt_value(child.value)}")
+                continue
+            counts, total_sum, count = child.snapshot()
+            cum = 0
+            for bound, c in zip(child.bounds, counts):
+                cum += c
+                le = cls._labels_str(
+                    family.label_names, key, f'le="{_fmt_value(bound)}"'
+                )
+                lines.append(f"{family.name}_bucket{le} {cum}")
+            le = cls._labels_str(family.label_names, key, 'le="+Inf"')
+            lines.append(f"{family.name}_bucket{le} {count}")
+            lines.append(f"{family.name}_sum{labels} {_fmt_value(total_sum)}")
+            lines.append(f"{family.name}_count{labels} {count}")
+        return lines
+
+    def render_prometheus(self) -> str:
+        """The whole registry — plus any attached auxiliaries — in
+        Prometheus text format 0.0.4.  Families with no children yet
+        still render their ``# HELP`` / ``# TYPE`` header, so an
+        exposition check can assert every catalogued instrument is
+        present before traffic has exercised it; same-name families
+        across registries render one header with all their samples."""
+        self._run_render_hook()
+        lines: list[str] = []
+        for __, families in self._family_groups():
+            head = families[0]
+            lines.append(f"# HELP {head.name} {_escape_help(head.help)}")
+            lines.append(f"# TYPE {head.name} {head.type}")
+            for family in families:
+                lines.extend(self._family_prom_lines(family))
         return "\n".join(lines) + ("\n" if lines else "")
 
+    @staticmethod
+    def _family_json_samples(family: Family) -> list[dict]:
+        samples = []
+        for key, child in sorted(family.children().items()):
+            labels = dict(zip(family.label_names, key))
+            if family.type in ("counter", "gauge"):
+                value = child.value
+                samples.append({"labels": labels, "value": value})
+            else:
+                counts, total_sum, count = child.snapshot()
+                pct = child.percentiles()
+                samples.append(
+                    {
+                        "labels": labels,
+                        "count": count,
+                        "sum": total_sum,
+                        "buckets": {
+                            _fmt_value(b): c
+                            for b, c in zip(child.bounds, counts)
+                        },
+                        "overflow": counts[-1],
+                        **{
+                            k: (None if math.isnan(v) else v)
+                            for k, v in pct.items()
+                        },
+                    }
+                )
+        return samples
+
     def render_json(self) -> dict:
-        """The whole registry as one JSON-serializable dict (histograms
-        carry bucket counts plus estimated p50/p90/p99)."""
+        """The whole registry — plus attached auxiliaries — as one
+        JSON-serializable dict (histograms carry bucket counts plus
+        estimated p50/p90/p99); same-name families across registries
+        pool their samples under one entry."""
+        self._run_render_hook()
         out: dict = {}
-        for family in self._families_sorted():
-            samples = []
-            for key, child in sorted(family.children().items()):
-                labels = dict(zip(family.label_names, key))
-                if family.type in ("counter", "gauge"):
-                    value = child.value
-                    samples.append({"labels": labels, "value": value})
-                else:
-                    counts, total_sum, count = child.snapshot()
-                    pct = child.percentiles()
-                    samples.append(
-                        {
-                            "labels": labels,
-                            "count": count,
-                            "sum": total_sum,
-                            "buckets": {
-                                _fmt_value(b): c
-                                for b, c in zip(child.bounds, counts)
-                            },
-                            "overflow": counts[-1],
-                            **{
-                                k: (None if math.isnan(v) else v)
-                                for k, v in pct.items()
-                            },
-                        }
-                    )
-            out[family.name] = {
-                "type": family.type,
-                "help": family.help,
-                "labels": list(family.label_names),
+        for name, families in self._family_groups():
+            head = families[0]
+            samples: list[dict] = []
+            for family in families:
+                samples.extend(self._family_json_samples(family))
+            out[name] = {
+                "type": head.type,
+                "help": head.help,
+                "labels": list(head.label_names),
                 "samples": samples,
             }
         return out

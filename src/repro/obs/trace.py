@@ -45,6 +45,7 @@ __all__ = [
     "TraceRecorder",
     "Tracer",
     "current_tracer",
+    "export_chrome_merged",
     "set_default_tracer",
     "span",
 ]
@@ -269,43 +270,96 @@ class TraceRecorder(Tracer):
 # -- Chrome trace-event conversion + CLI -------------------------------------
 
 
-def _chrome_payload(records: list[dict]) -> dict:
+def _chrome_events(records, *, pid=0, offset_ns=0, tid_base=0):
+    """JSONL-export records → (span events, thread-metadata events) for
+    one process track.  ``offset_ns`` is subtracted from every
+    ``start_ns`` — the worker-minus-parent clock offset — so spans from
+    different perf-counter origins land on one timeline."""
+    tids: dict[str, int] = {}
+    span_events = []
+    for rec in records:
+        thread = rec.get("thread") or "main"
+        tid = tids.setdefault(thread, tid_base + len(tids))
+        args = dict(rec.get("attrs") or {})
+        args["outcome"] = rec.get("outcome", "ok")
+        span_events.append(
+            {
+                "name": rec["name"],
+                "ph": "X",
+                "ts": (rec["start_ns"] - offset_ns) / 1e3,
+                "dur": rec.get("duration_us", 0.0),
+                "pid": pid,
+                "tid": tid,
+                "cat": "repro",
+                "args": args,
+            }
+        )
+    meta_events = [
+        {
+            "name": "thread_name",
+            "ph": "M",
+            "pid": pid,
+            "tid": tid,
+            "args": {"name": thread},
+        }
+        for thread, tid in tids.items()
+    ]
+    return span_events, meta_events
+
+
+def _chrome_payload(records: list[dict], *, pid: int = 0, offset_ns: int = 0) -> dict:
     """JSONL-export records → a Chrome trace-event object.
 
     Complete events (``ph="X"``) carry microsecond start/duration; one
     thread lane per recording thread, named via ``thread_name``
     metadata events.
     """
-    tids: dict[str, int] = {}
-    trace_events = []
-    for rec in records:
-        thread = rec.get("thread") or "main"
-        tid = tids.setdefault(thread, len(tids))
-        args = dict(rec.get("attrs") or {})
-        args["outcome"] = rec.get("outcome", "ok")
-        trace_events.append(
-            {
-                "name": rec["name"],
-                "ph": "X",
-                "ts": rec["start_ns"] / 1e3,
-                "dur": rec.get("duration_us", 0.0),
-                "pid": 0,
-                "tid": tid,
-                "cat": "repro",
-                "args": args,
-            }
+    span_events, meta_events = _chrome_events(records, pid=pid, offset_ns=offset_ns)
+    return {"traceEvents": span_events + meta_events, "displayTimeUnit": "ms"}
+
+
+def export_chrome_merged(path_or_file, groups) -> int:
+    """Merge span records from several processes into one Chrome trace.
+
+    ``groups`` is a list of ``{"name", "pid", "offset_ns", "records"}``
+    dicts — one per process track.  ``records`` are JSONL-export record
+    dicts (:meth:`SpanEvent.to_json` shape); each group's ``offset_ns``
+    (its perf-counter clock minus the reference clock, estimated from
+    ping-RTT midpoints by the process plane) is subtracted so all
+    tracks share one timeline.  Emits ``process_name`` metadata per
+    group and sorts span events by timestamp, so per-track timestamps
+    are monotone.  Returns the number of span events written.
+    """
+    span_events: list[dict] = []
+    meta_events: list[dict] = []
+    for group in groups:
+        pid = int(group.get("pid") or 0)
+        spans_, metas = _chrome_events(
+            group.get("records") or [],
+            pid=pid,
+            offset_ns=int(group.get("offset_ns") or 0),
         )
-    for thread, tid in tids.items():
-        trace_events.append(
+        span_events.extend(spans_)
+        meta_events.append(
             {
-                "name": "thread_name",
+                "name": "process_name",
                 "ph": "M",
-                "pid": 0,
-                "tid": tid,
-                "args": {"name": thread},
+                "pid": pid,
+                "tid": 0,
+                "args": {"name": str(group.get("name") or f"pid{pid}")},
             }
         )
-    return {"traceEvents": trace_events, "displayTimeUnit": "ms"}
+        meta_events.extend(metas)
+    span_events.sort(key=lambda e: e["ts"])
+    payload = json.dumps(
+        {"traceEvents": span_events + meta_events, "displayTimeUnit": "ms"}
+    )
+    if hasattr(path_or_file, "write"):
+        path_or_file.write(payload)
+    else:
+        with open(path_or_file, "w", encoding="utf-8") as fh:
+            fh.write(payload)
+    return len(span_events)
 
 
 def main(argv=None) -> int:

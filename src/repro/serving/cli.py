@@ -22,6 +22,12 @@ resulting metrics exposition — the scrape-endpoint smoke::
     repro-serve stats --config '{"kind": "g", "measure": {"name": "huber"}}' \\
         --format prom | python -m repro.obs.promcheck
 
+With ``--workers-mode process`` the exposition already contains the
+worker-side families (shipped over the telemetry plane and merged under
+``worker`` labels); ``--per-worker`` additionally prints each worker's
+raw *unmerged* snapshot as comment-delimited blocks (prom) or a
+``workers`` key (json).
+
 ``health`` runs a canned *audited* workload, executes the audit ticks,
 and prints the readiness/liveness probe report — exit 0 only when the
 service is live, ready, and the audit verdict is clean (the CI audit
@@ -149,6 +155,14 @@ def _stats_main(argv) -> int:
     parser.add_argument("--universe", type=int, default=4096)
     parser.add_argument("--queries", type=int, default=16)
     parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--per-worker",
+        action="store_true",
+        help=(
+            "additionally print each worker's raw (unmerged) telemetry "
+            "snapshot — process mode only"
+        ),
+    )
     args = parser.parse_args(argv)
     try:
         config = json.loads(args.config)
@@ -188,8 +202,13 @@ def _stats_main(argv) -> int:
         for __ in range(args.queries):
             service.sample(**query_kwargs)
         service.sample_many(max(1, args.queries), **query_kwargs)
+        worker_info = (
+            service.worker_telemetry_info() if args.per_worker else None
+        )
         if args.format == "prom":
             print(service.metrics.render_prometheus(), end="")
+            if args.per_worker:
+                _print_per_worker_prom(worker_info)
         else:
             payload = {
                 "metrics": service.metrics.render_json(),
@@ -197,8 +216,41 @@ def _stats_main(argv) -> int:
                 # latency histogram buckets at render time.
                 "derived_quantiles": service.stats()["latency"],
             }
+            if args.per_worker:
+                payload["workers"] = (
+                    None
+                    if worker_info is None
+                    else [
+                        {k: v for k, v in entry.items() if k != "trace"}
+                        for entry in worker_info
+                    ]
+                )
             print(json.dumps(_none_nan(payload), indent=2))
     return 0
+
+
+def _print_per_worker_prom(worker_info) -> None:
+    """The ``--per-worker`` tail: each worker's raw (unmerged) snapshot
+    rendered as its own comment-delimited exposition block.  Comment
+    lines keep the combined output valid for ``promcheck`` readers that
+    stop at the first block; the per-worker blocks repeat family
+    headers by design (they are separate registries)."""
+    from repro.obs.telemetry import render_snapshot_prometheus
+
+    if worker_info is None:
+        print("# --per-worker: no worker telemetry (thread workers mode)")
+        return
+    for entry in worker_info:
+        snap = entry.get("metrics")
+        print(
+            f"# -- worker {entry['worker']} "
+            f"(generation {entry.get('generation')}, pid {entry.get('pid')}) "
+            f"-- unmerged snapshot --"
+        )
+        if snap is None:
+            print("# (no snapshot shipped yet)")
+        else:
+            print(render_snapshot_prometheus(snap), end="")
 
 
 def _none_nan(obj):

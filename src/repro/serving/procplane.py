@@ -40,6 +40,20 @@ flight and every acked epoch already pulled into the mirror — is
 restarted losslessly from the mirror's snapshots
 (``repro_serving_worker_restarts_total``).
 
+**Telemetry.**  By default each worker runs a live
+:class:`~repro.obs.metrics.MetricsRegistry` (so sampler construction
+binds the ingest-kernel counters worker-side) behind a metered pipe,
+plus a ring-buffered :class:`~repro.obs.trace.Tracer` recording
+``worker.apply`` / ``worker.pull`` / ``worker.compact`` spans linked to
+parent spans via ``trace`` refs stamped into the frames.  Cumulative
+metric snapshots (:mod:`repro.obs.telemetry`) and span batches ship
+back piggybacked on ``pull`` replies and on demand via ``telemetry``
+frames; :class:`~repro.obs.telemetry.WorkerTelemetry` merges them into
+the parent's mirror registry under a ``worker`` label with
+per-generation base accounting (lossless respawns never double-count
+or regress a counter), and each control round trip refines a
+min-RTT worker-clock offset used to align spans in Chrome exports.
+
 **Test hook.**  When the environment variable
 ``REPRO_SERVING_FAULT_ITEM`` is set, a worker hard-exits before
 applying any ingest frame containing that item value — the only way to
@@ -49,6 +63,7 @@ worker.
 
 from __future__ import annotations
 
+import json
 import multiprocessing
 import os
 import threading
@@ -59,6 +74,7 @@ import numpy as np
 
 from repro.obs.catalog import CATALOG_HELP
 from repro.obs.metrics import SIZE_BUCKETS, current_registry
+from repro.obs.telemetry import WorkerTelemetry
 from repro.obs.trace import span
 from repro.serving.transport import FrameConnection
 
@@ -89,24 +105,61 @@ def _epochs_tree(epochs: dict) -> dict:
     return {str(s): int(e) for s, e in epochs.items()}
 
 
+#: Worker-side span ring-buffer capacity: deep enough to hold a full
+#: shipping interval's worth of apply spans, bounded so a parent that
+#: stops pulling cannot grow worker memory.
+WORKER_TRACE_CAPACITY = 4096
+
+
 def _worker_main(conn_raw) -> None:
     """Entry point of one shard-owning worker process.
 
     Single-threaded by design: frames are processed strictly in receive
     order, which is what makes a ``pull`` reply reflect every ingest
     frame sent before it, and per-shard FIFO trivially true.
+
+    With ``telemetry`` on in the boot frame the worker runs a live
+    registry (sampler construction binds the ingest-kernel counters into
+    it) behind a metered pipe, times its own applies into
+    ``repro_serving_ingest_apply_seconds``, and records
+    ``worker.apply`` / ``worker.pull`` / ``worker.compact`` spans into a
+    ring-buffered tracer; cumulative snapshots plus the span batch ship
+    back piggybacked on ``pull`` replies and via ``telemetry`` frames.
+    Telemetry is observational only — it reads no sampler state and
+    draws no randomness, so the bitwise serialized-replay contract is
+    untouched.  With telemetry off this is exactly the old dark mode:
+    disabled registry, unmetered pipe.
     """
     from repro.engine.batch import ingest
     from repro.engine.registry import build_sampler
     from repro.engine.state import load_state, save_state
     from repro.obs.metrics import MetricsRegistry, use_registry
+    from repro.obs.telemetry import snapshot_registry
+    from repro.obs.trace import Tracer
 
-    conn = FrameConnection(conn_raw, metered=False)
-    with use_registry(MetricsRegistry(enabled=False)):
-        try:
-            boot = conn.recv()
-        except (EOFError, OSError):
-            return
+    bootstrap = FrameConnection(conn_raw, metered=False)
+    try:
+        boot = bootstrap.recv()
+    except (EOFError, OSError):
+        return
+    telemetry_on = bool(boot.get("telemetry", 0))
+    registry = MetricsRegistry(enabled=telemetry_on)
+    tracer = Tracer(capacity=WORKER_TRACE_CAPACITY, enabled=telemetry_on)
+    conn = FrameConnection(conn_raw, metered=telemetry_on, metrics=registry)
+
+    def _telemetry_payload() -> dict:
+        events = tracer.events()
+        tracer.clear()
+        spans = "".join(event.to_json() + "\n" for event in events)
+        return {
+            "metrics": snapshot_registry(registry),
+            "spans": spans.encode("utf-8"),
+            "span_count": len(events),
+            "now_ns": time.perf_counter_ns(),
+            "pid": os.getpid(),
+        }
+
+    with use_registry(registry):
         samplers: dict[int, object] = {}
         epochs: dict[int, int] = {}
         try:
@@ -122,6 +175,12 @@ def _worker_main(conn_raw) -> None:
             except (OSError, ValueError):
                 pass
             return
+        apply_s = registry.histogram(
+            "repro_serving_ingest_apply_seconds",
+            CATALOG_HELP["repro_serving_ingest_apply_seconds"],
+            labels=("shard",),
+        )
+        m_apply = {s: apply_s.labels(shard=str(s)) for s in samplers}
         fault_item = boot.get("fault_item")
         conn.send({"type": "ready", "epochs": _epochs_tree(epochs)})
         while True:
@@ -130,6 +189,8 @@ def _worker_main(conn_raw) -> None:
             except (EOFError, OSError):
                 return
             kind = frame["type"]
+            parent_ref = frame.get("trace")
+            link_attrs = {"parent": parent_ref} if parent_ref else {}
             if kind == "ingest":
                 shard = int(frame["shard"])
                 items = np.asarray(frame["items"], dtype=np.int64)
@@ -141,9 +202,14 @@ def _worker_main(conn_raw) -> None:
                 t0 = time.perf_counter()
                 ack = {"type": "ack", "shard": shard, "n": int(items.size)}
                 try:
-                    ingest(samplers[shard], items, timestamps=ts)
+                    with tracer.span(
+                        "worker.apply", shard=shard, items=int(items.size),
+                        **link_attrs,
+                    ):
+                        ingest(samplers[shard], items, timestamps=ts)
                     epochs[shard] += 1
                     ack.update(ok=1, epoch=epochs[shard])
+                    m_apply[shard].observe(time.perf_counter() - t0)
                 except Exception as exc:
                     ack.update(ok=0, epoch=epochs[shard], error=repr(exc))
                 ack["seconds"] = time.perf_counter() - t0
@@ -151,21 +217,28 @@ def _worker_main(conn_raw) -> None:
             elif kind == "pull":
                 seen = frame.get("epochs") or {}
                 out = {}
-                for shard, sampler in samplers.items():
-                    if epochs[shard] > int(seen.get(str(shard), 0)):
-                        out[str(shard)] = {
-                            "epoch": epochs[shard],
-                            "state": save_state(sampler),
-                        }
-                conn.send({"type": "state", "shards": out})
+                with tracer.span("worker.pull", **link_attrs) as sp:
+                    for shard, sampler in samplers.items():
+                        if epochs[shard] > int(seen.get(str(shard), 0)):
+                            out[str(shard)] = {
+                                "epoch": epochs[shard],
+                                "state": save_state(sampler),
+                            }
+                    sp.set(shards=len(out))
+                reply = {"type": "state", "shards": out}
+                if telemetry_on:
+                    reply["telemetry"] = _telemetry_payload()
+                conn.send(reply)
             elif kind == "compact":
                 now = frame.get("now")
                 freed_total = 0
-                for shard, sampler in samplers.items():
-                    freed = sampler.compact(now)
-                    if freed:
-                        epochs[shard] += 1
-                        freed_total += freed
+                with tracer.span("worker.compact", **link_attrs) as sp:
+                    for shard, sampler in samplers.items():
+                        freed = sampler.compact(now)
+                        if freed:
+                            epochs[shard] += 1
+                            freed_total += freed
+                    sp.set(freed=int(freed_total))
                 conn.send(
                     {
                         "type": "compacted",
@@ -173,8 +246,22 @@ def _worker_main(conn_raw) -> None:
                         "epochs": _epochs_tree(epochs),
                     }
                 )
+            elif kind == "telemetry":
+                reply = {"type": "telemetry"}
+                if telemetry_on:
+                    reply.update(_telemetry_payload())
+                else:
+                    reply["now_ns"] = time.perf_counter_ns()
+                    reply["pid"] = os.getpid()
+                conn.send(reply)
             elif kind == "ping":
-                conn.send({"type": "pong", "epochs": _epochs_tree(epochs)})
+                conn.send(
+                    {
+                        "type": "pong",
+                        "epochs": _epochs_tree(epochs),
+                        "now_ns": time.perf_counter_ns(),
+                    }
+                )
             elif kind == "stop":
                 try:
                     conn.send({"type": "bye"})
@@ -204,6 +291,7 @@ class WorkerLink:
         ctx,
         on_error=None,
         metrics=None,
+        telemetry: bool = False,
     ) -> None:
         self.index = index
         self.owned = list(owned_shards)
@@ -222,6 +310,19 @@ class WorkerLink:
         self.pulled_epoch = {s: 0 for s in self.owned}
         self.applied_batches = 0
         self.last_ack_at = time.monotonic()
+        # -- cross-process telemetry state --------------------------------
+        self.telemetry = bool(telemetry)
+        #: bumps on every (re)spawn; keys the merger's base accounting.
+        self.generation = -1
+        #: generation → (best rtt_ns, worker-minus-parent offset_ns).
+        self.clock_by_gen: dict[int, tuple[int, int]] = {}
+        #: shipped worker span records (JSONL dicts, annotated with
+        #: pid/generation/worker at arrival), bounded like the worker ring.
+        self.spans: deque[dict] = deque(maxlen=2 * WORKER_TRACE_CAPACITY)
+        self.telemetry_ships = 0
+        self.telemetry_spans = 0
+        self.last_telemetry_at: float | None = None
+        self._trace_seq = 0
         self._halt = threading.Event()
         self._cursor = 0
         # In-flight window: (shard, n) per unacked ingest frame, FIFO.
@@ -279,10 +380,28 @@ class WorkerLink:
                     "config": self._engine.shard_config(shard),
                     "state": save_state(self._engine.samplers[shard]),
                 }
-        frame = {"type": "boot", "worker": self.index, "shards": shards}
+        frame = {
+            "type": "boot",
+            "worker": self.index,
+            "shards": shards,
+            "telemetry": int(self.telemetry),
+        }
         if fault is not None:
             frame["fault_item"] = int(fault)
         return frame
+
+    def _trace_ref(self, parent_span) -> str | None:
+        """A fresh span reference stamped into an outgoing frame and
+        onto the parent span, linking the worker-side child span back to
+        it in trace exports.  None (no stamping) while tracing is off."""
+        from repro.obs.trace import current_tracer
+
+        if not current_tracer().enabled:
+            return None
+        self._trace_seq += 1
+        ref = f"w{self.index}g{self.generation}s{self._trace_seq}"
+        parent_span.set(span_ref=ref)
+        return ref
 
     def spawn(self) -> None:
         """Fork/spawn the worker process and hand it its shard replicas.
@@ -306,6 +425,7 @@ class WorkerLink:
             )
         self.acked_epoch = {s: 0 for s in self.owned}
         self.pulled_epoch = {s: 0 for s in self.owned}
+        self.generation += 1
         self.dead = False
         self.last_ack_at = time.monotonic()
 
@@ -370,7 +490,10 @@ class WorkerLink:
             try:
                 with span(
                     "serving.ipc_send", shard=shard, items=n, batches=len(batches)
-                ):
+                ) as sp:
+                    ref = self._trace_ref(sp)
+                    if ref is not None:
+                        frame["trace"] = ref
                     self.conn.send(frame)
                 self._m_coalesce.observe(n)
             except (OSError, ValueError, BrokenPipeError) as exc:
@@ -427,7 +550,11 @@ class WorkerLink:
                     self.acked_epoch[shard] = int(frame["epoch"])
                     self.applied_batches += 1
                     self._m_applied[shard].add(n)
-                    if self._metrics_on:
+                    # With telemetry on, the worker observes its own
+                    # apply histogram (shipped back with a worker
+                    # label); observing the ack here too would count
+                    # every apply twice in the merged view.
+                    if self._metrics_on and not self.telemetry:
                         self._m_apply_s[shard].observe(float(frame["seconds"]))
                 else:
                     self._m_failed[shard].add(n)
@@ -543,6 +670,18 @@ class WorkerLink:
         if self.conn is not None:
             self.conn.close()
 
+    def record_clock(self, reply_now_ns: int, t0_ns: int, t1_ns: int) -> None:
+        """Fold one control round trip into this generation's clock
+        estimate: the worker's ``now_ns`` was read somewhere inside
+        [t0, t1] on the parent clock, so the midpoint gives
+        ``offset = worker_now - (t0 + t1) / 2`` with error ≤ rtt/2 —
+        keep the minimum-RTT sample (tightest bound) per generation."""
+        rtt = int(t1_ns) - int(t0_ns)
+        offset = int(reply_now_ns) - (int(t0_ns) + int(t1_ns)) // 2
+        best = self.clock_by_gen.get(self.generation)
+        if best is None or rtt < best[0]:
+            self.clock_by_gen[self.generation] = (rtt, offset)
+
     def status(self) -> dict:
         with self._window:
             inflight = sum(n for __, n in self._inflight)
@@ -583,6 +722,8 @@ class ProcessPlane:
         on_error=None,
         metrics=None,
         start_method: str | None = None,
+        telemetry: bool = True,
+        worker_metrics=None,
     ) -> None:
         if getattr(engine, "_config", None) is None:
             raise ValueError(
@@ -599,6 +740,12 @@ class ProcessPlane:
         self._engine = engine
         self._locks = shard_locks
         self._queues = queues
+        # Telemetry rides the metrics plane: without a parent-side mirror
+        # registry to merge into, workers boot dark exactly as before.
+        self.telemetry_enabled = bool(telemetry) and worker_metrics is not None
+        self._merger = (
+            WorkerTelemetry(worker_metrics) if self.telemetry_enabled else None
+        )
         self.links = [
             WorkerLink(
                 w,
@@ -610,6 +757,7 @@ class ProcessPlane:
                 ctx=ctx,
                 on_error=on_error,
                 metrics=metrics,
+                telemetry=self.telemetry_enabled,
             )
             for w in range(workers)
         ]
@@ -619,22 +767,66 @@ class ProcessPlane:
             CATALOG_HELP["repro_serving_worker_queue_depth"],
             labels=("worker",),
         )
+        ships = registry.counter(
+            "repro_worker_telemetry_ships_total",
+            CATALOG_HELP["repro_worker_telemetry_ships_total"],
+            labels=("worker",),
+        )
+        spans_total = registry.counter(
+            "repro_worker_telemetry_spans_total",
+            CATALOG_HELP["repro_worker_telemetry_spans_total"],
+            labels=("worker",),
+        )
+        merge_errors = registry.counter(
+            "repro_worker_telemetry_merge_errors_total",
+            CATALOG_HELP["repro_worker_telemetry_merge_errors_total"],
+            labels=("worker",),
+        )
+        age = registry.gauge(
+            "repro_worker_telemetry_age_seconds",
+            CATALOG_HELP["repro_worker_telemetry_age_seconds"],
+            labels=("worker",),
+        )
+        clock_offset = registry.gauge(
+            "repro_worker_telemetry_clock_offset_seconds",
+            CATALOG_HELP["repro_worker_telemetry_clock_offset_seconds"],
+            labels=("worker",),
+        )
+        self._m_ships = {}
+        self._m_spans = {}
+        self._m_merge_errors = {}
+        self._m_clock_offset = {}
         for link in self.links:
+            w = str(link.index)
             owned = list(link.owned)
-            depth.labels(worker=str(link.index)).set_function(
+            depth.labels(worker=w).set_function(
                 lambda owned=owned: float(
                     sum(d for s, d in enumerate(self._queues.depths()) if s in owned)
+                )
+            )
+            self._m_ships[link.index] = ships.labels(worker=w)
+            self._m_spans[link.index] = spans_total.labels(worker=w)
+            self._m_merge_errors[link.index] = merge_errors.labels(worker=w)
+            self._m_clock_offset[link.index] = clock_offset.labels(worker=w)
+            age.labels(worker=w).set_function(
+                lambda link=link: (
+                    -1.0
+                    if link.last_telemetry_at is None
+                    else time.monotonic() - link.last_telemetry_at
                 )
             )
 
     def start(self) -> None:
         """Spawn every worker process *first*, then their pump/receiver
         threads — forking after service threads exist risks inheriting a
-        mid-held lock into the child."""
+        mid-held lock into the child.  With telemetry on, one initial
+        pull seeds the per-generation clock offsets and the merged view
+        before any traffic."""
         for link in self.links:
             link.spawn()
         for link in self.links:
             link.start_threads()
+        self.pull_telemetry()
 
     # -- fold collector ------------------------------------------------------
     def collect(self, timeout: float = CONTROL_TIMEOUT) -> int:
@@ -642,17 +834,19 @@ class ProcessPlane:
         them into the mirror engine under the shard write locks; returns
         the number of shards that moved.  The worker answers a ``pull``
         after every ingest frame queued before it, so a flush + collect
-        mirrors everything acked so far."""
+        mirrors everything acked so far.  Telemetry piggybacks on the
+        reply, so the collector cadence is also the shipping cadence."""
         moved = 0
         for link in self.links:
-            with span("serving.collect", worker=link.index):
-                reply = link.control(
-                    {
-                        "type": "pull",
-                        "epochs": _epochs_tree(link.pulled_epoch),
-                    },
-                    timeout,
-                )
+            frame = {"type": "pull", "epochs": _epochs_tree(link.pulled_epoch)}
+            with span("serving.collect", worker=link.index) as sp:
+                ref = link._trace_ref(sp)
+                if ref is not None:
+                    frame["trace"] = ref
+                t0 = time.perf_counter_ns()
+                reply = link.control(frame, timeout)
+                t1 = time.perf_counter_ns()
+            self._ingest_telemetry(link, reply.get("telemetry"), t0, t1)
             for key, entry in (reply.get("shards") or {}).items():
                 shard = int(key)
                 with self._locks[shard]:
@@ -673,13 +867,140 @@ class ProcessPlane:
             frame = {"type": "compact"}
             if now is not None:
                 frame["now"] = float(now)
-            reply = link.control(frame, timeout)
+            with span("serving.compact_workers", worker=link.index) as sp:
+                ref = link._trace_ref(sp)
+                if ref is not None:
+                    frame["trace"] = ref
+                reply = link.control(frame, timeout)
             freed += int(reply.get("freed", 0))
             for key, epoch in (reply.get("epochs") or {}).items():
                 link.acked_epoch[int(key)] = max(
                     link.acked_epoch[int(key)], int(epoch)
                 )
         return freed
+
+    # -- telemetry -----------------------------------------------------------
+    def _ingest_telemetry(self, link, payload, t0_ns: int, t1_ns: int) -> None:
+        """Merge one worker telemetry payload: clock sample, metric
+        snapshot (with generation base accounting), span batch.  A
+        malformed snapshot counts a merge error instead of killing the
+        caller — telemetry must never take down the fold collector."""
+        if payload is None or self._merger is None:
+            return
+        if "now_ns" in payload:
+            link.record_clock(int(payload["now_ns"]), t0_ns, t1_ns)
+            best = link.clock_by_gen.get(link.generation)
+            if best is not None:
+                self._m_clock_offset[link.index].set(best[1] / 1e9)
+        metrics_tree = payload.get("metrics")
+        if metrics_tree is not None:
+            try:
+                self._merger.update(str(link.index), link.generation, metrics_tree)
+            except (ValueError, KeyError, TypeError):
+                self._m_merge_errors[link.index].inc()
+        spans_blob = payload.get("spans")
+        span_count = 0
+        if spans_blob:
+            pid = payload.get("pid")
+            for line in bytes(spans_blob).decode("utf-8").splitlines():
+                if not line:
+                    continue
+                try:
+                    record = json.loads(line)
+                except ValueError:
+                    continue
+                record["pid"] = pid
+                record["generation"] = link.generation
+                record["worker"] = link.index
+                link.spans.append(record)
+                span_count += 1
+        link.telemetry_ships += 1
+        link.telemetry_spans += span_count
+        link.last_telemetry_at = time.monotonic()
+        self._m_ships[link.index].inc()
+        if span_count:
+            self._m_spans[link.index].add(span_count)
+
+    def pull_telemetry(self, timeout: float = 5.0) -> list[int]:
+        """Request a telemetry payload from every live worker (dedicated
+        ``telemetry`` frames, independent of the collector cadence);
+        returns the indices of workers that failed to answer.  Safe to
+        call from exposition renders and health probes — a down or
+        unresponsive worker is reported, never raised."""
+        if not self.telemetry_enabled:
+            return []
+        failed = []
+        for link in self.links:
+            try:
+                t0 = time.perf_counter_ns()
+                reply = link.control({"type": "telemetry"}, timeout)
+                t1 = time.perf_counter_ns()
+            except WorkerDied:
+                failed.append(link.index)
+                continue
+            self._ingest_telemetry(link, reply, t0, t1)
+        return failed
+
+    def telemetry_status(self) -> list[dict]:
+        """Per-worker shipping/clock state for ``stats()`` and probes."""
+        out = []
+        for link in self.links:
+            clock = link.clock_by_gen.get(link.generation)
+            out.append(
+                {
+                    "worker": link.index,
+                    "enabled": self.telemetry_enabled,
+                    "generation": link.generation,
+                    "ships": link.telemetry_ships,
+                    "spans": link.telemetry_spans,
+                    "retained_spans": len(link.spans),
+                    "last_age_s": (
+                        None
+                        if link.last_telemetry_at is None
+                        else time.monotonic() - link.last_telemetry_at
+                    ),
+                    "clock_rtt_ns": None if clock is None else clock[0],
+                    "clock_offset_ns": None if clock is None else clock[1],
+                }
+            )
+        return out
+
+    def telemetry_info(self) -> list[dict]:
+        """Everything the flight recorder / ``--per-worker`` view wants:
+        shipping status plus the raw (unmerged) metric snapshot and the
+        retained span records, per worker."""
+        out = []
+        for status, link in zip(self.telemetry_status(), self.links):
+            entry = dict(status)
+            entry["pid"] = link.proc.pid if link.proc is not None else None
+            entry["metrics"] = (
+                self._merger.latest(link.index) if self._merger else None
+            )
+            entry["trace"] = list(link.spans)
+            out.append(entry)
+        return out
+
+    def trace_groups(self) -> list[dict]:
+        """Worker span records grouped per (worker, pid) with the
+        generation's clock offset resolved — the
+        :func:`repro.obs.trace.export_chrome_merged` input shape."""
+        groups = []
+        for link in self.links:
+            by_pid: dict[int, list[dict]] = {}
+            for record in list(link.spans):
+                by_pid.setdefault(record.get("pid") or 0, []).append(record)
+            for pid, records in by_pid.items():
+                gen = records[-1].get("generation", link.generation)
+                clock = link.clock_by_gen.get(gen)
+                groups.append(
+                    {
+                        "name": f"worker-{link.index}",
+                        "pid": pid,
+                        "offset_ns": 0 if clock is None else clock[1],
+                        "records": records,
+                    }
+                )
+        return groups
 
     def status(self) -> list[dict]:
         return [link.status() for link in self.links]

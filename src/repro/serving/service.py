@@ -45,6 +45,7 @@ from repro.obs.health import (
     HealthChecker,
     HealthReport,
     ProbeResult,
+    freshness_status,
 )
 from repro.obs.metrics import MetricsRegistry, use_registry
 from repro.obs.trace import current_tracer, span
@@ -167,6 +168,7 @@ class SamplerService:
         serialized: bool = False,
         metrics=None,
         audit=None,
+        worker_telemetry: bool = True,
     ) -> None:
         if backpressure not in ("block", "shed"):
             raise ValueError(
@@ -266,8 +268,14 @@ class SamplerService:
         self._workers_mode = workers_mode
         self._worker_errors: list[tuple[Exception, int]] = []
         self._plane: ProcessPlane | None = None
+        self._worker_metrics: MetricsRegistry | None = None
         if workers_mode == "process":
             self._workers: list[IngestWorker] = []
+            # The worker-telemetry mirror: worker-shipped families land
+            # here (same names, extra ``worker`` label) and render inside
+            # this service's exposition as an auxiliary registry.
+            if worker_telemetry and self._metrics_on:
+                self._worker_metrics = MetricsRegistry()
             self._plane = ProcessPlane(
                 self._engine,
                 self._queues,
@@ -277,7 +285,12 @@ class SamplerService:
                 on_error=self._record_worker_error,
                 metrics=self._metrics,
                 start_method=mp_start_method,
+                telemetry=bool(worker_telemetry),
+                worker_metrics=self._worker_metrics,
             )
+            if self._worker_metrics is not None:
+                self._metrics.attach_auxiliary(self._worker_metrics)
+                self._metrics.set_render_hook(self._pull_worker_telemetry)
             # Spawn the shard processes *now*, before any service thread
             # exists — forking a multithreaded process risks inheriting
             # a mid-held lock into the child.
@@ -437,6 +450,33 @@ class SamplerService:
         m.gauge(
             "repro_serving_worker_queue_depth",
             CATALOG_HELP["repro_serving_worker_queue_depth"],
+            labels=("worker",),
+        )
+        # Cross-process telemetry plane families (children are created by
+        # the ProcessPlane per worker; thread mode renders bare headers).
+        m.counter(
+            "repro_worker_telemetry_ships_total",
+            CATALOG_HELP["repro_worker_telemetry_ships_total"],
+            labels=("worker",),
+        )
+        m.counter(
+            "repro_worker_telemetry_spans_total",
+            CATALOG_HELP["repro_worker_telemetry_spans_total"],
+            labels=("worker",),
+        )
+        m.counter(
+            "repro_worker_telemetry_merge_errors_total",
+            CATALOG_HELP["repro_worker_telemetry_merge_errors_total"],
+            labels=("worker",),
+        )
+        m.gauge(
+            "repro_worker_telemetry_age_seconds",
+            CATALOG_HELP["repro_worker_telemetry_age_seconds"],
+            labels=("worker",),
+        )
+        m.gauge(
+            "repro_worker_telemetry_clock_offset_seconds",
+            CATALOG_HELP["repro_worker_telemetry_clock_offset_seconds"],
             labels=("worker",),
         )
         trace_dropped = m.counter(
@@ -874,10 +914,33 @@ class SamplerService:
                     "(frames in flight, no ack)",
                     float(len(stalled)),
                 )
+            if self._plane.telemetry_enabled:
+                # Telemetry freshness: a live pull is the probe — every
+                # worker must answer, and the merged view must be fresh.
+                unresponsive = self._plane.pull_telemetry(timeout=5.0)
+                stale = [
+                    st["worker"]
+                    for st in self._plane.telemetry_status()
+                    if freshness_status(st["last_age_s"], warn_after=30.0)
+                    != "pass"
+                ]
+                lagging = sorted(set(unresponsive) | set(stale))
+                if lagging:
+                    return ProbeResult(
+                        "workers", "warn",
+                        f"telemetry stale for worker(s) {lagging} "
+                        "(no payload merged recently)",
+                        float(len(lagging)),
+                    )
             return ProbeResult(
                 "workers", "pass",
                 f"{len(statuses)} shard process(es) live"
-                + (f", {restarts} lossless restart(s)" if restarts else ""),
+                + (f", {restarts} lossless restart(s)" if restarts else "")
+                + (
+                    ", telemetry fresh"
+                    if self._plane.telemetry_enabled
+                    else ""
+                ),
                 0.0,
             )
         dead = [w.index for w in self._workers if not w.is_alive()]
@@ -987,6 +1050,56 @@ class SamplerService:
 
         return write_bundle(self, path)
 
+    # -- cross-process telemetry --------------------------------------------
+    def _pull_worker_telemetry(self) -> None:
+        """Best-effort fresh pull from every worker (no-op in thread
+        mode, with telemetry off, or once closed).  Installed as the
+        registry render hook so every exposition reflects the workers'
+        current counters, and called by ``stats()`` for the same
+        reason."""
+        plane = self._plane
+        if plane is None or self._closed or not plane.telemetry_enabled:
+            return
+        try:
+            plane.pull_telemetry(timeout=5.0)
+        except Exception:
+            pass
+
+    def worker_telemetry_info(self) -> list[dict] | None:
+        """Per-worker telemetry detail — shipping status, the raw
+        unmerged metric snapshot, retained span records — after a fresh
+        pull.  ``None`` in thread mode."""
+        if self._plane is None:
+            return None
+        self._pull_worker_telemetry()
+        return self._plane.telemetry_info()
+
+    def export_chrome(self, path_or_file) -> int:
+        """Export one merged Chrome trace: the ambient tracer's spans on
+        this process's real pid plus every worker's shipped spans on
+        their pids, clock-aligned via the per-generation min-RTT offset
+        estimates.  Returns the number of span events written."""
+        import json as _json
+        import os as _os
+
+        from repro.obs.trace import export_chrome_merged
+
+        groups = [
+            {
+                "name": "repro-serve",
+                "pid": _os.getpid(),
+                "offset_ns": 0,
+                "records": [
+                    _json.loads(event.to_json())
+                    for event in current_tracer().events()
+                ],
+            }
+        ]
+        if self._plane is not None:
+            self._pull_worker_telemetry()
+            groups.extend(self._plane.trace_groups())
+        return export_chrome_merged(path_or_file, groups)
+
     # -- observability ------------------------------------------------------
     def stats(self) -> dict:
         """The service's stats endpoint: queue/ingest counters, query
@@ -1006,6 +1119,7 @@ class SamplerService:
         are read without quiescing the workers, so under live ingest
         they reflect a best-effort instant, not a consistent cut.
         """
+        self._pull_worker_telemetry()
         queues = self._queues
         if self._metrics_on:
             m = self._metrics
@@ -1037,9 +1151,18 @@ class SamplerService:
                 "query_seconds": m.get(
                     "repro_serving_query_seconds"
                 ).merged_percentiles(),
+                # In process mode with telemetry, the apply histogram
+                # samples live in the worker-shipped mirror; merge both
+                # (identical ladders) into one estimate.
                 "ingest_apply_seconds": m.get(
                     "repro_serving_ingest_apply_seconds"
-                ).merged_percentiles(),
+                ).merged_percentiles(
+                    self._worker_metrics.get(
+                        "repro_serving_ingest_apply_seconds"
+                    )
+                    if self._worker_metrics is not None
+                    else None
+                ),
             }
         else:
             counts = {
@@ -1075,6 +1198,7 @@ class SamplerService:
             ingest_stats["worker_restarts"] = sum(
                 st["restarts"] for st in statuses
             )
+            ingest_stats["worker_telemetry"] = self._plane.telemetry_status()
         return {
             "closed": self._closed,
             "serialized": self._serialized,

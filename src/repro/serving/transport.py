@@ -21,13 +21,23 @@ Frame vocabulary (the ``type`` key):
 ``state``    worker → parent: ``shards: {shard: {epoch, state bytes}}``
 ``compact``  parent → worker: run expiry compaction (optional ``now``)
 ``compacted`` worker → parent: ``freed`` items total, ``epochs``
-``ping``/``pong``  liveness probe
+``ping``/``pong``  liveness probe (``pong`` carries ``now_ns``, the
+             worker's ``perf_counter_ns``, for clock-offset estimation)
+``telemetry``  parent → worker: request a telemetry payload; the reply
+             (same ``type``) carries a cumulative metric snapshot tree
+             (:func:`repro.obs.telemetry.snapshot_registry`), a span
+             batch (JSONL bytes), ``now_ns`` and ``pid``.  The same
+             payload piggybacks on ``state`` replies under a
+             ``telemetry`` key.
 ``stop``/``bye``   orderly shutdown handshake
 ========== =============================================================
 
-The parent-side connection meters traffic into the observability plane
+Both ends meter traffic into the observability plane
 (``repro_serving_ipc_frames_total`` / ``repro_serving_ipc_bytes_total``
-by direction); the child side runs with metrics disabled and passes
+by direction) — the parent into the service registry, the worker into
+its own shipped registry, so the unified exposition shows both halves
+of the pipe under distinct ``worker`` labels.  A worker booted with
+telemetry off keeps the PR 8 dark mode: disabled registry,
 ``metered=False``.
 """
 
